@@ -1,0 +1,1 @@
+bench/experiments.ml: Float Imtp List Printf Result Unix Util

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Hashtbl Imtp List Measure Printf Staged String Sys Test Time Toolkit Util

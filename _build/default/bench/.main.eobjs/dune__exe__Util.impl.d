@@ -1,0 +1,1 @@
+bench/util.ml: Imtp List Printf Result String

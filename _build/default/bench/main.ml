@@ -1,0 +1,126 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 # run every experiment
+     dune exec bench/main.exe -- fig9 fig13   # run selected experiments
+     dune exec bench/main.exe -- --bechamel   # Bechamel micro-benchmarks
+
+   Each experiment regenerates one table or figure of the paper's
+   evaluation (see DESIGN.md's experiment index); the Bechamel suite
+   times one representative computation per table/figure. *)
+
+let experiments =
+  [
+    ("table1", Experiments.table1);
+    ("fig3", Experiments.fig3);
+    ("fig4", Experiments.fig4);
+    ("fig9", Experiments.fig9);
+    ("table3", Experiments.table3);
+    ("fig10", Experiments.fig10);
+    ("fig11", Experiments.fig11);
+    ("fig12", Experiments.fig12);
+    ("fig13", fun () -> Experiments.fig13 ());
+    ("overhead", Experiments.overhead);
+    ("joint", Experiments.joint);
+    ("transfer", Experiments.transfer);
+    ("costmodel", Experiments.costmodel);
+    ("dtypes", Experiments.dtypes);
+    ("hbm", Experiments.hbm);
+  ]
+
+(* --- Bechamel micro-benchmarks: one Test.make per table/figure ------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let cfg = Util.cfg in
+  let gemv = Imtp.Ops.gemv ~c:3 1000 999 in
+  let params =
+    {
+      Imtp.Sketch.default_params with
+      Imtp.Sketch.spatial_dpus = 256;
+      tasklets = 12;
+      cache_elems = 16;
+    }
+  in
+  let lowered =
+    Imtp.Lowering.lower
+      ~options:(Imtp.Sketch.lower_options params)
+      (Imtp.Sketch.instantiate gemv params)
+  in
+  let optimized = Imtp.Passes.run cfg lowered in
+  let mtv = Imtp.Ops.mtv 2048 2048 in
+  let rng = Imtp.Rng.create ~seed:1 in
+  [
+    (* Fig. 3: kernel-cost evaluation of a boundary-checked GEMV. *)
+    Test.make ~name:"fig3/kernel-cost"
+      (Staged.stage (fun () -> Util.kernel_cycles optimized));
+    (* Fig. 4: end-to-end latency estimation of one candidate. *)
+    Test.make ~name:"fig4/estimate"
+      (Staged.stage (fun () -> Imtp.estimate optimized));
+    (* Fig. 9 / Table 3: one full measurement (sketch->lower->passes->cost). *)
+    Test.make ~name:"fig9/measure-candidate"
+      (Staged.stage (fun () ->
+           Imtp.Measure.measure cfg mtv (Imtp.Sketch.random rng cfg mtv)));
+    (* Fig. 10: GPT-J MMTV sketch instantiation + lowering. *)
+    Test.make ~name:"fig10/lower-gptj-mmtv"
+      (Staged.stage
+         (let op = Imtp.Gptj.mmtv_op Imtp.Gptj.Gptj_6b ~batch:1 ~tokens:128 in
+          fun () ->
+            Imtp.Lowering.lower
+              ~options:(Imtp.Sketch.lower_options params)
+              (Imtp.Sketch.instantiate op params)));
+    (* Fig. 11: PrIM baseline measurement. *)
+    Test.make ~name:"fig11/prim-measure"
+      (Staged.stage (fun () -> Imtp.Prim.measure cfg mtv Imtp.Prim.default));
+    (* Fig. 12: the PIM-aware pass pipeline itself. *)
+    Test.make ~name:"fig12/pim-passes"
+      (Staged.stage (fun () -> Imtp.Passes.run cfg lowered));
+    (* Fig. 13: one evolutionary-search trial step. *)
+    Test.make ~name:"fig13/search-8-trials"
+      (Staged.stage (fun () -> Imtp.Search.run ~seed:3 cfg mtv ~trials:8));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  Printf.printf "Bechamel micro-benchmarks (ns per run, OLS estimate)\n%!";
+  let tests = bechamel_tests () in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+    in
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+    let ols =
+      Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name ols ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+        | Some [] | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+      results
+  in
+  List.iter benchmark tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      Printf.printf
+        "IMTP benchmark harness: reproducing every table and figure of the \
+         paper's evaluation.\n";
+      List.iter (fun (_, f) -> f ()) experiments;
+      run_bechamel ()
+  | [ "--bechamel" ] -> run_bechamel ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf
+                "unknown experiment %s (available: %s, --bechamel)\n" name
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        names

@@ -1,0 +1,67 @@
+(* Table formatting and small statistics helpers for the benchmark
+   harness. *)
+
+let heading title =
+  let line = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title line
+
+let subheading title = Printf.printf "\n--- %s ---\n" title
+
+let row_format widths =
+  (* left-align first column, right-align the rest *)
+  fun cells ->
+    List.iteri
+      (fun i cell ->
+        let w = try List.nth widths i with _ -> 12 in
+        if i = 0 then Printf.printf "%-*s" w cell
+        else Printf.printf "%*s" w cell)
+      cells;
+    print_newline ()
+
+let ms s = Printf.sprintf "%.3f" (s *. 1e3)
+let x f = Printf.sprintf "%.2fx" f
+let pct f = Printf.sprintf "%+.1f%%" (f *. 100.)
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+      exp (List.fold_left (fun acc v -> acc +. log v) 0. xs
+           /. float_of_int (List.length xs))
+
+let total = Imtp.Stats.total_s
+
+(* Shorthand measurement helpers shared by experiments. *)
+
+let cfg = Imtp.default_config
+
+let prim op = Result.get_ok (Imtp.Prim.measure cfg op (Imtp.Prim.default_for op))
+
+let prim_e op =
+  let p, s = Result.get_ok (Imtp.Prim.prim_e cfg op) in
+  (p, s)
+
+let prim_search op =
+  let p, s = Result.get_ok (Imtp.Prim.grid_search cfg op) in
+  (p, s)
+
+let simplepim op = Imtp.Simplepim.measure cfg op
+
+let tune ?(trials = 160) ?(seed = 2025) op =
+  (* two independent searches, keep the better result — cheap insurance
+     against an unlucky evolutionary run. *)
+  let run seed =
+    match Imtp.autotune ~trials ~seed op with
+    | Ok r -> r
+    | Error m -> failwith (Printf.sprintf "autotune %s: %s" op.Imtp.Op.opname m)
+  in
+  let a = run seed and b = run (seed + 7919) in
+  if
+    Imtp.Stats.total_s a.Imtp.Tuner.stats
+    <= Imtp.Stats.total_s b.Imtp.Tuner.stats
+  then a
+  else b
+
+let kernel_cycles prog =
+  Imtp.Cost.kernel_cycles cfg prog (List.hd prog.Imtp.Program.kernels)
+
+let kernel_ms prog = Imtp.Config.seconds_of_cycles cfg (kernel_cycles prog) *. 1e3

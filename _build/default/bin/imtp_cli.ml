@@ -1,0 +1,249 @@
+(* imtp — command-line interface to the IMTP compiler and simulator.
+
+   Subcommands:
+     info                     describe the simulated machine and ops
+     lower   <op> <sizes..>   print the lowered host+kernel TIR
+     run     <op> <sizes..>   compile, execute, validate, and time
+     tune    <op> <sizes..>   autotune and report the best schedule
+     baseline <op> <sizes..>  measure PrIM / PrIM(E) / PrIM+search / SimplePIM *)
+
+open Cmdliner
+
+let cfg = Imtp.default_config
+
+let op_conv =
+  let parse s =
+    if List.mem s Imtp.Ops.all_names then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown op %s (expected one of: %s)" s
+             (String.concat ", " Imtp.Ops.all_names)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let op_arg =
+  Arg.(
+    required
+    & pos 0 (some op_conv) None
+    & info [] ~docv:"OP" ~doc:"Operation name (va, geva, red, mtv, gemv, ttv, mmtv).")
+
+let sizes_arg =
+  Arg.(
+    non_empty
+    & pos_right 0 int []
+    & info [] ~docv:"SIZES" ~doc:"Dimension extents, e.g. 'mtv 512 2048'.")
+
+let trials_arg =
+  Arg.(value & opt int 128 & info [ "trials" ] ~doc:"Autotuning trial budget.")
+
+let seed_arg =
+  Arg.(value & opt int 2025 & info [ "seed" ] ~doc:"Random seed for the search.")
+
+let dpus_arg =
+  Arg.(
+    value
+    & opt int (Imtp.Config.nr_dpus cfg)
+    & info [ "dpus" ] ~doc:"Limit the simulated machine to N DPUs.")
+
+let no_passes_arg =
+  Arg.(
+    value & flag
+    & info [ "no-passes" ] ~doc:"Disable the PIM-aware optimization passes.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Enable debug logging (search telemetry).")
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let machine dpus = Imtp.Config.with_dpus cfg dpus
+
+let build_op name sizes = Imtp.Ops.by_name name ~sizes
+
+let default_params op =
+  let p = { Imtp.Sketch.default_params with Imtp.Sketch.spatial_dpus = 256; tasklets = 8; cache_elems = 32 } in
+  match Imtp.Sketch.family_of op with
+  | Imtp.Sketch.Tasklet_reduce -> { p with Imtp.Sketch.reduction_dpus = 256 }
+  | _ -> p
+
+(* --- info ------------------------------------------------------------ *)
+
+let info_cmd =
+  let doc = "Describe the simulated UPMEM machine and available operations." in
+  let run () =
+    Format.printf "machine: %a@." Imtp.Config.pp cfg;
+    Format.printf "operations:@.";
+    List.iter
+      (fun name ->
+        let arity =
+          match name with
+          | "va" | "geva" | "red" -> "<n>"
+          | "mtv" | "gemv" -> "<rows> <cols>"
+          | "gemm" -> "<rows> <cols> <inner>"
+          | _ -> "<batch> <rows> <cols>"
+        in
+        Format.printf "  %-6s %s@." name arity)
+      Imtp.Ops.all_names
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ const ())
+
+(* --- lower ----------------------------------------------------------- *)
+
+let lower_cmd =
+  let doc = "Lower an operation with a default schedule and print the TIR." in
+  let run name sizes no_passes dpus =
+    let op = build_op name sizes in
+    let config = machine dpus in
+    let sched = Imtp.Sketch.instantiate op (default_params op) in
+    let prog =
+      if no_passes then Imtp.Lowering.lower sched
+      else Imtp.compile ~config sched
+    in
+    print_string (Imtp.Printer.program_to_string prog)
+  in
+  Cmd.v
+    (Cmd.info "lower" ~doc)
+    Term.(const run $ op_arg $ sizes_arg $ no_passes_arg $ dpus_arg)
+
+(* --- codegen --------------------------------------------------------- *)
+
+let codegen_cmd =
+  let doc = "Emit UPMEM-SDK-style C for an operation's compiled program." in
+  let run name sizes dpus =
+    let op = build_op name sizes in
+    let config = machine dpus in
+    let prog = Imtp.compile ~config (Imtp.Sketch.instantiate op (default_params op)) in
+    print_string (Imtp.Codegen_c.program_to_c prog)
+  in
+  Cmd.v (Cmd.info "codegen" ~doc) Term.(const run $ op_arg $ sizes_arg $ dpus_arg)
+
+(* --- run ------------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Compile with a default schedule, execute on the functional \
+             simulator, validate against the reference, and report timing." in
+  let run name sizes dpus =
+    let op = build_op name sizes in
+    let config = machine dpus in
+    let prog = Imtp.compile ~config (Imtp.Sketch.instantiate op (default_params op)) in
+    let inputs = Imtp.Ops.random_inputs op in
+    let outs = Imtp.execute ~inputs prog op in
+    let got = List.assoc (fst op.Imtp.Op.output) outs in
+    let want = Imtp.Op.reference op inputs in
+    let ok =
+      Imtp.Tensor.to_value_list got = Imtp.Tensor.to_value_list want
+    in
+    Format.printf "result: %s@." (if ok then "VALID" else "MISMATCH");
+    Format.printf "timing: %a@." Imtp.Stats.pp (Imtp.estimate ~config prog);
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ op_arg $ sizes_arg $ dpus_arg)
+
+(* --- tune ------------------------------------------------------------ *)
+
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE" ~doc:"Write the tuning history to a log file.")
+
+let tune_cmd =
+  let doc = "Autotune an operation and report the winning schedule." in
+  let run name sizes trials seed dpus log verbose =
+    setup_logging verbose;
+    let op = build_op name sizes in
+    let config = machine dpus in
+    match Imtp.Tuner.tune ~trials ~seed config op with
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        exit 1
+    | Ok r ->
+        Format.printf "best:   %s@." (Imtp.Tuner.describe r);
+        Format.printf "timing: %a@." Imtp.Stats.pp r.Imtp.Tuner.stats;
+        Format.printf "search: %d measured, %d invalid candidates filtered@."
+          r.Imtp.Tuner.search.Imtp.Search.measured
+          r.Imtp.Tuner.search.Imtp.Search.invalid_candidates;
+        Format.printf "schedule primitives:@.";
+        List.iter
+          (fun line -> Format.printf "  %s@." line)
+          (Imtp.Sched.trace (Imtp.Sketch.instantiate op r.Imtp.Tuner.params));
+        Option.iter
+          (fun path ->
+            Imtp.Tuning_log.save path ~op_name:name r.Imtp.Tuner.search;
+            Format.printf "tuning log written to %s@." path)
+          log
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc)
+    Term.(
+      const run $ op_arg $ sizes_arg $ trials_arg $ seed_arg $ dpus_arg
+      $ log_arg $ verbose_arg)
+
+(* --- replay ---------------------------------------------------------- *)
+
+let replay_cmd =
+  let doc = "Reload a tuning log and re-measure its best schedule." in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOG" ~doc:"Tuning log written by 'tune --log'.")
+  in
+  let szs =
+    Arg.(
+      non_empty & pos_right 0 int []
+      & info [] ~docv:"SIZES" ~doc:"Dimension extents of the logged operation.")
+  in
+  let run file sizes =
+    match Imtp.Tuning_log.load file with
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        exit 1
+    | Ok (op_name, entries) -> (
+        Format.printf "log: op=%s, %d entries@." op_name (List.length entries);
+        match Imtp.Tuning_log.best entries with
+        | None ->
+            Format.eprintf "error: empty log@.";
+            exit 1
+        | Some e -> (
+            let op = build_op op_name sizes in
+            Format.printf "best logged: trial %d, %.3f ms, %s@."
+              e.Imtp.Tuning_log.trial
+              (e.Imtp.Tuning_log.latency_s *. 1e3)
+              (Imtp.Sketch.describe e.Imtp.Tuning_log.params);
+            match Imtp.Measure.measure cfg op e.Imtp.Tuning_log.params with
+            | Error m ->
+                Format.eprintf "error: %s@." m;
+                exit 1
+            | Ok r ->
+                Format.printf "re-measured:  %.3f ms@."
+                  (r.Imtp.Measure.latency_s *. 1e3)))
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ szs)
+
+(* --- baseline -------------------------------------------------------- *)
+
+let baseline_cmd =
+  let doc = "Measure the PrIM, PrIM(E), PrIM+search and SimplePIM baselines." in
+  let run name sizes dpus =
+    let op = build_op name sizes in
+    let config = machine dpus in
+    let show label = function
+      | Ok s -> Format.printf "%-12s %a@." label Imtp.Stats.pp s
+      | Error m -> Format.printf "%-12s unavailable (%s)@." label m
+    in
+    show "PrIM" (Imtp.Prim.measure config op (Imtp.Prim.default_for op));
+    show "PrIM(E)" (Result.map snd (Imtp.Prim.prim_e config op));
+    show "PrIM+search" (Result.map snd (Imtp.Prim.grid_search config op));
+    show "SimplePIM" (Imtp.Simplepim.measure config op)
+  in
+  Cmd.v (Cmd.info "baseline" ~doc) Term.(const run $ op_arg $ sizes_arg $ dpus_arg)
+
+let () =
+  let doc = "search-based code generation for in-memory tensor programs" in
+  let info = Cmd.info "imtp" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ info_cmd; lower_cmd; codegen_cmd; run_cmd; tune_cmd; replay_cmd; baseline_cmd ]))

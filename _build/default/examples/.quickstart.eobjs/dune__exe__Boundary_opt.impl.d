@@ -1,0 +1,1 @@
+examples/boundary_opt.ml: Format Imtp List

@@ -1,0 +1,1 @@
+examples/custom_op.ml: Format Imtp List

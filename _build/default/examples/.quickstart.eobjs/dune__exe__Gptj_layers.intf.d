@@ -1,0 +1,1 @@
+examples/gptj_layers.mli:

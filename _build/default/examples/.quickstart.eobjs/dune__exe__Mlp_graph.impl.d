@@ -1,0 +1,1 @@
+examples/mlp_graph.ml: Format Imtp List

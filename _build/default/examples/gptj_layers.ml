@@ -1,0 +1,64 @@
+(* GPT-J multi-head-attention layers on the simulated UPMEM server —
+   the paper's §7.2 workload.  Autotunes the four FC (MTV) kernels with
+   MRAM-resident weights (§5.4) and attention-score MMTV kernels,
+   comparing each against the PrIM hand-tuned baseline, and validates a
+   scaled-down MMTV bit-exactly on the functional simulator.
+
+   Run with:  dune exec examples/gptj_layers.exe *)
+
+let cfg = Imtp.default_config
+
+let tune_vs_prim ?(skip_inputs = []) label op =
+  let prim =
+    match Imtp.Prim.measure ~skip_inputs cfg op (Imtp.Prim.default_for op) with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  match Imtp.autotune ~trials:96 ~seed:11 ~skip_inputs op with
+  | Error m -> failwith m
+  | Ok tuned ->
+      Format.printf "%-34s PrIM %8.3f ms   IMTP %8.3f ms   (%.2fx)@." label
+        (Imtp.Stats.total_s prim *. 1e3)
+        (Imtp.Stats.total_s tuned.Imtp.Tuner.stats *. 1e3)
+        (Imtp.Stats.speedup ~baseline:prim tuned.Imtp.Tuner.stats)
+
+let () =
+  let model = Imtp.Gptj.Gptj_6b in
+  Format.printf "GPT-J 6B attention layers (heads=%d, d_model=%d)@.@."
+    (Imtp.Gptj.heads model) (Imtp.Gptj.d_model model);
+
+  Format.printf "-- fully-connected (MTV) kernels, weights resident --@.";
+  List.iter
+    (fun kind ->
+      let rows, cols = Imtp.Gptj.fc_shape model kind in
+      tune_vs_prim ~skip_inputs:[ "A" ]
+        (Printf.sprintf "%s (%dx%d)" (Imtp.Gptj.fc_kind_name kind) rows cols)
+        (Imtp.Gptj.fc_op model kind))
+    Imtp.Gptj.fc_kinds;
+
+  Format.printf "@.-- attention-score (MMTV) kernels --@.";
+  List.iter
+    (fun tokens ->
+      tune_vs_prim
+        (Printf.sprintf "mmtv b=1 T=%d (%dx%dx256)" tokens
+           (Imtp.Gptj.heads model) tokens)
+        (Imtp.Gptj.mmtv_op model ~batch:1 ~tokens))
+    [ 64; 256 ];
+
+  (* Functional validation on a scaled-down attention shape: the same
+     code path, sizes small enough to interpret. *)
+  Format.printf "@.-- validation (scaled-down MMTV 4x32x64) --@.";
+  let small = Imtp.Ops.mmtv 4 32 64 in
+  match Imtp.autotune ~trials:32 ~seed:13 small with
+  | Error m -> failwith m
+  | Ok r ->
+      let inputs = Imtp.Ops.random_inputs small in
+      let outs = Imtp.execute ~inputs r.Imtp.Tuner.program small in
+      let got = List.assoc "C" outs in
+      let want = Imtp.Op.reference small inputs in
+      if Imtp.Tensor.to_value_list got = Imtp.Tensor.to_value_list want then
+        Format.printf "scaled-down MMTV: bit-exact against the reference@."
+      else begin
+        Format.printf "scaled-down MMTV: MISMATCH@.";
+        exit 1
+      end

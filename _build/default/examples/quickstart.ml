@@ -1,0 +1,44 @@
+(* Quickstart: define a tensor operation, autotune it for the simulated
+   UPMEM server, validate the result against the reference semantics,
+   and compare with the PrIM hand-tuned baseline.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let cfg = Imtp.default_config in
+  Format.printf "machine: %a@." Imtp.Config.pp cfg;
+
+  (* 1. Declare the computation: C(i) = A(i,j) . B(j), 512x2048. *)
+  let op = Imtp.Ops.mtv 512 2048 in
+  Format.printf "operation: %a@.@." Imtp.Op.pp op;
+
+  (* 2. Autotune: explore the joint host+kernel schedule space. *)
+  Format.printf "autotuning (96 trials)...@.";
+  let tuned =
+    match Imtp.autotune ~trials:96 ~seed:1 op with
+    | Ok r -> r
+    | Error m -> failwith m
+  in
+  Format.printf "best schedule: %s@." (Imtp.Sketch.describe tuned.Imtp.Tuner.params);
+  Format.printf "breakdown:     %a@.@." Imtp.Stats.pp tuned.Imtp.Tuner.stats;
+
+  (* 3. Validate: run the compiled program on the functional simulator
+     and compare against the operator's reference semantics. *)
+  let inputs = Imtp.Ops.random_inputs op in
+  let outputs = Imtp.execute ~inputs tuned.Imtp.Tuner.program op in
+  let got = List.assoc "C" outputs in
+  let want = Imtp.Op.reference op inputs in
+  assert (Imtp.Tensor.to_value_list got = Imtp.Tensor.to_value_list want);
+  Format.printf "validation:    OK (%d outputs bit-exact)@.@." (Imtp.Tensor.size got);
+
+  (* 4. Compare with the PrIM hand-tuned baseline. *)
+  (match Imtp.Prim.measure cfg op Imtp.Prim.default with
+  | Ok prim ->
+      Format.printf "PrIM baseline: %a@." Imtp.Stats.pp prim;
+      Format.printf "speedup over PrIM: %.2fx@."
+        (Imtp.Stats.speedup ~baseline:prim tuned.Imtp.Tuner.stats)
+  | Error m -> Format.printf "PrIM baseline unavailable: %s@." m);
+
+  (* 5. Inspect the generated host+kernel TIR. *)
+  Format.printf "@.--- generated program (TIR) ---@.%s@."
+    (Imtp.Printer.program_to_string tuned.Imtp.Tuner.program)

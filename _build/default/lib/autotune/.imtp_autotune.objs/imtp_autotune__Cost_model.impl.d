@@ -1,0 +1,1 @@
+lib/autotune/cost_model.ml: Array Float Imtp_workload Sketch

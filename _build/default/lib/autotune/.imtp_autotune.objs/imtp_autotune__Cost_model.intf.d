@@ -1,0 +1,1 @@
+lib/autotune/cost_model.mli: Imtp_workload Sketch

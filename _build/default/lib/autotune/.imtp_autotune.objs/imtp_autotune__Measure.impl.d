@@ -1,0 +1,1 @@
+lib/autotune/measure.ml: Imtp_lower Imtp_passes Imtp_tir Imtp_upmem Rng Sketch Verifier

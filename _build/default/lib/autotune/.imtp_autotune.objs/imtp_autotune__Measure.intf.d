@@ -1,0 +1,1 @@
+lib/autotune/measure.mli: Imtp_passes Imtp_tir Imtp_upmem Imtp_workload Result Rng Sketch

@@ -1,0 +1,1 @@
+lib/autotune/rng.ml: List Random

@@ -1,0 +1,1 @@
+lib/autotune/search.ml: Cost_model Float Hashtbl List Logs Measure Option Rng Sketch

@@ -1,0 +1,1 @@
+lib/autotune/search.mli: Imtp_passes Imtp_upmem Imtp_workload Measure Sketch

@@ -1,0 +1,1 @@
+lib/autotune/sketch.mli: Imtp_lower Imtp_schedule Imtp_upmem Imtp_workload Rng

@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Imtp_tir Imtp_upmem Measure Printf Search Sketch

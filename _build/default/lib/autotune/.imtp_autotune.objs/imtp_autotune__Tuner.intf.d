@@ -1,0 +1,1 @@
+lib/autotune/tuner.mli: Imtp_passes Imtp_tir Imtp_upmem Imtp_workload Result Search Sketch

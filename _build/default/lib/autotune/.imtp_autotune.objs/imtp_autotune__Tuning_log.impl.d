@@ -1,0 +1,1 @@
+lib/autotune/tuning_log.ml: Fun List Option Printf Result Search Sketch String

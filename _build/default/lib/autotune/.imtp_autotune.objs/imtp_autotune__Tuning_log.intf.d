@@ -1,0 +1,1 @@
+lib/autotune/tuning_log.mli: Result Search Sketch

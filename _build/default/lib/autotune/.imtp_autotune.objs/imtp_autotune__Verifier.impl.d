@@ -1,0 +1,1 @@
+lib/autotune/verifier.ml: Hashtbl Imtp_schedule Imtp_tensor Imtp_tir Imtp_upmem List Option Printf Result

@@ -1,0 +1,1 @@
+lib/autotune/verifier.mli: Imtp_schedule Imtp_tir Imtp_upmem

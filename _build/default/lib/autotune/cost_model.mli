@@ -1,0 +1,22 @@
+(** Online cost model guiding the evolutionary search (§4: "an
+    evolutionary search guided by a cost model").
+
+    A ridge regression over schedule-parameter features predicting
+    log-latency, refit incrementally from every hardware (simulator)
+    measurement — a deliberately small stand-in for TVM's gradient
+    boosted trees that preserves the search dynamics: the model ranks
+    unmeasured mutations so only promising candidates reach the
+    (expensive) measurement step. *)
+
+type t
+
+val create : unit -> t
+val features : Imtp_workload.Op.t -> Sketch.params -> float array
+val observe : t -> float array -> float -> unit
+(** [observe m x latency_s] adds a training sample. *)
+
+val predict : t -> float array -> float
+(** Predicted log-latency; 0 until at least 8 samples are seen. *)
+
+val trained : t -> bool
+val sample_count : t -> int

@@ -1,0 +1,44 @@
+type result = {
+  params : Sketch.params;
+  stats : Imtp_upmem.Stats.t;
+  latency_s : float;
+}
+
+let noise_amplitude = 0.02
+
+let build ?(passes = Imtp_passes.Pipeline.all_on) ?(skip_inputs = []) cfg op params =
+  match Sketch.instantiate op params with
+  | exception Invalid_argument m -> Error ("sketch: " ^ m)
+  | sched -> (
+      match Verifier.check_sched cfg sched with
+      | Error r -> Error ("verifier: " ^ r.Verifier.reason)
+      | Ok () -> (
+          let options =
+            {
+              (Sketch.lower_options params) with
+              Imtp_lower.Lowering.skip_input_transfer = skip_inputs;
+            }
+          in
+          match Imtp_lower.Lowering.lower ~options sched with
+          | exception Imtp_lower.Lowering.Lower_error m -> Error ("lower: " ^ m)
+          | prog -> (
+              let prog = Imtp_passes.Pipeline.run ~config:passes cfg prog in
+              match Verifier.check cfg prog with
+              | Error r -> Error ("verifier: " ^ r.Verifier.reason)
+              | Ok () -> Ok prog)))
+
+let measure ?rng ?passes ?skip_inputs cfg op params =
+  match build ?passes ?skip_inputs cfg op params with
+  | Error m -> Error m
+  | Ok prog -> (
+      match Imtp_tir.Cost.measure cfg prog with
+      | exception Imtp_tir.Cost.Error m -> Error ("cost: " ^ m)
+      | stats ->
+          let base = Imtp_upmem.Stats.total_s stats in
+          let latency_s =
+            match rng with
+            | None -> base
+            | Some r ->
+                base *. (1. +. (noise_amplitude *. ((2. *. Rng.float r 1.) -. 1.)))
+          in
+          Ok { params; stats; latency_s })

@@ -1,0 +1,16 @@
+(** Seeded pseudo-random source for the autotuner.  A thin wrapper over
+    [Random.State] so every search run is reproducible from its seed. *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice.  @raise Invalid_argument on the empty list. *)
+
+val float : t -> float -> float
+val bool : t -> bool
+val split : t -> t
+(** Derive an independent child source. *)

@@ -1,0 +1,204 @@
+let log_src = Logs.Src.create "imtp.search" ~doc:"IMTP evolutionary search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type strategy = { balanced_sampling : bool; adaptive_epsilon : bool }
+
+let tvm_default = { balanced_sampling = false; adaptive_epsilon = false }
+let imtp_default = { balanced_sampling = true; adaptive_epsilon = true }
+
+type record = {
+  trial : int;
+  params : Sketch.params;
+  latency_s : float;
+  best_so_far : float;
+}
+
+type outcome = {
+  best : Measure.result option;
+  history : record list;
+  invalid_candidates : int;
+  measured : int;
+}
+
+let population_size = 16
+let top_k = 8
+let mutations_per_pick = 4
+let exploration_fraction = 0.4
+
+let epsilon strategy ~trial ~trials =
+  if strategy.adaptive_epsilon then begin
+    let cutoff = exploration_fraction *. float_of_int trials in
+    if float_of_int trial >= cutoff then 0.05
+    else 0.5 -. (0.45 *. float_of_int trial /. cutoff)
+  end
+  else 0.05
+
+let by_latency = fun (_, a) (_, b) -> Float.compare a b
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* The generational population: with balanced sampling active, half the
+   slots are reserved for each design space (rfactor / non-rfactor)
+   while candidates of both exist, so neither family is prematurely
+   dropped (§5.2.3); otherwise it is a plain truncation by fitness —
+   and a family that falls out of the population can only re-enter
+   through ε-random sampling, which is how the unbalanced search gets
+   stuck. *)
+let truncate_population strategy ~early pool =
+  let sorted = List.sort by_latency pool in
+  if strategy.balanced_sampling && early then begin
+    let rf, no_rf = List.partition (fun (p, _) -> Sketch.uses_rfactor p) sorted in
+    let half = population_size / 2 in
+    let a = take half rf and b = take half no_rf in
+    let rest =
+      List.filter
+        (fun c -> not (List.memq c a || List.memq c b))
+        sorted
+    in
+    take population_size (List.sort by_latency (a @ b) @ rest)
+  end
+  else take population_size sorted
+
+let parent_pool strategy ~early population =
+  let sorted = List.sort by_latency population in
+  if strategy.balanced_sampling && early then begin
+    let rf, no_rf = List.partition (fun (p, _) -> Sketch.uses_rfactor p) sorted in
+    let half = max 1 (top_k / 2) in
+    match take half rf @ take half no_rf with
+    | [] -> take top_k sorted
+    | pool -> pool
+  end
+  else take top_k sorted
+
+let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
+    ?(use_cost_model = true) cfg op ~trials =
+  let rng = Rng.create ~seed in
+  let model = Cost_model.create () in
+  let seen = Hashtbl.create 64 in
+  let history = ref [] in
+  let best = ref None in
+  let invalid = ref 0 in
+  let measured = ref 0 in
+  let trial = ref 0 in
+  let population = ref [] in
+  let record (r : Measure.result) =
+    incr measured;
+    Hashtbl.replace seen r.Measure.params ();
+    Cost_model.observe model
+      (Cost_model.features op r.Measure.params)
+      r.Measure.latency_s;
+    (match !best with
+    | Some b when b.Measure.latency_s <= r.Measure.latency_s -> ()
+    | Some _ | None -> best := Some r);
+    let best_so_far =
+      match !best with Some b -> b.Measure.latency_s | None -> infinity
+    in
+    history :=
+      {
+        trial = !trial;
+        params = r.Measure.params;
+        latency_s = r.Measure.latency_s;
+        best_so_far;
+      }
+      :: !history
+  in
+  (* One measurement consumes one trial; verifier rejections are
+     filtered cheaply (retried), duplicate proposals burn the trial. *)
+  let measure_candidate params =
+    if Hashtbl.mem seen params then None
+    else begin
+      match Measure.measure ~rng ?passes ?skip_inputs cfg op params with
+      | Ok r ->
+          record r;
+          Some (r.Measure.params, r.Measure.latency_s)
+      | Error _ ->
+          incr invalid;
+          None
+    end
+  in
+  let random_valid () =
+    let rec go attempts =
+      if attempts = 0 then None
+      else begin
+        let params = Sketch.random rng cfg op in
+        if Hashtbl.mem seen params then go (attempts - 1)
+        else
+          match Measure.measure ~rng ?passes ?skip_inputs cfg op params with
+          | Ok r ->
+              record r;
+              Some (r.Measure.params, r.Measure.latency_s)
+          | Error _ ->
+              incr invalid;
+              go (attempts - 1)
+      end
+    in
+    go 16
+  in
+  (* Initial population: random sampling (uniform across design
+     spaces, hence unaffected by the balanced sampler). *)
+  while !trial < min trials population_size do
+    (match random_valid () with
+    | Some c -> population := c :: !population
+    | None -> ());
+    incr trial
+  done;
+  (* Generations. *)
+  while !trial < trials do
+    let early =
+      float_of_int !trial < exploration_fraction *. float_of_int trials
+    in
+    let parents = parent_pool strategy ~early !population in
+    let offspring = ref [] in
+    let gen_size = min population_size (trials - !trial) in
+    for _ = 1 to gen_size do
+      if !trial < trials then begin
+        let eps = epsilon strategy ~trial:!trial ~trials in
+        let candidate =
+          if Rng.float rng 1. < eps || parents = [] then
+            Sketch.random rng cfg op
+          else begin
+            let parent, _ = Rng.pick rng parents in
+            let muts =
+              (* mostly single-field mutations, occasionally two fields
+                 at once to escape coordinate-wise local optima. *)
+              List.init mutations_per_pick (fun _ ->
+                  let m = Sketch.mutate rng cfg op parent in
+                  if Rng.float rng 1. < 0.3 then Sketch.mutate rng cfg op m
+                  else m)
+            in
+            if use_cost_model && Cost_model.trained model then
+              List.fold_left
+                (fun acc c ->
+                  let s = Cost_model.predict model (Cost_model.features op c) in
+                  match acc with
+                  | Some (_, s') when s' <= s -> acc
+                  | _ -> Some (c, s))
+                None muts
+              |> Option.map fst
+              |> Option.value ~default:(List.hd muts)
+            else List.hd muts
+          end
+        in
+        (match measure_candidate candidate with
+        | Some c -> offspring := c :: !offspring
+        | None -> ());
+        incr trial
+      end
+    done;
+    population :=
+      truncate_population strategy ~early (!population @ !offspring);
+    Log.debug (fun m ->
+        m "trial %d/%d: population %d, best %.6f ms, %d invalid so far" !trial
+          trials
+          (List.length !population)
+          (match !best with
+          | Some b -> b.Measure.latency_s *. 1e3
+          | None -> Float.nan)
+          !invalid)
+  done;
+  {
+    best = !best;
+    history = List.rev !history;
+    invalid_candidates = !invalid;
+    measured = !measured;
+  }

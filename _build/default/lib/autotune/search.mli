@@ -1,0 +1,53 @@
+(** Balanced evolutionary search (§5.2.3).
+
+    The joint host+kernel space contains two design-space families —
+    with and without [rfactor] — whose early measurements differ
+    systematically (inter-DPU parallelism dominates), biasing a plain
+    evolutionary search toward the rfactor family and prematurely
+    dropping the other.  Two countermeasures, individually toggleable
+    for the Fig. 13 ablation:
+
+    - {b balanced sampling}: during the first 40 % of trials the
+      parent pool takes equal proportions of top candidates from both
+      families;
+    - {b adaptive ε-greedy}: the exploration rate starts at 0.5 and
+      decays linearly to 0.05 over the first 40 % of trials (a plain
+      search uses 0.05 throughout). *)
+
+type strategy = { balanced_sampling : bool; adaptive_epsilon : bool }
+
+val tvm_default : strategy
+(** Neither technique (baseline evolutionary search). *)
+
+val imtp_default : strategy
+(** Both techniques. *)
+
+type record = {
+  trial : int;
+  params : Sketch.params;
+  latency_s : float;
+  best_so_far : float;
+}
+
+type outcome = {
+  best : Measure.result option;  (** best measured candidate, if any. *)
+  history : record list;  (** chronological, one per measured trial. *)
+  invalid_candidates : int;  (** candidates rejected by the verifier. *)
+  measured : int;
+}
+
+val run :
+  ?strategy:strategy ->
+  ?seed:int ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  ?use_cost_model:bool ->
+  Imtp_upmem.Config.t ->
+  Imtp_workload.Op.t ->
+  trials:int ->
+  outcome
+(** Run [trials] measurements.  Deterministic for a given seed.
+    [use_cost_model] (default true) lets the learned cost model rank
+    candidate mutations before measurement; disabling it falls back to
+    unguided mutation (an ablation of Fig. 5's "evolutionary search
+    guided by a cost model"). *)

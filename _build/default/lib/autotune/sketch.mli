@@ -1,0 +1,62 @@
+(** Sketch generation (§5.2.1): parameterized schedule templates that
+    repurpose the TVM schedule primitives for UPMEM.
+
+    A sketch fixes the code structure (which axes are split and bound
+    to DPUs/tasklets, where caches live, whether reduction is
+    hierarchical); the {!params} fill in the tunable values.  Together
+    they populate the joint host+kernel search space:
+
+    - host-to-DPU data distribution: spatial/reduction DPU counts,
+      i.e. the [split]/[reorder]/[bind] tiling of Table 2;
+    - reduction strategy: [reduction_dpus > 1] selects [rfactor]
+      (hierarchical reduction);
+    - multi-level tiling and intra-DPU caching: [tasklets],
+      [cache_elems], [rows_per_tasklet], [unroll_inner];
+    - post-processing: [host_threads]. *)
+
+type params = {
+  spatial_dpus : int;  (** DPUs along the (outer) spatial dimension. *)
+  reduction_dpus : int;  (** DPUs along the reduction dimension;
+                             > 1 enables rfactor. *)
+  tasklets : int;
+  cache_elems : int;  (** innermost caching-tile length, in elements. *)
+  rows_per_tasklet : int;  (** spatial rows handled per tasklet
+                               iteration (matrix/batched ops). *)
+  unroll_inner : bool;
+  host_threads : int;  (** host post-processing parallelism. *)
+}
+
+val default_params : params
+
+type family =
+  | Elementwise  (** one spatial axis, no reduction (VA, GEVA). *)
+  | Tasklet_reduce  (** pure reduction (RED). *)
+  | Mat_vec  (** one spatial + one reduction axis (MTV, GEMV). *)
+  | Batched  (** two spatial + one reduction axis with a rank-3 input
+                 (TTV, MMTV). *)
+  | Mat_mat  (** two spatial + one reduction axis over rank-2 inputs
+                 (GEMM) — an extension family beyond the paper's
+                 evaluation. *)
+
+val family_of : Imtp_workload.Op.t -> family
+(** @raise Invalid_argument for iteration domains outside the four
+    supported families. *)
+
+val instantiate : Imtp_workload.Op.t -> params -> Imtp_schedule.Sched.t
+(** Build the schedule for the op's family with the given parameters.
+    The resulting DPU grid may be smaller than requested when the
+    tensor has fewer tiles than DPUs. *)
+
+val lower_options : params -> Imtp_lower.Lowering.options
+val describe : params -> string
+
+val space : Imtp_upmem.Config.t -> Imtp_workload.Op.t -> params list
+(** The full (pruned) discrete parameter space used for exhaustive
+    searches in tests; the evolutionary search samples from the same
+    value sets. *)
+
+val random : Rng.t -> Imtp_upmem.Config.t -> Imtp_workload.Op.t -> params
+val mutate : Rng.t -> Imtp_upmem.Config.t -> Imtp_workload.Op.t -> params -> params
+(** Randomly re-draw one tunable field. *)
+
+val uses_rfactor : params -> bool

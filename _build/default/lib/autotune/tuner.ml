@@ -1,0 +1,23 @@
+type result = {
+  params : Sketch.params;
+  program : Imtp_tir.Program.t;
+  stats : Imtp_upmem.Stats.t;
+  search : Search.outcome;
+}
+
+let tune ?strategy ?seed ?(trials = 128) ?passes ?skip_inputs cfg op =
+  let search = Search.run ?strategy ?seed ?passes ?skip_inputs cfg op ~trials in
+  match search.Search.best with
+  | None -> Error "autotuning found no valid candidate"
+  | Some best -> (
+      let params = best.Measure.params in
+      match Measure.build ?passes ?skip_inputs cfg op params with
+      | Error m -> Error m
+      | Ok program -> (
+          match Measure.measure ?passes ?skip_inputs cfg op params with
+          | Error m -> Error m
+          | Ok final -> Ok { params; program; stats = final.Measure.stats; search }))
+
+let describe r =
+  Printf.sprintf "%s | total %.3f ms" (Sketch.describe r.params)
+    (Imtp_upmem.Stats.total_s r.stats *. 1e3)

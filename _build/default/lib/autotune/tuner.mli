@@ -1,0 +1,27 @@
+(** Top-level autotuning entry point: run the balanced evolutionary
+    search, then deterministically re-measure the winner (without
+    measurement noise) and return the optimized program alongside its
+    latency breakdown. *)
+
+type result = {
+  params : Sketch.params;
+  program : Imtp_tir.Program.t;
+  stats : Imtp_upmem.Stats.t;
+  search : Search.outcome;
+}
+
+val tune :
+  ?strategy:Search.strategy ->
+  ?seed:int ->
+  ?trials:int ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  Imtp_upmem.Config.t ->
+  Imtp_workload.Op.t ->
+  (result, string) Result.t
+(** Defaults: IMTP strategy, 128 trials.  [Error] only when no valid
+    candidate was found at all. *)
+
+val describe : result -> string
+(** One line summarizing the winning configuration (Table 3 format:
+    DPUs per dimension type, tasklets, caching tile size). *)

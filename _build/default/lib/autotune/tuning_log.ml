@@ -1,0 +1,125 @@
+type entry = { trial : int; params : Sketch.params; latency_s : float }
+
+let params_to_string (p : Sketch.params) =
+  Printf.sprintf "sd=%d rd=%d t=%d c=%d rows=%d unroll=%d ht=%d"
+    p.Sketch.spatial_dpus p.Sketch.reduction_dpus p.Sketch.tasklets
+    p.Sketch.cache_elems p.Sketch.rows_per_tasklet
+    (if p.Sketch.unroll_inner then 1 else 0)
+    p.Sketch.host_threads
+
+let params_of_string s =
+  let kvs =
+    List.filter_map
+      (fun tok ->
+        match String.split_on_char '=' tok with
+        | [ k; v ] -> Some (k, v)
+        | _ -> None)
+      (String.split_on_char ' ' (String.trim s))
+  in
+  let int_of k =
+    match List.assoc_opt k kvs with
+    | None -> Error (Printf.sprintf "missing key %s" k)
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "bad value for %s: %s" k v))
+  in
+  let ( let* ) = Result.bind in
+  let* sd = int_of "sd" in
+  let* rd = int_of "rd" in
+  let* t = int_of "t" in
+  let* c = int_of "c" in
+  let* rows = int_of "rows" in
+  let* unroll = int_of "unroll" in
+  let* ht = int_of "ht" in
+  Ok
+    {
+      Sketch.spatial_dpus = sd;
+      reduction_dpus = rd;
+      tasklets = t;
+      cache_elems = c;
+      rows_per_tasklet = rows;
+      unroll_inner = unroll <> 0;
+      host_threads = ht;
+    }
+
+let entry_to_string e =
+  Printf.sprintf "trial=%d latency=%.9e %s" e.trial e.latency_s
+    (params_to_string e.params)
+
+let entry_of_string line =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ' ' (String.trim line) with
+  | trial_tok :: lat_tok :: rest ->
+      let get prefix tok =
+        match String.split_on_char '=' tok with
+        | [ k; v ] when String.equal k prefix -> Ok v
+        | _ -> Error (Printf.sprintf "expected %s=..., got %s" prefix tok)
+      in
+      let* trial_s = get "trial" trial_tok in
+      let* lat_s = get "latency" lat_tok in
+      let* trial =
+        Option.to_result ~none:"bad trial" (int_of_string_opt trial_s)
+      in
+      let* latency_s =
+        Option.to_result ~none:"bad latency" (float_of_string_opt lat_s)
+      in
+      let* params = params_of_string (String.concat " " rest) in
+      Ok { trial; params; latency_s }
+  | _ -> Error "malformed log line"
+
+let save path ~op_name (o : Search.outcome) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# imtp-tuning-log op=%s\n" op_name;
+      List.iter
+        (fun (r : Search.record) ->
+          output_string oc
+            (entry_to_string
+               {
+                 trial = r.Search.trial;
+                 params = r.Search.params;
+                 latency_s = r.Search.latency_s;
+               });
+          output_char oc '\n')
+        o.Search.history)
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let header = try input_line ic with End_of_file -> "" in
+          let op_name =
+            match String.split_on_char '=' header with
+            | [ _; name ] -> String.trim name
+            | _ -> ""
+          in
+          if op_name = "" then Error "missing or malformed header"
+          else begin
+            let entries = ref [] and err = ref None in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if String.trim line <> "" then
+                   match entry_of_string line with
+                   | Ok e -> entries := e :: !entries
+                   | Error m -> if !err = None then err := Some m
+               done
+             with End_of_file -> ());
+            match !err with
+            | Some m -> Error m
+            | None -> Ok (op_name, List.rev !entries)
+          end)
+
+let best entries =
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | Some b when b.latency_s <= e.latency_s -> acc
+      | _ -> Some e)
+    None entries

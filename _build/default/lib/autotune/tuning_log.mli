@@ -1,0 +1,30 @@
+(** Persistent tuning records, in the spirit of TVM's tuning logs: the
+    search history is written to a plain-text file (one record per
+    measured trial) that can be reloaded to recover the best schedule
+    without re-running the search. *)
+
+type entry = {
+  trial : int;
+  params : Sketch.params;
+  latency_s : float;
+}
+
+val params_to_string : Sketch.params -> string
+(** Compact one-line form, [k=v] pairs. *)
+
+val params_of_string : string -> (Sketch.params, string) Result.t
+(** Inverse of {!params_to_string}; unknown keys are errors. *)
+
+val entry_to_string : entry -> string
+val entry_of_string : string -> (entry, string) Result.t
+
+val save : string -> op_name:string -> Search.outcome -> unit
+(** Write a log file: a header naming the operation, then one line per
+    measured trial. *)
+
+val load : string -> (string * entry list, string) Result.t
+(** Returns the header op name and the entries, preserving order.
+    @raise nothing — I/O or parse failures are [Error]. *)
+
+val best : entry list -> entry option
+(** Lowest-latency entry. *)

@@ -1,0 +1,24 @@
+(** Code verifier for UPMEM (§5.2.4): rejects schedule candidates that
+    violate hardware constraints before they reach measurement, which
+    both avoids wasted trials and models the real system's inability
+    to run them (2,560-DPU / 24-tasklet / 64 KB-WRAM / 24 KB-IRAM /
+    64 MB-MRAM limits, plus DMA size legality). *)
+
+type rejection = {
+  reason : string;
+  constraint_name : string;
+      (** one of "dpus", "tasklets", "wram", "iram", "mram", "dma". *)
+}
+
+val check :
+  Imtp_upmem.Config.t -> Imtp_tir.Program.t -> (unit, rejection) result
+
+val kernel_wram_bytes : Imtp_tir.Program.kernel -> int
+(** Total WRAM footprint of one kernel: per-tasklet allocations are
+    multiplied by the tasklet count; allocations outside the tasklet
+    region (shared buffers) count once. *)
+
+val check_sched :
+  Imtp_upmem.Config.t -> Imtp_schedule.Sched.t -> (unit, rejection) result
+(** Cheap pre-lowering checks (grid size, tasklet count) so hopeless
+    candidates are dropped before lowering. *)

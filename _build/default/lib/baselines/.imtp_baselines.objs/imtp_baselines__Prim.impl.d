@@ -1,0 +1,1 @@
+lib/baselines/prim.ml: Imtp_autotune Imtp_passes Imtp_tir Imtp_upmem Imtp_workload List Option

@@ -1,0 +1,1 @@
+lib/baselines/prim.mli: Imtp_tir Imtp_upmem Imtp_workload Result

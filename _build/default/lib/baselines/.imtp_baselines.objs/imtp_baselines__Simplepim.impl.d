@@ -1,0 +1,1 @@
+lib/baselines/simplepim.ml: Imtp_autotune Imtp_passes Imtp_tir Imtp_upmem Imtp_workload List

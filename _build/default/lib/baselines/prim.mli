@@ -1,0 +1,59 @@
+(** PrIM-style baselines (§6 "Experimental setup").
+
+    PrIM kernels are hand-written, hand-optimized UPMEM C: 1-D spatial
+    tiling only (DPUs along the outermost spatial dimension), DMA block
+    transfers, a fixed caching-tile size recommended by the UPMEM
+    programming guide (1,024 B), and — for RED — every tasklet's
+    partial result transferred to the host.  We reproduce those
+    decisions through the same lowering used by IMTP, restricted to
+    the PrIM structure (no reduction-dimension tiling, no loop
+    tightening/branch hoisting), plus a dedicated RED program builder
+    mirroring PrIM's per-tasklet readout.
+
+    The parameterization covers all three configurations of §6:
+    [default] is PrIM; grid-searching [ndpus] gives PrIM(E);
+    grid-searching [ndpus], [tasklets] and [cache_bytes] gives
+    PrIM+search. *)
+
+type params = {
+  ndpus : int;
+  tasklets : int;
+  cache_bytes : int;
+  host_threads : int;
+}
+
+val default : params
+(** PrIM paper defaults: 16 tasklets, 1,024-byte caching tiles. *)
+
+val default_for : Imtp_workload.Op.t -> params
+(** Per-workload default DPU counts, mirroring the "PrIM/PrIM(E) #
+    DPUs" row of Table 3 (the PrIM suite ships NR_DPUS defaults per
+    benchmark: VA/GEVA use the whole machine, RED/MTV/GEMV default to
+    a few hundred DPUs, TTV/MMTV to the flattened outer dimension). *)
+
+val build :
+  ?skip_inputs:string list ->
+  Imtp_upmem.Config.t -> Imtp_workload.Op.t -> params ->
+  (Imtp_tir.Program.t, string) Result.t
+(** [skip_inputs] marks MRAM-resident weights (§5.4); ignored by the
+    dedicated RED builder, which has no reusable inputs. *)
+
+val measure :
+  ?skip_inputs:string list ->
+  Imtp_upmem.Config.t -> Imtp_workload.Op.t -> params ->
+  (Imtp_upmem.Stats.t, string) Result.t
+
+val grid_search :
+  ?dpu_choices:int list ->
+  ?tasklet_choices:int list ->
+  ?cache_choices:int list ->
+  Imtp_upmem.Config.t -> Imtp_workload.Op.t ->
+  (params * Imtp_upmem.Stats.t, string) Result.t
+(** Exhaustive search over the given value sets (defaults reproduce the
+    paper's PrIM+search grid), returning the fastest configuration. *)
+
+val prim_e :
+  Imtp_upmem.Config.t -> Imtp_workload.Op.t ->
+  (params * Imtp_upmem.Stats.t, string) Result.t
+(** PrIM(E): only the number of DPUs is searched (2^5..2^11 for MMTV,
+    2^8..2^11 otherwise, as in §6). *)

@@ -1,0 +1,27 @@
+(** SimplePIM baseline (Chen et al., PACT'23), for the VA and RED
+    comparisons of §7.1.
+
+    SimplePIM is a map/reduce framework over 1-D arrays.  Its published
+    inefficiencies, reproduced here as explicit code in the generated
+    programs:
+
+    - gather ([simplepim_gather]) copies the {e entire} array once more
+      inside the host after the D2H transfer ("the entire tensor is
+      unnecessarily copied inside the host"), making D2H-side cost
+      4–11× worse than PrIM/IMTP on VA;
+    - DPU-side partial reduction synchronizes all tasklets with global
+      barriers at every combining step instead of PrIM's two-thread
+      handshake;
+    - the host final reduction goes through generic handler functions,
+      costing several calls per element. *)
+
+val supported : Imtp_workload.Op.t -> bool
+(** VA/GEVA and RED only, as in the paper. *)
+
+val build :
+  Imtp_upmem.Config.t -> Imtp_workload.Op.t ->
+  (Imtp_tir.Program.t, string) Result.t
+
+val measure :
+  Imtp_upmem.Config.t -> Imtp_workload.Op.t ->
+  (Imtp_upmem.Stats.t, string) Result.t

@@ -1,0 +1,61 @@
+module Dtype = Imtp_tensor.Dtype
+module Value = Imtp_tensor.Value
+module Shape = Imtp_tensor.Shape
+module Tensor = Imtp_tensor.Tensor
+module Reference = Imtp_tensor.Reference
+module Config = Imtp_upmem.Config
+module Timing = Imtp_upmem.Timing
+module Dpu_model = Imtp_upmem.Dpu_model
+module Transfer = Imtp_upmem.Transfer
+module Host_model = Imtp_upmem.Host_model
+module Stats = Imtp_upmem.Stats
+module Var = Imtp_tir.Var
+module Expr = Imtp_tir.Expr
+module Stmt = Imtp_tir.Stmt
+module Tir_buffer = Imtp_tir.Buffer
+module Program = Imtp_tir.Program
+module Printer = Imtp_tir.Printer
+module Codegen_c = Imtp_tir.Codegen_c
+module Analysis = Imtp_tir.Analysis
+module Simplify = Imtp_tir.Simplify
+module Eval = Imtp_tir.Eval
+module Cost = Imtp_tir.Cost
+module Op = Imtp_workload.Op
+module Ops = Imtp_workload.Ops
+module Gptj = Imtp_workload.Gptj
+module Sched = Imtp_schedule.Sched
+module Lowering = Imtp_lower.Lowering
+module Passes = Imtp_passes.Pipeline
+module Dma_elim = Imtp_passes.Dma_elim
+module Loop_tighten = Imtp_passes.Loop_tighten
+module Branch_hoist = Imtp_passes.Branch_hoist
+module Pass_metrics = Imtp_passes.Metrics
+module Rng = Imtp_autotune.Rng
+module Sketch = Imtp_autotune.Sketch
+module Verifier = Imtp_autotune.Verifier
+module Measure = Imtp_autotune.Measure
+module Cost_model = Imtp_autotune.Cost_model
+module Search = Imtp_autotune.Search
+module Tuner = Imtp_autotune.Tuner
+module Tuning_log = Imtp_autotune.Tuning_log
+module Graph = Imtp_graph.Graph
+module Hbm_pim = Imtp_hbmpim.Hbm_pim
+module Prim = Imtp_baselines.Prim
+module Simplepim = Imtp_baselines.Simplepim
+
+let default_config = Config.default
+
+let autotune ?(config = default_config) ?trials ?seed ?skip_inputs op =
+  Tuner.tune ?trials ?seed ?skip_inputs config op
+
+let compile ?(config = default_config) ?options ?passes sched =
+  let prog = Lowering.lower ?options sched in
+  Passes.run ?config:passes config prog
+
+let execute ?inputs program op =
+  let inputs =
+    match inputs with Some i -> i | None -> Ops.random_inputs op
+  in
+  Eval.run program ~inputs
+
+let estimate ?(config = default_config) program = Cost.measure config program

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Format Hashtbl Imtp_autotune Imtp_tensor Imtp_tir Imtp_upmem Imtp_workload List Printf String

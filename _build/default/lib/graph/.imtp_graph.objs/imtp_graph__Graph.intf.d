@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Format Imtp_tensor Imtp_upmem Imtp_workload Result

@@ -1,0 +1,168 @@
+module Op = Imtp_workload.Op
+module T = Imtp_tensor
+
+type tid = Input of string | Node of int
+
+type node = {
+  op : Op.t;
+  bindings : (string * tid) list;  (* op input name -> graph tensor *)
+}
+
+type t = {
+  gname : string;
+  mutable inputs : (string * int list) list;  (* name, shape *)
+  mutable nodes : node list;  (* reverse order *)
+}
+
+let create gname = { gname; inputs = []; nodes = [] }
+
+let input g ~name ~shape =
+  if List.mem_assoc name g.inputs then
+    invalid_arg (Printf.sprintf "Graph.input: duplicate input %s" name);
+  g.inputs <- g.inputs @ [ (name, shape) ];
+  Input name
+
+let node_count g = List.length g.nodes
+let node g i = List.nth (List.rev g.nodes) i
+
+let shape_of g = function
+  | Input name -> (
+      match List.assoc_opt name g.inputs with
+      | Some s -> s
+      | None -> invalid_arg "Graph.shape_of: unknown input")
+  | Node i ->
+      let n = node g i in
+      (match Op.output_shape n.op with [] -> [ 1 ] | s -> s)
+
+let add g op ~args =
+  List.iter
+    (fun (iname, _) ->
+      if not (List.mem_assoc iname args) then
+        invalid_arg
+          (Printf.sprintf "Graph.add: missing binding for input %s of %s" iname
+             op.Op.opname))
+    op.Op.inputs;
+  List.iter
+    (fun (iname, tid) ->
+      if not (List.mem_assoc iname op.Op.inputs) then
+        invalid_arg (Printf.sprintf "Graph.add: %s is not an input of %s" iname op.Op.opname);
+      let want = Op.input_shape op iname and got = shape_of g tid in
+      if want <> got then
+        invalid_arg
+          (Printf.sprintf "Graph.add: input %s of %s expects shape %s, got %s"
+             iname op.Op.opname
+             (String.concat "x" (List.map string_of_int want))
+             (String.concat "x" (List.map string_of_int got))))
+    args;
+  g.nodes <- { op; bindings = args } :: g.nodes;
+  Node (List.length g.nodes - 1)
+
+let tid_name = function
+  | Input n -> n
+  | Node i -> Printf.sprintf "node%d" i
+
+let pp ppf g =
+  Format.fprintf ppf "graph %s@." g.gname;
+  List.iter
+    (fun (n, s) ->
+      Format.fprintf ppf "  input %s: %s@." n
+        (String.concat "x" (List.map string_of_int s)))
+    g.inputs;
+  List.iteri
+    (fun i (n : node) ->
+      Format.fprintf ppf "  node%d = %s(%s)@." i n.op.Op.opname
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ tid_name v) n.bindings)))
+    (List.rev g.nodes)
+
+module Compiled = struct
+  type graph = t
+
+  type compiled_node = {
+    cn : node;
+    program : Imtp_tir.Program.t;
+    stats : Imtp_upmem.Stats.t;
+  }
+
+  type t = { cg : graph; cnodes : compiled_node list }
+
+  (* Two nodes share a tuned program when their ops are identical. *)
+  let op_key (op : Op.t) = Format.asprintf "%a" Op.pp op
+
+  let compile ?(trials = 96) ?(seed = 17) cfg (g : graph) =
+    let cache = Hashtbl.create 8 in
+    let rec go acc = function
+      | [] -> Ok { cg = g; cnodes = List.rev acc }
+      | (n : node) :: rest -> (
+          let key = op_key n.op in
+          match Hashtbl.find_opt cache key with
+          | Some (program, stats) -> go ({ cn = n; program; stats } :: acc) rest
+          | None -> (
+              match Imtp_autotune.Tuner.tune ~trials ~seed cfg n.op with
+              | Error m ->
+                  Error (Printf.sprintf "node %s: %s" n.op.Op.opname m)
+              | Ok r ->
+                  let program = r.Imtp_autotune.Tuner.program
+                  and stats = r.Imtp_autotune.Tuner.stats in
+                  Hashtbl.replace cache key (program, stats);
+                  go ({ cn = n; program; stats } :: acc) rest))
+    in
+    go [] (List.rev g.nodes)
+
+  let run (c : t) ~inputs =
+    List.iter
+      (fun (name, shape) ->
+        match List.assoc_opt name inputs with
+        | None -> invalid_arg (Printf.sprintf "Graph.run: missing input %s" name)
+        | Some t ->
+            let got = T.Shape.dims (T.Tensor.shape t) in
+            if got <> shape then
+              invalid_arg (Printf.sprintf "Graph.run: input %s has wrong shape" name))
+      c.cg.inputs;
+    let env = Hashtbl.create 8 in
+    List.iter (fun (n, t) -> Hashtbl.replace env n t) inputs;
+    List.iteri
+      (fun i (cn : compiled_node) ->
+        let node_inputs =
+          List.map
+            (fun (iname, tid) ->
+              let src = tid_name tid in
+              match Hashtbl.find_opt env src with
+              | Some t -> (iname, t)
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Graph.run: tensor %s not yet computed" src))
+            cn.cn.bindings
+        in
+        let outs = Imtp_tir.Eval.run cn.program ~inputs:node_inputs in
+        let raw = List.assoc (fst cn.cn.op.Op.output) outs in
+        (* reshape the flat output buffer to the op's logical shape. *)
+        let shape =
+          match Op.output_shape cn.cn.op with
+          | [] -> T.Shape.create [ 1 ]
+          | s -> T.Shape.create s
+        in
+        let shaped =
+          T.Tensor.init (T.Tensor.dtype raw) shape (fun idx ->
+              T.Tensor.get_flat raw (T.Shape.linearize shape idx))
+        in
+        Hashtbl.replace env (Printf.sprintf "node%d" i) shaped)
+      c.cnodes;
+    inputs
+    @ List.mapi
+        (fun i _ ->
+          let name = Printf.sprintf "node%d" i in
+          (name, Hashtbl.find env name))
+        c.cnodes
+
+  let node_stats (c : t) =
+    List.mapi
+      (fun i (cn : compiled_node) ->
+        (Printf.sprintf "node%d:%s" i cn.cn.op.Op.opname, cn.stats))
+      c.cnodes
+
+  let estimate (c : t) =
+    List.fold_left
+      (fun acc (cn : compiled_node) -> Imtp_upmem.Stats.add acc cn.stats)
+      Imtp_upmem.Stats.zero c.cnodes
+end

@@ -1,0 +1,56 @@
+(** A minimal graph-level frontend (a prototype of §8's "DL framework
+    interfaces" direction): tensor programs composed into a dataflow
+    graph, each node autotuned independently, executed end-to-end on
+    the simulator.
+
+    Faithful to the UPMEM system model, intermediate tensors travel
+    through the host between nodes (§2.1: "even when data transfer
+    between DPUs is required, it is routed via the host CPU"), so the
+    end-to-end estimate is the sum of per-node latencies. *)
+
+type t
+type tid
+(** A symbolic tensor in the graph. *)
+
+val create : string -> t
+val input : t -> name:string -> shape:int list -> tid
+(** Declare an external input.  @raise Invalid_argument on duplicate
+    names. *)
+
+val add : t -> Imtp_workload.Op.t -> args:(string * tid) list -> tid
+(** [add g op ~args] appends a node applying [op]; [args] binds each of
+    the op's named inputs to a graph tensor.  Shapes are checked.
+    Returns the node's output tensor.  @raise Invalid_argument on
+    missing bindings or shape mismatches. *)
+
+val shape_of : t -> tid -> int list
+val node_count : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Compiled graphs. *)
+module Compiled : sig
+  type graph = t
+  type t
+
+  val compile :
+    ?trials:int ->
+    ?seed:int ->
+    Imtp_upmem.Config.t ->
+    graph ->
+    (t, string) Result.t
+  (** Autotune every node (nodes sharing an identical operation reuse
+      one tuned program). *)
+
+  val run :
+    t ->
+    inputs:(string * Imtp_tensor.Tensor.t) list ->
+    (string * Imtp_tensor.Tensor.t) list
+  (** Execute end-to-end on the functional simulator; returns each
+      node's output keyed by ["node<i>"], plus the graph inputs.
+      @raise Invalid_argument when an input is missing or mis-shaped. *)
+
+  val estimate : t -> Imtp_upmem.Stats.t
+  (** Sum of the per-node latency estimates. *)
+
+  val node_stats : t -> (string * Imtp_upmem.Stats.t) list
+end

@@ -1,0 +1,1 @@
+lib/hbmpim/hbm_pim.ml: Array Imtp_tensor Imtp_workload List Printf

@@ -1,0 +1,1 @@
+lib/hbmpim/hbm_pim.mli: Imtp_tensor Imtp_workload Result

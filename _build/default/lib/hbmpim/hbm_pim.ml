@@ -1,0 +1,201 @@
+module Op = Imtp_workload.Op
+module T = Imtp_tensor
+
+type config = {
+  channels : int;
+  units_per_channel : int;
+  simd_lanes : int;
+  freq_hz : float;
+  cycles_per_command : float;
+  row_activate_cycles : float;
+  cols_per_row : int;
+  host_bw : float;
+  mode_switch_s : float;
+}
+
+let default_config =
+  {
+    channels = 16;
+    units_per_channel = 8;
+    simd_lanes = 16;
+    freq_hz = 1.2e9;
+    cycles_per_command = 2.;
+    row_activate_cycles = 40.;
+    cols_per_row = 32;
+    host_bw = 12e9;
+    mode_switch_s = 2e-6;
+  }
+
+let total_units c = c.channels * c.units_per_channel
+
+type family = Ew | Mv
+
+type program = {
+  cfg : config;
+  op : Op.t;
+  family : family;
+  punits : int;  (** units actually carrying work. *)
+  vectors_per_unit : int;  (** SIMD vectors processed per unit. *)
+  cmds_per_unit : int;  (** column commands per unit. *)
+  row_activations : int;
+  bytes_io : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let supported (op : Op.t) =
+  match
+    (List.length (Op.spatial_axes op), List.length (Op.reduction_axes op))
+  with
+  | 1, 0 | 1, 1 -> true
+  | _, _ -> false
+
+let io_bytes (op : Op.t) =
+  let esize = Imtp_tensor.Dtype.size_in_bytes op.Op.dtype in
+  let input_bytes =
+    List.fold_left
+      (fun acc (t, _) ->
+        acc + (List.fold_left ( * ) 1 (Op.input_shape op t) * esize))
+      0 op.Op.inputs
+  in
+  input_bytes + (Op.output_elems op * esize)
+
+let compile cfg (op : Op.t) =
+  if not (supported op) then
+    Error
+      (Printf.sprintf
+         "HBM-PIM prototype supports elementwise and matrix-vector families \
+          only (got %s)"
+         op.Op.opname)
+  else begin
+    let units = total_units cfg in
+    match Op.reduction_axes op with
+    | [] ->
+        (* elementwise: elements striped across units and lanes; per
+           SIMD vector: one MAC-style command per input plus a
+           write-back. *)
+        let n = (List.hd op.Op.axes).Op.extent in
+        let vectors = ceil_div n cfg.simd_lanes in
+        let punits = min units vectors in
+        let vectors_per_unit = ceil_div vectors punits in
+        let per_vector_cmds = List.length op.Op.inputs + 1 in
+        Ok
+          {
+            cfg;
+            op;
+            family = Ew;
+            punits;
+            vectors_per_unit;
+            cmds_per_unit = vectors_per_unit * per_vector_cmds;
+            row_activations = ceil_div vectors_per_unit cfg.cols_per_row;
+            bytes_io = io_bytes op;
+          }
+    | _ :: _ ->
+        (* matrix-vector: rows interleaved across units (the vendor
+           GEMV layout); per row, k/lanes MAC commands accumulate into
+           the unit accumulator, plus one readout command per row. *)
+        let n = (List.hd (Op.spatial_axes op)).Op.extent in
+        let k = (List.hd (Op.reduction_axes op)).Op.extent in
+        let punits = min units n in
+        let rows_per_unit = ceil_div n punits in
+        let macs_per_row = ceil_div k cfg.simd_lanes in
+        let vectors_per_unit = rows_per_unit * macs_per_row in
+        Ok
+          {
+            cfg;
+            op;
+            family = Mv;
+            punits;
+            vectors_per_unit;
+            cmds_per_unit = vectors_per_unit + rows_per_unit;
+            row_activations = ceil_div vectors_per_unit cfg.cols_per_row;
+            bytes_io = io_bytes op;
+          }
+  end
+
+let describe p =
+  Printf.sprintf
+    "%s on HBM-PIM: %d units, %d SIMD vectors/unit, %d commands/unit, %d row \
+     activations, %d KB host I/O"
+    p.op.Op.opname p.punits p.vectors_per_unit p.cmds_per_unit
+    p.row_activations (p.bytes_io / 1024)
+
+(* --- functional execution --------------------------------------------- *)
+
+exception Exec_error of string
+
+let find_input inputs name =
+  match List.assoc_opt name inputs with
+  | Some t -> t
+  | None -> raise (Exec_error (Printf.sprintf "missing input %s" name))
+
+let rec eval_elem (op : Op.t) inputs point (e : Op.elem) =
+  match e with
+  | Op.Const v -> v
+  | Op.Ref name ->
+      let dims = List.assoc name op.Op.inputs in
+      let idx = Array.of_list (List.map (fun d -> List.assoc d point) dims) in
+      T.Tensor.get (find_input inputs name) idx
+  | Op.Bin (b, x, y) -> (
+      let vx = eval_elem op inputs point x and vy = eval_elem op inputs point y in
+      match b with
+      | Op.Add -> T.Value.add vx vy
+      | Op.Sub -> T.Value.sub vx vy
+      | Op.Mul -> T.Value.mul vx vy)
+
+let execute p inputs =
+  let op = p.op in
+  let lanes = p.cfg.simd_lanes in
+  match p.family with
+  | Ew ->
+      let axis = List.hd op.Op.axes in
+      let n = axis.Op.extent in
+      let out = T.Tensor.create op.Op.dtype (T.Shape.create [ n ]) in
+      (* element e is processed by unit (e / lanes mod punits), lane
+         (e mod lanes) — iterate in that order to mirror the hardware. *)
+      for u = 0 to p.punits - 1 do
+        for v = 0 to p.vectors_per_unit - 1 do
+          for lane = 0 to lanes - 1 do
+            let vec = (v * p.punits) + u in
+            let e = (vec * lanes) + lane in
+            if e < n then begin
+              let value = eval_elem op inputs [ (axis.Op.aname, e) ] op.Op.body in
+              T.Tensor.set_flat out e value
+            end
+          done
+        done
+      done;
+      out
+  | Mv ->
+      let sa = List.hd (Op.spatial_axes op) and ra = List.hd (Op.reduction_axes op) in
+      let n = sa.Op.extent and k = ra.Op.extent in
+      let out = T.Tensor.create op.Op.dtype (T.Shape.create [ n ]) in
+      for u = 0 to p.punits - 1 do
+        let rows_per_unit = ceil_div n p.punits in
+        for r = 0 to rows_per_unit - 1 do
+          (* row-interleaved layout across units. *)
+          let row = (r * p.punits) + u in
+          if row < n then begin
+            let acc = ref (T.Value.zero op.Op.dtype) in
+            for j = 0 to k - 1 do
+              let point = [ (sa.Op.aname, row); (ra.Op.aname, j) ] in
+              acc := T.Value.add !acc (eval_elem op inputs point op.Op.body)
+            done;
+            T.Tensor.set_flat out row !acc
+          end
+        done
+      done;
+      out
+
+let estimate_seconds p =
+  let cmd_s =
+    float_of_int p.cmds_per_unit *. p.cfg.cycles_per_command /. p.cfg.freq_hz
+  in
+  let act_s =
+    float_of_int p.row_activations *. p.cfg.row_activate_cycles /. p.cfg.freq_hz
+  in
+  let io_s = float_of_int p.bytes_io /. p.cfg.host_bw in
+  p.cfg.mode_switch_s +. cmd_s +. act_s +. io_s
+
+let commands_per_unit p = p.cmds_per_unit
+let units_used p = p.punits

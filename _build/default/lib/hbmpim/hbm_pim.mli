@@ -1,0 +1,60 @@
+(** Prototype HBM-PIM backend (§8 "Extension to other DRAM-PIM
+    architectures").
+
+    The paper reports a prototype extension of IMTP targeting
+    Samsung's HBM-PIM (Aquabolt-XL / FIMDRAM): instead of a
+    general-purpose core per bank, a SIMD multiply-accumulate unit sits
+    between each pair of banks and executes a small command program
+    (MAC/ADD/MOV over 16-lane vectors) fired by column commands, with a
+    grf register file and no control flow.  This module reproduces
+    that prototype: a code generator mapping the elementwise and
+    matrix-vector operator families onto per-unit command streams, a
+    functional executor validating results against the operator
+    reference, and a command-level timing model.
+
+    The mapping follows the vendor library's GEMV kernel: weight rows
+    are interleaved across banks so that all PIM units of a channel
+    compute in lock-step on one column command; partial sums are
+    accumulated in the unit's accumulator registers and read out once
+    per output block. *)
+
+type config = {
+  channels : int;  (** HBM pseudo-channels with PIM units (16). *)
+  units_per_channel : int;  (** PIM units (one per bank pair, 8). *)
+  simd_lanes : int;  (** 16-bit lanes per unit (16). *)
+  freq_hz : float;  (** command clock (1.2 GHz). *)
+  cycles_per_command : float;  (** column-command interval (tCCD ≈ 2). *)
+  row_activate_cycles : float;  (** row switch penalty (tRCD+tRP). *)
+  cols_per_row : int;  (** SIMD accesses per DRAM row (32). *)
+  host_bw : float;  (** host<->HBM bandwidth for I/O staging (B/s). *)
+  mode_switch_s : float;  (** SB->PIM mode transition overhead. *)
+}
+
+val default_config : config
+val total_units : config -> int
+
+(** A compiled command program for one operation. *)
+type program
+
+val supported : Imtp_workload.Op.t -> bool
+(** Elementwise (VA/GEVA) and matrix-vector (MTV/GEMV) families only —
+    the operations the vendor PIMLibrary provides. *)
+
+val compile : config -> Imtp_workload.Op.t -> (program, string) Result.t
+val describe : program -> string
+(** Command-stream summary (units used, commands per unit, row
+    activations). *)
+
+val execute :
+  program ->
+  (string * Imtp_tensor.Tensor.t) list ->
+  Imtp_tensor.Tensor.t
+(** Functional execution of the command streams (bit-exact in int32;
+    the real device computes in fp16 — see DESIGN.md). *)
+
+val estimate_seconds : program -> float
+(** Command-level latency estimate including mode switch and host I/O
+    staging. *)
+
+val commands_per_unit : program -> int
+val units_used : program -> int

@@ -1,0 +1,1 @@
+lib/lower/lowering.ml: Array Hashtbl Imtp_schedule Imtp_tensor Imtp_tir Imtp_workload Int List Printf String

@@ -1,0 +1,1 @@
+lib/lower/lowering.mli: Imtp_schedule Imtp_tir

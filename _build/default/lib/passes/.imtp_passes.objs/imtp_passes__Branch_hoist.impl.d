@@ -1,0 +1,1 @@
+lib/passes/branch_hoist.ml: Imtp_tir List

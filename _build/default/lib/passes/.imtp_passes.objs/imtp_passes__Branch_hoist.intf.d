@@ -1,0 +1,1 @@
+lib/passes/branch_hoist.mli: Imtp_tir

@@ -1,0 +1,1 @@
+lib/passes/dma_elim.ml: Hashtbl Imtp_tensor Imtp_tir Imtp_upmem List Option

@@ -1,0 +1,1 @@
+lib/passes/dma_elim.mli: Imtp_tir Imtp_upmem

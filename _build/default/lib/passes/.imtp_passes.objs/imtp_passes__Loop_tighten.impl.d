@@ -1,0 +1,1 @@
+lib/passes/loop_tighten.ml: Imtp_tir List

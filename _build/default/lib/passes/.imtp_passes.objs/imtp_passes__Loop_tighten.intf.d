@@ -1,0 +1,1 @@
+lib/passes/loop_tighten.mli: Imtp_tir

@@ -1,0 +1,1 @@
+lib/passes/metrics.ml: Format Imtp_tir List Option

@@ -1,0 +1,1 @@
+lib/passes/metrics.mli: Format Imtp_tir

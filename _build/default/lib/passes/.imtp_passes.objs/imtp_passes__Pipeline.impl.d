@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Branch_hoist Dma_elim Imtp_tir List Loop_tighten

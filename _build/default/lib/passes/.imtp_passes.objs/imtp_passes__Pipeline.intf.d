@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Imtp_tir Imtp_upmem

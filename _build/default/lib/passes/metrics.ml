@@ -1,0 +1,78 @@
+module St = Imtp_tir.Stmt
+module Simp = Imtp_tir.Simplify
+module V = Imtp_tir.Var
+
+type t = {
+  static_branches : int;
+  static_dmas : int;
+  dynamic_branches : float;
+  dynamic_dmas : float;
+  innermost_iters : float;
+}
+
+exception Too_large
+
+(* Exact dynamic counting by enumerating loop iterations (loop extents
+   only depend on loop variables, so this is well-defined).  Kernels
+   passed here are small Fig. 8-style examples; a node budget guards
+   against accidental blow-ups. *)
+let of_kernel (k : Imtp_tir.Program.kernel) =
+  let static_branches = ref 0 and static_dmas = ref 0 in
+  St.iter
+    (function
+      | St.If _ -> incr static_branches
+      | St.Dma _ -> incr static_dmas
+      | St.Seq _ | St.For _ | St.Store _ | St.Alloc _ | St.Xfer _
+      | St.Launch _ | St.Barrier | St.Nop ->
+          ())
+    k.body;
+  let dyn_branches = ref 0. and dyn_dmas = ref 0. and inner = ref 0. in
+  let budget = ref 20_000_000 in
+  let spend () =
+    decr budget;
+    if !budget <= 0 then raise Too_large
+  in
+  let rec walk env (s : St.t) =
+    spend ();
+    match s with
+    | St.Seq ss -> List.iter (walk env) ss
+    | St.For { var; extent; kind = _; body } ->
+        let n =
+          match Simp.eval_int env extent with Some n -> max 0 n | None -> 0
+        in
+        let is_leaf =
+          not (St.exists (function St.For _ -> true | _ -> false) body)
+        in
+        if is_leaf then inner := !inner +. float_of_int n;
+        for i = 0 to n - 1 do
+          walk (V.Map.add var i env) body
+        done
+    | St.If { cond; then_; else_ } -> (
+        dyn_branches := !dyn_branches +. 1.;
+        (* guards are affine in loop variables, so they evaluate under
+           the enumeration and skipped work is counted accurately. *)
+        match Simp.eval_int env cond with
+        | Some 0 -> Option.iter (walk env) else_
+        | Some _ -> walk env then_
+        | None ->
+            walk env then_;
+            Option.iter (walk env) else_)
+    | St.Dma _ -> dyn_dmas := !dyn_dmas +. 1.
+    | St.Alloc { body; _ } -> walk env body
+    | St.Store _ | St.Xfer _ | St.Launch _ | St.Barrier | St.Nop -> ()
+  in
+  (try walk V.Map.empty k.body with Too_large -> ());
+  {
+    static_branches = !static_branches;
+    static_dmas = !static_dmas;
+    dynamic_branches = !dyn_branches;
+    dynamic_dmas = !dyn_dmas;
+    innermost_iters = !inner;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "branches(static)=%d dmas(static)=%d branches(dyn)=%.0f dmas(dyn)=%.0f \
+     inner_iters=%.0f"
+    t.static_branches t.static_dmas t.dynamic_branches t.dynamic_dmas
+    t.innermost_iters

@@ -1,0 +1,16 @@
+(** Static kernel metrics, mirroring the instrumentation table of
+    Fig. 8 (number of branches, DMA transfers, innermost-loop
+    executions after each optimization step). *)
+
+type t = {
+  static_branches : int;  (** [If] nodes in the kernel. *)
+  static_dmas : int;  (** [Dma] nodes. *)
+  dynamic_branches : float;
+      (** exact execution count over the whole grid (loops are
+          enumerated, so boundary-tile savings are visible). *)
+  dynamic_dmas : float;
+  innermost_iters : float;  (** innermost-loop body executions. *)
+}
+
+val of_kernel : Imtp_tir.Program.kernel -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/schedule/sched.ml: Imtp_workload Int List Printf String

@@ -1,0 +1,1 @@
+lib/tensor/reference.ml: Array Printf Shape Tensor Value

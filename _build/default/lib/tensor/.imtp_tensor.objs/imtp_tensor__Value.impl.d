@@ -1,0 +1,1 @@
+lib/tensor/value.ml: Dtype Float Format Int Printf

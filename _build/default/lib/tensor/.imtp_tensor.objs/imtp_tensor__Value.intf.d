@@ -1,0 +1,1 @@
+lib/tensor/value.mli: Dtype Format

@@ -1,0 +1,22 @@
+type t = I8 | I32 | F32
+
+let equal a b =
+  match (a, b) with
+  | I8, I8 | I32, I32 | F32, F32 -> true
+  | (I8 | I32 | F32), _ -> false
+
+let to_string = function I8 -> "int8" | I32 -> "int32" | F32 -> "float32"
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let size_in_bytes = function I8 -> 1 | I32 -> 4 | F32 -> 4
+
+let wrap_i32 n =
+  (* Mask to 32 bits and sign-extend; a shift trick would overflow
+     OCaml's 63-bit native ints for large operands. *)
+  let m = n land 0xFFFFFFFF in
+  if m >= 0x80000000 then m - 0x100000000 else m
+
+let wrap_i8 n =
+  let m = n land 0xFF in
+  if m >= 0x80 then m - 0x100 else m
+
+let round_f32 x = Int32.float_of_bits (Int32.bits_of_float x)

@@ -1,0 +1,31 @@
+(** Element datatypes supported by the IMTP stack.
+
+    UPMEM DPUs are 32-bit integer cores without an FPU; the PrIM
+    benchmarks (and hence the paper's evaluation) use 32-bit integers,
+    while float32 is supported through software emulation at a higher
+    per-operation cost.  Both are modeled. *)
+
+type t =
+  | I8  (** 8-bit signed integer (wrap-around on store, C promotion
+            semantics in arithmetic — as on the DPU). *)
+  | I32  (** 32-bit signed integer (wrap-around semantics). *)
+  | F32  (** IEEE-754 single precision (stored as OCaml floats, rounded). *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val size_in_bytes : t -> int
+(** Storage footprint of one element: 1 for [I8], 4 otherwise. *)
+
+val wrap_i32 : int -> int
+(** [wrap_i32 n] reduces [n] to the signed 32-bit range, mirroring DPU
+    integer arithmetic. *)
+
+val wrap_i8 : int -> int
+(** [wrap_i8 n] reduces [n] to the signed 8-bit range (applied on
+    store, as C truncation does). *)
+
+val round_f32 : float -> float
+(** [round_f32 x] rounds a double to the nearest representable float32,
+    so interpreter results match a true float32 machine. *)

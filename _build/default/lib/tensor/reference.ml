@@ -1,0 +1,79 @@
+let check_rank name t r =
+  if Shape.rank (Tensor.shape t) <> r then
+    invalid_arg (Printf.sprintf "Reference.%s: expected rank-%d input" name r)
+
+let check_dim name t axis extent =
+  if Shape.dim (Tensor.shape t) axis <> extent then
+    invalid_arg (Printf.sprintf "Reference.%s: dimension mismatch" name)
+
+let geva c d a b =
+  check_rank "geva" a 1;
+  check_rank "geva" b 1;
+  check_dim "geva" b 0 (Shape.dim (Tensor.shape a) 0);
+  Tensor.init (Tensor.dtype a) (Tensor.shape a) (fun idx ->
+      Value.add (Value.mul c (Tensor.get a idx)) (Value.mul d (Tensor.get b idx)))
+
+let va a b =
+  let one = Value.one (Tensor.dtype a) in
+  geva one one a b
+
+let red a =
+  let acc = ref (Value.zero (Tensor.dtype a)) in
+  for off = 0 to Tensor.size a - 1 do
+    acc := Value.add !acc (Tensor.get_flat a off)
+  done;
+  !acc
+
+let gemv c a b =
+  check_rank "gemv" a 2;
+  check_rank "gemv" b 1;
+  let n = Shape.dim (Tensor.shape a) 0 and k = Shape.dim (Tensor.shape a) 1 in
+  check_dim "gemv" b 0 k;
+  Tensor.init (Tensor.dtype a)
+    (Shape.create [ n ])
+    (fun idx ->
+      let i = idx.(0) in
+      let acc = ref (Value.zero (Tensor.dtype a)) in
+      for j = 0 to k - 1 do
+        acc := Value.add !acc (Value.mul (Tensor.get a [| i; j |]) (Tensor.get b [| j |]))
+      done;
+      Value.mul c !acc)
+
+let mtv a b = gemv (Value.one (Tensor.dtype a)) a b
+
+let ttv a b =
+  check_rank "ttv" a 3;
+  check_rank "ttv" b 1;
+  let s = Tensor.shape a in
+  let n = Shape.dim s 0 and m = Shape.dim s 1 and k = Shape.dim s 2 in
+  check_dim "ttv" b 0 k;
+  Tensor.init (Tensor.dtype a)
+    (Shape.create [ n; m ])
+    (fun idx ->
+      let i = idx.(0) and j = idx.(1) in
+      let acc = ref (Value.zero (Tensor.dtype a)) in
+      for kk = 0 to k - 1 do
+        acc :=
+          Value.add !acc
+            (Value.mul (Tensor.get a [| i; j; kk |]) (Tensor.get b [| kk |]))
+      done;
+      !acc)
+
+let mmtv a b =
+  check_rank "mmtv" a 3;
+  check_rank "mmtv" b 2;
+  let s = Tensor.shape a in
+  let n = Shape.dim s 0 and m = Shape.dim s 1 and k = Shape.dim s 2 in
+  check_dim "mmtv" b 0 n;
+  check_dim "mmtv" b 1 k;
+  Tensor.init (Tensor.dtype a)
+    (Shape.create [ n; m ])
+    (fun idx ->
+      let i = idx.(0) and j = idx.(1) in
+      let acc = ref (Value.zero (Tensor.dtype a)) in
+      for kk = 0 to k - 1 do
+        acc :=
+          Value.add !acc
+            (Value.mul (Tensor.get a [| i; j; kk |]) (Tensor.get b [| i; kk |]))
+      done;
+      !acc)

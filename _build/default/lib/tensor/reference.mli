@@ -1,0 +1,24 @@
+(** Golden (host-only, trivially correct) implementations of the seven
+    tensor-algebra operations evaluated in the paper (§6).  Every
+    compiled/simulated kernel is validated against these. *)
+
+val va : Tensor.t -> Tensor.t -> Tensor.t
+(** Vector addition: [C(i) = A(i) + B(i)]. *)
+
+val geva : Value.t -> Value.t -> Tensor.t -> Tensor.t -> Tensor.t
+(** General vector addition: [C(i) = c*A(i) + d*B(i)]. *)
+
+val red : Tensor.t -> Value.t
+(** Reduction: [b = sum_i A(i)]. *)
+
+val mtv : Tensor.t -> Tensor.t -> Tensor.t
+(** Matrix times vector: [C(i) = sum_j A(i,j) * B(j)]. *)
+
+val gemv : Value.t -> Tensor.t -> Tensor.t -> Tensor.t
+(** General matrix-vector multiplication: [C(i) = c * sum_j A(i,j)*B(j)]. *)
+
+val ttv : Tensor.t -> Tensor.t -> Tensor.t
+(** Tensor times vector: [C(i,j) = sum_k A(i,j,k) * B(k)]. *)
+
+val mmtv : Tensor.t -> Tensor.t -> Tensor.t
+(** Batched matrix-vector: [C(i,j) = sum_k A(i,j,k) * B(i,k)]. *)

@@ -1,0 +1,57 @@
+type t = int array
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Shape.of_array: empty shape";
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg "Shape.of_array: non-positive dim")
+    a;
+  Array.copy a
+
+let create dims = of_array (Array.of_list dims)
+let dims t = Array.to_list t
+let rank = Array.length
+
+let dim t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Shape.dim: axis";
+  t.(i)
+
+let size t = Array.fold_left ( * ) 1 t
+
+let strides t =
+  let n = Array.length t in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * t.(i + 1)
+  done;
+  s
+
+let in_bounds t idx =
+  Array.length idx = Array.length t
+  && (let ok = ref true in
+      Array.iteri (fun i v -> if v < 0 || v >= t.(i) then ok := false) idx;
+      !ok)
+
+let linearize t idx =
+  if not (in_bounds t idx) then invalid_arg "Shape.linearize: out of bounds";
+  let s = strides t in
+  let off = ref 0 in
+  Array.iteri (fun i v -> off := !off + (v * s.(i))) idx;
+  !off
+
+let delinearize t off =
+  if off < 0 || off >= size t then invalid_arg "Shape.delinearize: offset";
+  let s = strides t in
+  Array.mapi (fun i _ -> off / s.(i) mod t.(i)) t
+
+let equal a b = a = b
+
+let iter t f =
+  let total = size t in
+  for off = 0 to total - 1 do
+    f (delinearize t off)
+  done
+
+let to_string t =
+  String.concat "x" (List.map string_of_int (Array.to_list t))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

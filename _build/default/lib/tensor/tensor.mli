@@ -1,0 +1,40 @@
+(** Dense, row-major tensors used as host-side golden data and as the
+    backing store of the UPMEM simulator's memories. *)
+
+type t
+
+val create : Dtype.t -> Shape.t -> t
+(** Zero-initialized tensor. *)
+
+val init : Dtype.t -> Shape.t -> (int array -> Value.t) -> t
+val scalar : Value.t -> t
+(** Rank-1, single-element tensor holding one value. *)
+
+val dtype : t -> Dtype.t
+val shape : t -> Shape.t
+val size : t -> int
+
+val get : t -> int array -> Value.t
+val set : t -> int array -> Value.t -> unit
+val get_flat : t -> int -> Value.t
+val set_flat : t -> int -> Value.t -> unit
+
+val copy : t -> t
+val fill : t -> Value.t -> unit
+
+val random : ?seed:int -> ?bound:int -> Dtype.t -> Shape.t -> t
+(** Deterministic pseudo-random tensor.  Integer values are drawn
+    uniformly from [[-bound, bound]] (default bound 100); floats from the
+    same range scaled to [[-1, 1]]. *)
+
+val equal : t -> t -> bool
+(** Exact equality (shape, dtype and every element). *)
+
+val close : ?rtol:float -> ?atol:float -> t -> t -> bool
+(** Approximate elementwise equality, for float comparisons after
+    reassociated reductions.  Defaults: rtol 1e-4, atol 1e-5. *)
+
+val max_abs_diff : t -> t -> float
+val to_value_list : t -> Value.t list
+val pp : Format.formatter -> t -> unit
+(** Prints shape, dtype and up to the first 16 elements. *)

@@ -1,0 +1,72 @@
+type t = Int of int | Float of float
+
+let zero = function Dtype.I8 | Dtype.I32 -> Int 0 | Dtype.F32 -> Float 0.
+let one = function Dtype.I8 | Dtype.I32 -> Int 1 | Dtype.F32 -> Float 1.
+
+let of_int dt n =
+  match dt with
+  | Dtype.I8 -> Int (Dtype.wrap_i8 n)
+  | Dtype.I32 -> Int (Dtype.wrap_i32 n)
+  | Dtype.F32 -> Float (Dtype.round_f32 (float_of_int n))
+
+let dtype = function Int _ -> Dtype.I32 | Float _ -> Dtype.F32
+let to_float = function Int n -> float_of_int n | Float f -> f
+
+let to_int = function
+  | Int n -> n
+  | Float f ->
+      if Float.is_integer f then int_of_float f
+      else invalid_arg "Value.to_int: non-integral float"
+
+(* Mixed-dtype arithmetic promotes to float32, mirroring the C semantics
+   of the generated kernels. *)
+let lift fi ff a b =
+  match (a, b) with
+  | Int x, Int y -> Int (Dtype.wrap_i32 (fi x y))
+  | Float x, Float y -> Float (Dtype.round_f32 (ff x y))
+  | Int x, Float y -> Float (Dtype.round_f32 (ff (float_of_int x) y))
+  | Float x, Int y -> Float (Dtype.round_f32 (ff x (float_of_int y)))
+
+let add = lift ( + ) ( +. )
+let sub = lift ( - ) ( -. )
+let mul = lift ( * ) ( *. )
+
+let div a b =
+  match b with
+  | Int 0 -> raise Division_by_zero
+  | Int _ | Float _ ->
+      lift
+        (fun x y ->
+          (* C-style truncation toward zero. *)
+          let q = abs x / abs y in
+          if x >= 0 = (y >= 0) then q else -q)
+        ( /. ) a b
+
+let rem a b =
+  match b with
+  | Int 0 -> raise Division_by_zero
+  | Int _ | Float _ -> lift (fun x y -> x - (to_int (div (Int x) (Int y)) * y)) Float.rem a b
+
+let min_v a b = if to_float a <= to_float b then a else b
+let max_v a b = if to_float a >= to_float b then a else b
+
+let neg = function
+  | Int n -> Int (Dtype.wrap_i32 (-n))
+  | Float f -> Float (-.f)
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | (Int _ | Float _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | _, _ -> Float.compare (to_float a) (to_float b)
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

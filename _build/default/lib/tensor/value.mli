@@ -1,0 +1,32 @@
+(** Scalar values flowing through the reference implementations and the
+    TIR interpreter, with dtype-faithful arithmetic (32-bit wrap-around
+    for integers, float32 rounding for floats). *)
+
+type t =
+  | Int of int    (** an [I32] value, always within 32-bit signed range *)
+  | Float of float  (** an [F32] value, always float32-rounded *)
+
+val zero : Dtype.t -> t
+val one : Dtype.t -> t
+val of_int : Dtype.t -> int -> t
+(** Injects an integer literal as a value of the given dtype. *)
+
+val dtype : t -> Dtype.t
+val to_float : t -> float
+val to_int : t -> int
+(** @raise Invalid_argument on a [Float] that is not integral. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Integer division truncates toward zero.  @raise Division_by_zero. *)
+
+val rem : t -> t -> t
+val min_v : t -> t -> t
+val max_v : t -> t -> t
+val neg : t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

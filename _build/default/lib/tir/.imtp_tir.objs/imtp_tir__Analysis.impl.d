@@ -1,0 +1,1 @@
+lib/tir/analysis.ml: Expr List Option Simplify Stdlib Var

@@ -1,0 +1,1 @@
+lib/tir/buffer.ml: Format Imtp_tensor String

@@ -1,0 +1,1 @@
+lib/tir/buffer.mli: Format Imtp_tensor

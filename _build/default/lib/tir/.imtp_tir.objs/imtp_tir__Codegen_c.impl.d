@@ -1,0 +1,1 @@
+lib/tir/codegen_c.ml: Buffer Expr Imtp_tensor List Option Printf Program Stdlib Stmt String Var

@@ -1,0 +1,1 @@
+lib/tir/codegen_c.mli: Program

@@ -1,0 +1,1 @@
+lib/tir/cost.ml: Buffer Expr Float Hashtbl Imtp_tensor Imtp_upmem List Printf Program Simplify Stdlib Stmt Var

@@ -1,0 +1,1 @@
+lib/tir/cost.mli: Imtp_upmem Program

@@ -1,0 +1,1 @@
+lib/tir/eval.ml: Array Buffer Expr Hashtbl Imtp_tensor List Option Printf Program Simplify Stmt Var

@@ -1,0 +1,1 @@
+lib/tir/eval.mli: Imtp_tensor Program

@@ -1,0 +1,1 @@
+lib/tir/expr.ml: Float Format Imtp_tensor Int Stdlib String Var

@@ -1,0 +1,1 @@
+lib/tir/expr.mli: Format Imtp_tensor Var

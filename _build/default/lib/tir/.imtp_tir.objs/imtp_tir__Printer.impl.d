@@ -1,0 +1,1 @@
+lib/tir/printer.ml: Buffer Expr Format Imtp_tensor List Printf Program Stmt String Var

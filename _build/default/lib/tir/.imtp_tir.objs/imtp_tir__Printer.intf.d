@@ -1,0 +1,1 @@
+lib/tir/printer.mli: Format Program Stmt

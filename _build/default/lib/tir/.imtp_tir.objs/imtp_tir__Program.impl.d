@@ -1,0 +1,1 @@
+lib/tir/program.ml: Buffer Hashtbl Imtp_upmem List Option Printf Result Simplify Stmt String

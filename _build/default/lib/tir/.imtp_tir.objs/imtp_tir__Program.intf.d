@@ -1,0 +1,1 @@
+lib/tir/program.mli: Buffer Stmt

@@ -1,0 +1,1 @@
+lib/tir/simplify.ml: Expr Imtp_tensor Option Stmt Subst Var

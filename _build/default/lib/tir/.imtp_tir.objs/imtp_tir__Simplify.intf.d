@@ -1,0 +1,1 @@
+lib/tir/simplify.mli: Expr Stmt Var

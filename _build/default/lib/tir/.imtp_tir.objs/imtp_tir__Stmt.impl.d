@@ -1,0 +1,1 @@
+lib/tir/stmt.ml: Buffer Expr List Option Var

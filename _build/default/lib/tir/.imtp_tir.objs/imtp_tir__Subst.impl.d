@@ -1,0 +1,1 @@
+lib/tir/subst.ml: Expr Stmt Var

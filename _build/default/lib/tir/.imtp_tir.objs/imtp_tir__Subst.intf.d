@@ -1,0 +1,1 @@
+lib/tir/subst.mli: Expr Stmt Var

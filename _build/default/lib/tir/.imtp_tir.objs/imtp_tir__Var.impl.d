@@ -1,0 +1,1 @@
+lib/tir/var.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/tir/var.mli: Format Map Set

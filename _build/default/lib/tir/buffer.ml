@@ -1,0 +1,26 @@
+type scope = Host | Mram | Wram
+
+type t = {
+  name : string;
+  dtype : Imtp_tensor.Dtype.t;
+  elems : int;
+  scope : scope;
+}
+
+let create name dtype ~elems scope =
+  if elems <= 0 then invalid_arg "Buffer.create: non-positive extent";
+  { name; dtype; elems; scope }
+
+let bytes t = t.elems * Imtp_tensor.Dtype.size_in_bytes t.dtype
+
+let scope_to_string = function
+  | Host -> "host"
+  | Mram -> "mram"
+  | Wram -> "wram"
+
+let equal a b = String.equal a.name b.name
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a[%d] @%s" t.name Imtp_tensor.Dtype.pp t.dtype
+    t.elems
+    (scope_to_string t.scope)

@@ -1,0 +1,21 @@
+(** Buffer descriptors.
+
+    A buffer lives in one of three scopes mirroring the UPMEM memory
+    hierarchy.  [Mram] buffers are per-DPU (each DPU holds its own copy
+    of the declared extent); [Wram] buffers are per-tasklet locals
+    allocated by [Stmt.Alloc]; [Host] buffers are global host arrays. *)
+
+type scope = Host | Mram | Wram
+
+type t = {
+  name : string;  (** unique within a program. *)
+  dtype : Imtp_tensor.Dtype.t;
+  elems : int;  (** flat extent, in elements. *)
+  scope : scope;
+}
+
+val create : string -> Imtp_tensor.Dtype.t -> elems:int -> scope -> t
+val bytes : t -> int
+val scope_to_string : scope -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

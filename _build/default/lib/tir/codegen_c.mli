@@ -1,0 +1,20 @@
+(** UPMEM-SDK-style C emission (§5.4 "UPMEM Backend").
+
+    The simulator executes TIR directly, but the backend that a real
+    deployment would use emits UPMEM C: tasklet kernel code built on
+    [me()], [mram_read]/[mram_write] and the tasklet barrier, and host
+    code built on the Host/DPU Runtime Library
+    ([dpu_alloc]/[dpu_prepare_xfer]/[dpu_push_xfer]/[dpu_launch]).
+    The output compiles conceptually against the UPMEM SDK headers; in
+    this repository it is used for inspection, golden tests and
+    documentation of what the lowering produced. *)
+
+val kernel_to_c : Program.t -> Program.kernel -> string
+(** The DPU-side C translation unit for one kernel. *)
+
+val host_to_c : Program.t -> string
+(** The host-side C translation unit (allocation, transfers, launch,
+    post-processing). *)
+
+val program_to_c : Program.t -> string
+(** Both units, concatenated with separators. *)

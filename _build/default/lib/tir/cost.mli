@@ -1,0 +1,27 @@
+(** Analytic timing of a lowered program on the simulated UPMEM machine.
+
+    This is the "hardware measurement" of the autotuning loop: the host
+    statement is walked to accumulate transfer, launch and
+    post-processing costs; each launched kernel is summarized into a
+    per-DPU chunk profile and timed by {!Imtp_upmem.Dpu_model}.  The
+    walk is analytic (loop extents multiply), so evaluation cost is
+    independent of tensor sizes.
+
+    Interior-DPU worst case: boundary checks are assumed taken, so
+    their issue-slot cost is charged even where a boundary DPU would
+    skip work — exactly the penalty the PIM-aware passes remove. *)
+
+exception Error of string
+
+val measure : Imtp_upmem.Config.t -> Program.t -> Imtp_upmem.Stats.t
+(** @raise Error on non-constant loop extents that cannot be resolved,
+    or malformed programs. *)
+
+val kernel_cycles : Imtp_upmem.Config.t -> Program.t -> Program.kernel -> float
+(** Cycles of one kernel launch (exposed for the Fig. 3/12 kernel-only
+    experiments). *)
+
+val kernel_profile :
+  Imtp_upmem.Config.t -> Program.t -> Program.kernel -> Imtp_upmem.Dpu_model.profile
+(** The chunk profile backing {!kernel_cycles}, for tests and
+    diagnostics. *)

@@ -1,0 +1,337 @@
+module T = Imtp_tensor
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type counters = {
+  mutable kernel_stores : int;
+  mutable kernel_loads : int;
+  mutable dma_elems : int;
+  mutable dma_ops : int;
+  mutable xfer_elems_h2d : int;
+  mutable xfer_elems_d2h : int;
+}
+
+let fresh_counters () =
+  {
+    kernel_stores = 0;
+    kernel_loads = 0;
+    dma_elems = 0;
+    dma_ops = 0;
+    xfer_elems_h2d = 0;
+    xfer_elems_d2h = 0;
+  }
+
+type side = Host_side | Kernel_side
+
+type ctx = {
+  prog : Program.t;
+  host_mem : (string, T.Tensor.t) Hashtbl.t;
+  mram_mem : (string, T.Tensor.t array) Hashtbl.t;  (* indexed by DPU id *)
+  mutable wram_mem : (string * T.Tensor.t) list;  (* innermost-first scoped *)
+  mutable dpu : int;  (* current DPU during kernel eval *)
+  mutable side : side;
+  counters : counters;
+}
+
+let flat_tensor (b : Buffer.t) =
+  T.Tensor.create b.dtype (T.Shape.create [ b.elems ])
+
+(* --- memory access ------------------------------------------------- *)
+
+let wram_lookup ctx name = List.assoc_opt name ctx.wram_mem
+
+let read_buf ctx name off =
+  match wram_lookup ctx name with
+  | Some t ->
+      if off < 0 || off >= T.Tensor.size t then
+        err "wram read out of bounds: %s[%d]" name off
+      else T.Tensor.get_flat t off
+  | None -> (
+      match Hashtbl.find_opt ctx.mram_mem name with
+      | Some per_dpu ->
+          if ctx.side = Host_side then
+            err "host code reads MRAM buffer %s directly (use Xfer)" name;
+          let t = per_dpu.(ctx.dpu) in
+          if off < 0 || off >= T.Tensor.size t then
+            err "mram read out of bounds: %s[%d] (dpu %d)" name off ctx.dpu
+          else T.Tensor.get_flat t off
+      | None -> (
+          match Hashtbl.find_opt ctx.host_mem name with
+          | Some t ->
+              if ctx.side = Kernel_side then
+                err "kernel reads host buffer %s" name;
+              if off < 0 || off >= T.Tensor.size t then
+                err "host read out of bounds: %s[%d]" name off
+              else T.Tensor.get_flat t off
+          | None -> err "read from unknown buffer %s" name))
+
+let write_buf ctx name off v =
+  match wram_lookup ctx name with
+  | Some t ->
+      if off < 0 || off >= T.Tensor.size t then
+        err "wram write out of bounds: %s[%d]" name off
+      else T.Tensor.set_flat t off v
+  | None -> (
+      match Hashtbl.find_opt ctx.mram_mem name with
+      | Some per_dpu ->
+          if ctx.side = Host_side then
+            err "host code writes MRAM buffer %s directly (use Xfer)" name;
+          let t = per_dpu.(ctx.dpu) in
+          if off < 0 || off >= T.Tensor.size t then
+            err "mram write out of bounds: %s[%d] (dpu %d)" name off ctx.dpu
+          else T.Tensor.set_flat t off v
+      | None -> (
+          match Hashtbl.find_opt ctx.host_mem name with
+          | Some t ->
+              if ctx.side = Kernel_side then
+                err "kernel writes host buffer %s" name;
+              if off < 0 || off >= T.Tensor.size t then
+                err "host write out of bounds: %s[%d]" name off
+              else T.Tensor.set_flat t off v
+          | None -> err "write to unknown buffer %s" name))
+
+(* --- expressions ---------------------------------------------------- *)
+
+let rec eval_expr ctx env (e : Expr.t) : T.Value.t =
+  match e with
+  | Int_const n -> T.Value.Int n
+  | Float_const f -> T.Value.Float f
+  | Var v -> (
+      match Var.Map.find_opt v env with
+      | Some n -> T.Value.Int n
+      | None -> err "unbound variable %s" (Var.name v))
+  | Binop (op, a, b) -> (
+      let x = eval_expr ctx env a and y = eval_expr ctx env b in
+      match op with
+      | Add -> T.Value.add x y
+      | Sub -> T.Value.sub x y
+      | Mul -> T.Value.mul x y
+      | Div -> (
+          (* Index arithmetic uses floor division; match Simplify. *)
+          match (x, y) with
+          | T.Value.Int a, T.Value.Int b when b <> 0 ->
+              T.Value.Int (Simplify.fold_binop Div a b)
+          | _, _ -> T.Value.div x y)
+      | Mod -> (
+          match (x, y) with
+          | T.Value.Int a, T.Value.Int b when b <> 0 ->
+              T.Value.Int (Simplify.fold_binop Mod a b)
+          | _, _ -> T.Value.rem x y)
+      | Min -> T.Value.min_v x y
+      | Max -> T.Value.max_v x y)
+  | Cmp (op, a, b) ->
+      let x = eval_expr ctx env a and y = eval_expr ctx env b in
+      let c = T.Value.compare x y in
+      let r =
+        match op with
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | Eq -> c = 0
+        | Ne -> c <> 0
+      in
+      T.Value.Int (if r then 1 else 0)
+  | And (a, b) ->
+      let x = truthy ctx env a in
+      T.Value.Int (if x && truthy ctx env b then 1 else 0)
+  | Or (a, b) ->
+      let x = truthy ctx env a in
+      T.Value.Int (if x || truthy ctx env b then 1 else 0)
+  | Not a -> T.Value.Int (if truthy ctx env a then 0 else 1)
+  | Select (c, t, f) ->
+      if truthy ctx env c then eval_expr ctx env t else eval_expr ctx env f
+  | Load (buf, idx) ->
+      let off = eval_index ctx env idx in
+      if ctx.side = Kernel_side then
+        ctx.counters.kernel_loads <- ctx.counters.kernel_loads + 1;
+      read_buf ctx buf off
+  | Cast (dt, a) -> (
+      let v = eval_expr ctx env a in
+      match dt with
+      | T.Dtype.I8 -> T.Value.Int (T.Dtype.wrap_i8 (int_of_float (T.Value.to_float v)))
+      | T.Dtype.I32 -> T.Value.Int (T.Dtype.wrap_i32 (int_of_float (T.Value.to_float v)))
+      | T.Dtype.F32 -> T.Value.Float (T.Dtype.round_f32 (T.Value.to_float v)))
+
+and truthy ctx env e =
+  match eval_expr ctx env e with
+  | T.Value.Int 0 -> false
+  | T.Value.Int _ -> true
+  | T.Value.Float f -> f <> 0.
+
+and eval_index ctx env e =
+  match eval_expr ctx env e with
+  | T.Value.Int n -> n
+  | T.Value.Float _ -> err "float used as index: %s" (Expr.to_string e)
+
+(* --- statements ----------------------------------------------------- *)
+
+let rec eval_stmt ctx env (s : Stmt.t) : unit =
+  match s with
+  | Nop | Barrier -> ()
+  | Seq ss -> List.iter (eval_stmt ctx env) ss
+  | For { var; extent; body; kind = _ } ->
+      let n = eval_index ctx env extent in
+      for i = 0 to n - 1 do
+        eval_stmt ctx (Var.Map.add var i env) body
+      done
+  | If { cond; then_; else_ } ->
+      if truthy ctx env cond then eval_stmt ctx env then_
+      else Option.iter (eval_stmt ctx env) else_
+  | Store { buf; index; value } ->
+      let off = eval_index ctx env index in
+      if ctx.side = Kernel_side then
+        ctx.counters.kernel_stores <- ctx.counters.kernel_stores + 1;
+      write_buf ctx buf off (eval_expr ctx env value)
+  | Alloc { buffer; body } ->
+      let saved = ctx.wram_mem in
+      ctx.wram_mem <- (buffer.Buffer.name, flat_tensor buffer) :: saved;
+      eval_stmt ctx env body;
+      ctx.wram_mem <- saved
+  | Dma { dir; wram; wram_off; mram; mram_off; elems } ->
+      if ctx.side = Host_side then err "Dma executed in host code";
+      let n = eval_index ctx env elems in
+      ctx.counters.dma_ops <- ctx.counters.dma_ops + 1;
+      ctx.counters.dma_elems <- ctx.counters.dma_elems + n;
+      let woff = eval_index ctx env wram_off
+      and moff = eval_index ctx env mram_off in
+      for i = 0 to n - 1 do
+        match dir with
+        | Mram_to_wram ->
+            write_buf ctx wram (woff + i) (read_buf ctx mram (moff + i))
+        | Wram_to_mram ->
+            write_buf ctx mram (moff + i) (read_buf ctx wram (woff + i))
+      done
+  | Xfer { dir; mode; host; host_off; dpu; mram; mram_off; elems; group_dpus = _ } ->
+      if ctx.side = Kernel_side then err "Xfer executed in kernel code";
+      let n = eval_index ctx env elems in
+      let hoff = eval_index ctx env host_off
+      and moff = eval_index ctx env mram_off in
+      let host_t =
+        match Hashtbl.find_opt ctx.host_mem host with
+        | Some t -> t
+        | None -> err "Xfer references unknown host buffer %s" host
+      in
+      let per_dpu =
+        match Hashtbl.find_opt ctx.mram_mem mram with
+        | Some a -> a
+        | None -> err "Xfer references unknown MRAM buffer %s" mram
+      in
+      let check t off label =
+        if off < 0 || off + n > T.Tensor.size t then
+          err "Xfer %s out of bounds (%s, off=%d, n=%d, size=%d)" label
+            (T.Shape.to_string (T.Tensor.shape t))
+            off n (T.Tensor.size t)
+      in
+      check host_t hoff host;
+      (match dir with
+      | To_dpu ->
+          ctx.counters.xfer_elems_h2d <-
+            ctx.counters.xfer_elems_h2d
+            + (n * match mode with Broadcast_x -> Array.length per_dpu | Copy | Push -> 1)
+      | From_dpu ->
+          ctx.counters.xfer_elems_d2h <- ctx.counters.xfer_elems_d2h + n);
+      let move mram_t =
+        check mram_t moff mram;
+        match dir with
+        | To_dpu ->
+            for i = 0 to n - 1 do
+              T.Tensor.set_flat mram_t (moff + i)
+                (T.Tensor.get_flat host_t (hoff + i))
+            done
+        | From_dpu ->
+            for i = 0 to n - 1 do
+              T.Tensor.set_flat host_t (hoff + i)
+                (T.Tensor.get_flat mram_t (moff + i))
+            done
+      in
+      (match mode with
+      | Broadcast_x ->
+          if dir = From_dpu then err "Broadcast_x only supports host-to-DPU";
+          Array.iter move per_dpu
+      | Copy | Push ->
+          let dpu_id = eval_index ctx env dpu in
+          if dpu_id < 0 || dpu_id >= Array.length per_dpu then
+            err "Xfer to out-of-range DPU %d" dpu_id;
+          move per_dpu.(dpu_id))
+  | Launch kname -> (
+      match Program.kernel_of ctx.prog kname with
+      | None -> err "launch of unknown kernel %s" kname
+      | Some k -> run_kernel ctx k)
+
+and run_kernel ctx (k : Program.kernel) =
+  (* Walk block-bound loops accumulating the linearized DPU id, then
+     execute the per-DPU body (thread loops run sequentially). *)
+  let saved_side = ctx.side and saved_dpu = ctx.dpu in
+  ctx.side <- Kernel_side;
+  let rec go env dpu_acc (s : Stmt.t) =
+    match s with
+    | For { var; extent; kind = Bound (Block_x | Block_y | Block_z); body } ->
+        let n = eval_index ctx env extent in
+        for i = 0 to n - 1 do
+          go (Var.Map.add var i env) ((dpu_acc * n) + i) body
+        done
+    | s ->
+        ctx.dpu <- dpu_acc;
+        eval_stmt ctx env s
+  in
+  go Var.Map.empty 0 k.body;
+  ctx.side <- saved_side;
+  ctx.dpu <- saved_dpu
+
+let run_counted (p : Program.t) ~inputs =
+  (match Program.validate p with
+  | Ok () -> ()
+  | Error m -> err "invalid program: %s" m);
+  let ctx =
+    {
+      prog = p;
+      host_mem = Hashtbl.create 8;
+      mram_mem = Hashtbl.create 8;
+      wram_mem = [];
+      dpu = 0;
+      side = Host_side;
+      counters = fresh_counters ();
+    }
+  in
+  List.iter
+    (fun (b : Buffer.t) ->
+      let t =
+        match List.assoc_opt b.name inputs with
+        | Some t ->
+            if T.Tensor.size t <> b.elems then
+              err "input %s has %d elements, buffer declares %d" b.name
+                (T.Tensor.size t) b.elems;
+            T.Tensor.copy t
+        | None -> flat_tensor b
+      in
+      Hashtbl.replace ctx.host_mem b.name t)
+    p.host_buffers;
+  let ndpus = Program.dpus_used p in
+  (* Poison MRAM contents so results that depend on untransferred
+     padding (a missing boundary guard) are caught by tests rather than
+     silently reading zeros. *)
+  let poison (b : Buffer.t) =
+    let t = flat_tensor b in
+    T.Tensor.fill t
+      (match T.Tensor.dtype t with
+      | T.Dtype.I8 -> T.Value.Int 77
+      | T.Dtype.I32 -> T.Value.Int 1_000_003
+      | T.Dtype.F32 -> T.Value.Float 1e9);
+    t
+  in
+  List.iter
+    (fun (b : Buffer.t) ->
+      Hashtbl.replace ctx.mram_mem b.name
+        (Array.init ndpus (fun _ -> poison b)))
+    p.mram_buffers;
+  ctx.side <- Host_side;
+  eval_stmt ctx Var.Map.empty p.host;
+  ( List.map
+      (fun (b : Buffer.t) -> (b.name, Hashtbl.find ctx.host_mem b.name))
+      p.host_buffers,
+    ctx.counters )
+
+let run p ~inputs = fst (run_counted p ~inputs)

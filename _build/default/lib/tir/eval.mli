@@ -1,0 +1,38 @@
+(** Functional interpreter for lowered programs.
+
+    Executes the host statement, the data transfers and every (DPU,
+    tasklet) instance of the kernels sequentially over simulated
+    memories, producing bit-exact results for validation against
+    {!Imtp_tensor.Reference}.  Used by tests and small-shape example
+    runs; timing is the job of {!Cost}. *)
+
+exception Error of string
+
+(** Dynamic execution counters, for cross-validating the analytic cost
+    model against actually-executed work. *)
+type counters = {
+  mutable kernel_stores : int;  (** Store executions inside kernels. *)
+  mutable kernel_loads : int;  (** Load evaluations inside kernels. *)
+  mutable dma_elems : int;  (** elements moved by MRAM<->WRAM DMA. *)
+  mutable dma_ops : int;  (** DMA instructions executed. *)
+  mutable xfer_elems_h2d : int;  (** elements moved host->DPU. *)
+  mutable xfer_elems_d2h : int;  (** elements moved DPU->host. *)
+}
+
+val run :
+  Program.t ->
+  inputs:(string * Imtp_tensor.Tensor.t) list ->
+  (string * Imtp_tensor.Tensor.t) list
+(** [run p ~inputs] executes [p].  [inputs] must provide a tensor for
+    every host buffer that is read before being written; host buffers
+    not supplied start zeroed.  Returns all host buffers (inputs
+    unchanged, outputs filled).
+
+    @raise Error on scope violations (e.g. a kernel touching a host
+    buffer), unknown buffers, or out-of-bounds accesses. *)
+
+val run_counted :
+  Program.t ->
+  inputs:(string * Imtp_tensor.Tensor.t) list ->
+  (string * Imtp_tensor.Tensor.t) list * counters
+(** Like {!run}, additionally returning dynamic execution counters. *)

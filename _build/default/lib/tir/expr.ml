@@ -1,0 +1,105 @@
+type binop = Add | Sub | Mul | Div | Mod | Min | Max
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Int_const of int
+  | Float_const of float
+  | Var of Var.t
+  | Binop of binop * t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Select of t * t * t
+  | Load of string * t
+  | Cast of Imtp_tensor.Dtype.t * t
+
+let int n = Int_const n
+let float f = Float_const f
+let var v = Var v
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( % ) a b = Binop (Mod, a, b)
+let min_e a b = Binop (Min, a, b)
+let max_e a b = Binop (Max, a, b)
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( > ) a b = Cmp (Gt, a, b)
+let ( >= ) a b = Cmp (Ge, a, b)
+let ( = ) a b = Cmp (Eq, a, b)
+let ( <> ) a b = Cmp (Ne, a, b)
+let and_ a b = And (a, b)
+let or_ a b = Or (a, b)
+let not_ a = Not a
+let load buf idx = Load (buf, idx)
+
+let rec equal a b =
+  match (a, b) with
+  | Int_const x, Int_const y -> Int.equal x y
+  | Float_const x, Float_const y -> Float.equal x y
+  | Var x, Var y -> Var.equal x y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+      Stdlib.( = ) o1 o2 && equal a1 a2 && equal b1 b2
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+      Stdlib.( = ) o1 o2 && equal a1 a2 && equal b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
+      equal a1 a2 && equal b1 b2
+  | Not a1, Not a2 -> equal a1 a2
+  | Select (c1, t1, e1), Select (c2, t2, e2) ->
+      equal c1 c2 && equal t1 t2 && equal e1 e2
+  | Load (n1, i1), Load (n2, i2) -> String.equal n1 n2 && equal i1 i2
+  | Cast (d1, e1), Cast (d2, e2) -> Imtp_tensor.Dtype.equal d1 d2 && equal e1 e2
+  | ( ( Int_const _ | Float_const _ | Var _ | Binop _ | Cmp _ | And _ | Or _
+      | Not _ | Select _ | Load _ | Cast _ ),
+      _ ) ->
+      false
+
+let rec free_vars = function
+  | Int_const _ | Float_const _ -> Var.Set.empty
+  | Var v -> Var.Set.singleton v
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      Var.Set.union (free_vars a) (free_vars b)
+  | Not a | Cast (_, a) -> free_vars a
+  | Select (c, t, e) ->
+      Var.Set.union (free_vars c) (Var.Set.union (free_vars t) (free_vars e))
+  | Load (_, i) -> free_vars i
+
+let is_const = function Int_const _ | Float_const _ -> true | _ -> false
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "//"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+
+let cmp_str = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let rec pp ppf = function
+  | Int_const n -> Format.pp_print_int ppf n
+  | Float_const f -> Format.fprintf ppf "%g" f
+  | Var v -> Var.pp ppf v
+  | Binop (((Min | Max) as op), a, b) ->
+      Format.fprintf ppf "%s(%a, %a)" (binop_str op) pp a pp b
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp a (binop_str op) pp b
+  | Cmp (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (cmp_str op) pp b
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(not %a)" pp a
+  | Select (c, t, e) ->
+      Format.fprintf ppf "(%a if %a else %a)" pp t pp c pp e
+  | Load (buf, idx) -> Format.fprintf ppf "%s[%a]" buf pp idx
+  | Cast (dt, e) -> Format.fprintf ppf "%a(%a)" Imtp_tensor.Dtype.pp dt pp e
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,60 @@
+(** TIR expressions.
+
+    Index expressions are integer-typed; element expressions carry the
+    dtype of the tensors they flow through.  [Div] and [Mod] follow
+    floor semantics on non-negative operands, which is all the lowering
+    generates. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** integer: floor division; float: true division. *)
+  | Mod
+  | Min
+  | Max
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Int_const of int
+  | Float_const of float
+  | Var of Var.t
+  | Binop of binop * t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Select of t * t * t  (** [Select (cond, then_, else_)]. *)
+  | Load of string * t  (** buffer name, flat element offset. *)
+  | Cast of Imtp_tensor.Dtype.t * t
+
+(* Construction helpers. *)
+val int : int -> t
+val float : float -> t
+val var : Var.t -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( % ) : t -> t -> t
+val min_e : t -> t -> t
+val max_e : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( <> ) : t -> t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val not_ : t -> t
+val load : string -> t -> t
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val free_vars : t -> Var.Set.t
+val is_const : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,93 @@
+open Format
+
+let kind_suffix = function
+  | Stmt.Serial -> ""
+  | Stmt.Unrolled -> "  # unroll"
+  | Stmt.Host_parallel n -> Printf.sprintf "  # parallel(%d threads)" n
+  | Stmt.Bound b -> Printf.sprintf "  # bind(%s)" (Stmt.binding_to_string b)
+
+let dma_dir_str = function
+  | Stmt.Mram_to_wram -> "mram_to_wram"
+  | Stmt.Wram_to_mram -> "wram_to_mram"
+
+let xfer_str dir mode =
+  let d = match dir with Stmt.To_dpu -> "h2d" | Stmt.From_dpu -> "d2h" in
+  let m =
+    match mode with
+    | Stmt.Copy -> "copy"
+    | Stmt.Push -> "push"
+    | Stmt.Broadcast_x -> "broadcast"
+  in
+  d ^ "_" ^ m
+
+let rec pp_stmt_ind ppf ind (s : Stmt.t) =
+  let pad () = pp_print_string ppf (String.make ind ' ') in
+  match s with
+  | Seq ss ->
+      List.iteri
+        (fun i x ->
+          if i > 0 then pp_print_newline ppf ();
+          pp_stmt_ind ppf ind x)
+        ss
+  | For { var; extent; kind; body } ->
+      pad ();
+      fprintf ppf "for %a in range(%a):%s@." Var.pp var Expr.pp extent
+        (kind_suffix kind);
+      pp_stmt_ind ppf (ind + 2) body
+  | If { cond; then_; else_ } -> (
+      pad ();
+      fprintf ppf "if %a:@." Expr.pp cond;
+      pp_stmt_ind ppf (ind + 2) then_;
+      match else_ with
+      | None -> ()
+      | Some e ->
+          pp_print_newline ppf ();
+          pad ();
+          fprintf ppf "else:@.";
+          pp_stmt_ind ppf (ind + 2) e)
+  | Store { buf; index; value } ->
+      pad ();
+      fprintf ppf "%s[%a] = %a" buf Expr.pp index Expr.pp value
+  | Alloc { buffer; body } ->
+      pad ();
+      fprintf ppf "%s = alloc_%s(%d, %a)@." buffer.Buffer.name
+        (Buffer.scope_to_string buffer.Buffer.scope)
+        buffer.Buffer.elems Imtp_tensor.Dtype.pp buffer.Buffer.dtype;
+      pp_stmt_ind ppf ind body
+  | Dma { dir; wram; wram_off; mram; mram_off; elems } ->
+      pad ();
+      fprintf ppf "dma_%s(%s[%a], %s[%a], elems=%a)" (dma_dir_str dir) wram
+        Expr.pp wram_off mram Expr.pp mram_off Expr.pp elems
+  | Xfer { dir; mode; host; host_off; dpu; mram; mram_off; elems; group_dpus = _ } ->
+      pad ();
+      fprintf ppf "%s(host=%s[%a], dpu=%a, mram=%s[%a], elems=%a)"
+        (xfer_str dir mode) host Expr.pp host_off Expr.pp dpu mram Expr.pp
+        mram_off Expr.pp elems
+  | Launch k ->
+      pad ();
+      fprintf ppf "launch(%s)" k
+  | Barrier ->
+      pad ();
+      fprintf ppf "barrier()"
+  | Nop ->
+      pad ();
+      fprintf ppf "pass"
+
+let pp_stmt ppf s = pp_stmt_ind ppf 0 s
+let stmt_to_string s = asprintf "%a" pp_stmt s
+
+let pp_program ppf (p : Program.t) =
+  fprintf ppf "# program %s@." p.name;
+  List.iter (fun b -> fprintf ppf "# host   %a@." Buffer.pp b) p.host_buffers;
+  List.iter (fun b -> fprintf ppf "# mram   %a@." Buffer.pp b) p.mram_buffers;
+  List.iter
+    (fun (k : Program.kernel) ->
+      fprintf ppf "@.def kernel_%s():@." k.kname;
+      pp_stmt_ind ppf 2 k.body;
+      pp_print_newline ppf ())
+    p.kernels;
+  fprintf ppf "@.def host():@.";
+  pp_stmt_ind ppf 2 p.host;
+  pp_print_newline ppf ()
+
+let program_to_string p = asprintf "%a" pp_program p

@@ -1,0 +1,8 @@
+(** TVM-script-style pretty printing of TIR statements and programs,
+    used by the examples, the CLI's [lower] command and test
+    diagnostics. *)
+
+val pp_stmt : Format.formatter -> Stmt.t -> unit
+val stmt_to_string : Stmt.t -> string
+val pp_program : Format.formatter -> Program.t -> unit
+val program_to_string : Program.t -> string

@@ -1,0 +1,38 @@
+(** A lowered UPMEM program: one host statement plus the DPU kernels it
+    launches, with the buffers they operate on (§5.2.2, "A loop-based
+    TIR program is further lowered to separate TIR programs for host
+    and DPU kernels"). *)
+
+type kernel = { kname : string; body : Stmt.t }
+
+type t = {
+  name : string;
+  host_buffers : Buffer.t list;  (** inputs/outputs + host scratch. *)
+  mram_buffers : Buffer.t list;  (** per-DPU MRAM regions. *)
+  kernels : kernel list;
+  host : Stmt.t;
+}
+
+val buffer_of : t -> string -> Buffer.t option
+(** Looks up host and MRAM buffers; WRAM buffers are found on their
+    [Alloc] nodes, not here. *)
+
+val kernel_of : t -> string -> kernel option
+
+val grid : kernel -> int * int
+(** [(dpus, tasklets)]: products of the kernel's DPU-bound and
+    tasklet-bound loop extents (1 if absent).
+    @raise Invalid_argument on a non-constant bound-loop extent. *)
+
+val dpus_used : t -> int
+(** Maximum grid width over all kernels. *)
+
+val tasklets_used : t -> int
+
+val validate : t -> (unit, string) result
+(** Structural well-formedness: unique buffer names, launches resolve,
+    kernels contain no host-only nodes and the host no kernel-only
+    nodes, bound loops only in kernels. *)
+
+val iram_footprint_bytes : kernel -> int
+(** Static-instruction estimate for the IRAM capacity check. *)

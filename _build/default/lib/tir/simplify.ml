@@ -1,0 +1,135 @@
+let fold_binop op a b =
+  match (op : Expr.binop) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div ->
+      (* floor division; lowering only produces non-negative operands
+         but stay correct regardless. *)
+      if b = 0 then raise Division_by_zero
+      else
+        let q = a / b and r = a mod b in
+        if r <> 0 && r < 0 <> (b < 0) then q - 1 else q
+  | Mod ->
+      if b = 0 then raise Division_by_zero
+      else
+        let r = a mod b in
+        if r <> 0 && r < 0 <> (b < 0) then r + b else r
+  | Min -> min a b
+  | Max -> max a b
+
+let fold_cmp op a b =
+  match (op : Expr.cmp) with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+let bool_e b = Expr.Int_const (if b then 1 else 0)
+
+let rec expr (e : Expr.t) : Expr.t =
+  match e with
+  | Int_const _ | Float_const _ | Var _ -> e
+  | Binop (op, a, b) -> simplify_binop op (expr a) (expr b)
+  | Cmp (op, a, b) -> (
+      let a = expr a and b = expr b in
+      match (a, b) with
+      | Int_const x, Int_const y -> bool_e (fold_cmp op x y)
+      | _, _ -> Cmp (op, a, b))
+  | And (a, b) -> (
+      match (expr a, expr b) with
+      | Int_const 0, _ | _, Int_const 0 -> bool_e false
+      | Int_const 1, x | x, Int_const 1 -> x
+      | a, b -> And (a, b))
+  | Or (a, b) -> (
+      match (expr a, expr b) with
+      | Int_const 1, _ | _, Int_const 1 -> bool_e true
+      | Int_const 0, x | x, Int_const 0 -> x
+      | a, b -> Or (a, b))
+  | Not a -> (
+      match expr a with
+      | Int_const 0 -> bool_e true
+      | Int_const 1 -> bool_e false
+      | Not x -> x
+      | x -> Not x)
+  | Select (c, t, f) -> (
+      match expr c with
+      | Int_const 0 -> expr f
+      | Int_const n when n <> 0 -> expr t
+      | c -> Select (c, expr t, expr f))
+  | Load (buf, i) -> Load (buf, expr i)
+  | Cast (dt, a) -> (
+      match expr a with
+      | Int_const n when Imtp_tensor.Dtype.equal dt Imtp_tensor.Dtype.I32 ->
+          Int_const n
+      | a -> Cast (dt, a))
+
+and simplify_binop op a b : Expr.t =
+  match (op, a, b) with
+  | _, Expr.Int_const x, Expr.Int_const y -> Int_const (fold_binop op x y)
+  | Expr.Add, Int_const 0, x | Expr.Add, x, Int_const 0 -> x
+  | Expr.Sub, x, Int_const 0 -> x
+  | Expr.Mul, Int_const 0, _ | Expr.Mul, _, Int_const 0 -> Int_const 0
+  | Expr.Mul, Int_const 1, x | Expr.Mul, x, Int_const 1 -> x
+  | Expr.Div, x, Int_const 1 -> x
+  | Expr.Mod, _, Int_const 1 -> Int_const 0
+  (* Re-associate constant addends: (x + c1) + c2 -> x + (c1+c2). *)
+  | Expr.Add, Binop (Add, x, Int_const c1), Int_const c2 ->
+      simplify_binop Add x (Int_const (c1 + c2))
+  | Expr.Add, Int_const c1, Binop (Add, x, Int_const c2) ->
+      simplify_binop Add x (Int_const (c1 + c2))
+  (* Distribute constants over sums for address canonicalization:
+     (x + y) * c -> x*c + y*c when c is a constant. *)
+  | Expr.Mul, Binop (Add, x, y), (Int_const _ as c) ->
+      simplify_binop Add (simplify_binop Mul x c) (simplify_binop Mul y c)
+  | _, _, _ -> Binop (op, a, b)
+
+let rec eval_int env (e : Expr.t) : int option =
+  let ( let* ) = Option.bind in
+  match e with
+  | Int_const n -> Some n
+  | Float_const _ | Load _ -> None
+  | Var v -> Var.Map.find_opt v env
+  | Binop (op, a, b) ->
+      let* x = eval_int env a in
+      let* y = eval_int env b in
+      if (op = Div || op = Mod) && y = 0 then None
+      else Some (fold_binop op x y)
+  | Cmp (op, a, b) ->
+      let* x = eval_int env a in
+      let* y = eval_int env b in
+      Some (if fold_cmp op x y then 1 else 0)
+  | And (a, b) ->
+      let* x = eval_int env a in
+      let* y = eval_int env b in
+      Some (if x <> 0 && y <> 0 then 1 else 0)
+  | Or (a, b) ->
+      let* x = eval_int env a in
+      let* y = eval_int env b in
+      Some (if x <> 0 || y <> 0 then 1 else 0)
+  | Not a ->
+      let* x = eval_int env a in
+      Some (if x = 0 then 1 else 0)
+  | Select (c, t, f) ->
+      let* cv = eval_int env c in
+      if cv <> 0 then eval_int env t else eval_int env f
+  | Cast (dt, a) ->
+      if Imtp_tensor.Dtype.equal dt Imtp_tensor.Dtype.I32 then eval_int env a
+      else None
+
+let const_int e = eval_int Var.Map.empty e
+
+let stmt s =
+  Stmt.rewrite_bottom_up
+    (fun node ->
+      match Stmt.map_exprs expr node with
+      | Stmt.If { cond = Expr.Int_const n; then_; else_ } ->
+          if n <> 0 then then_
+          else Option.value else_ ~default:Stmt.Nop
+      | Stmt.For { extent = Expr.Int_const n; _ } when n <= 0 -> Stmt.Nop
+      | Stmt.For { var; extent = Expr.Int_const 1; body; kind = Stmt.Serial } ->
+          Stmt.map_exprs (fun e -> expr (Subst.expr var (Expr.int 0) e)) body
+      | s' -> s')
+    s

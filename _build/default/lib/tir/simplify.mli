@@ -1,0 +1,27 @@
+(** Algebraic simplification and static evaluation of TIR expressions.
+
+    The simplifier performs constant folding and the standard identity
+    rewrites (x+0, x*1, x*0, min/max folding, boolean short-circuits);
+    it is used both as a cleanup after substitution-heavy lowering and
+    as the engine behind the loop-bound-tightening pass. *)
+
+val fold_binop : Expr.binop -> int -> int -> int
+(** Constant folding of one integer operation (floor semantics for
+    division and modulo).  @raise Division_by_zero. *)
+
+val expr : Expr.t -> Expr.t
+(** Bottom-up simplification.  Sound for the non-negative index ranges
+    the lowering generates (division/modulo identities assume
+    non-negative operands, as in TVM's index simplifier). *)
+
+val stmt : Stmt.t -> Stmt.t
+(** Simplify every embedded expression, prune [If]s with constant
+    conditions and loops with zero/one-extent bodies. *)
+
+val eval_int : int Var.Map.t -> Expr.t -> int option
+(** Evaluate an integer/boolean expression under a partial environment.
+    Booleans evaluate to 0/1.  [None] if a free variable, load, or
+    float subexpression is encountered. *)
+
+val const_int : Expr.t -> int option
+(** [eval_int empty]. *)

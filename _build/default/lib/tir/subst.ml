@@ -1,0 +1,17 @@
+let rec expr_many map e =
+  let go = expr_many map in
+  match (e : Expr.t) with
+  | Var v -> ( match Var.Map.find_opt v map with Some r -> r | None -> e)
+  | Int_const _ | Float_const _ -> e
+  | Binop (op, a, b) -> Binop (op, go a, go b)
+  | Cmp (op, a, b) -> Cmp (op, go a, go b)
+  | And (a, b) -> And (go a, go b)
+  | Or (a, b) -> Or (go a, go b)
+  | Not a -> Not (go a)
+  | Select (c, t, f) -> Select (go c, go t, go f)
+  | Load (buf, i) -> Load (buf, go i)
+  | Cast (dt, a) -> Cast (dt, go a)
+
+let expr v e target = expr_many (Var.Map.singleton v e) target
+let stmt_many map s = Stmt.map_exprs (expr_many map) s
+let stmt v e s = stmt_many (Var.Map.singleton v e) s

@@ -1,0 +1,12 @@
+(** Capture-free substitution of variables by expressions. *)
+
+val expr : Var.t -> Expr.t -> Expr.t -> Expr.t
+(** [expr v e target] replaces every free occurrence of [v] in [target]
+    by [e]. *)
+
+val expr_many : Expr.t Var.Map.t -> Expr.t -> Expr.t
+val stmt : Var.t -> Expr.t -> Stmt.t -> Stmt.t
+(** Loop variables are unique ({!Var.fresh}), so no shadowing can occur
+    and substitution descends through binders unconditionally. *)
+
+val stmt_many : Expr.t Var.Map.t -> Stmt.t -> Stmt.t

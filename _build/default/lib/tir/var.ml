@@ -1,0 +1,24 @@
+type t = { name : string; id : int }
+
+let counter = ref 0
+
+let fresh name =
+  incr counter;
+  { name; id = !counter }
+
+let name t = t.name
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp ppf t =
+  if t.name = "" then Format.fprintf ppf "v#%d" t.id
+  else Format.pp_print_string ppf t.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,19 @@
+(** Loop/index variables with globally unique identities.
+
+    Names are for printing only; identity is the numeric id, so two
+    variables named ["i"] created separately never alias. *)
+
+type t = private { name : string; id : int }
+
+val fresh : string -> t
+(** A new variable, distinct from all previously created ones. *)
+
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints [name] when unambiguous contextually; includes the id as
+    [name#id] only when [name] is empty. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/upmem/config.mli: Format

@@ -1,0 +1,1 @@
+lib/upmem/dpu_model.ml: Array Config Float List Timing

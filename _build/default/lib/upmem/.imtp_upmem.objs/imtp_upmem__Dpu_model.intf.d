@@ -1,0 +1,1 @@
+lib/upmem/dpu_model.mli: Config

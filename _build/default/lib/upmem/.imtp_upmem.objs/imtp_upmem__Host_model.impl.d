@@ -1,0 +1,1 @@
+lib/upmem/host_model.ml: Config Float

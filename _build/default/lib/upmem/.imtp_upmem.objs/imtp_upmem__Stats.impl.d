@@ -1,0 +1,1 @@
+lib/upmem/stats.ml: Format

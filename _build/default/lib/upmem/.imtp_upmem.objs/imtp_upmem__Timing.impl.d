@@ -1,0 +1,1 @@
+lib/upmem/timing.ml: Config Imtp_tensor

@@ -1,0 +1,1 @@
+lib/upmem/timing.mli: Config Imtp_tensor

@@ -1,0 +1,1 @@
+lib/upmem/transfer.mli: Config

@@ -1,0 +1,72 @@
+type t = {
+  nr_ranks : int;
+  dpus_per_rank : int;
+  max_tasklets : int;
+  wram_bytes : int;
+  mram_bytes : int;
+  iram_bytes : int;
+  dpu_freq_hz : float;
+  revolver_period : int;
+  branch_stall_cycles : int;
+  dma_setup_cycles : float;
+  dma_cycles_per_byte : float;
+  dma_min_bytes : int;
+  dma_max_bytes : int;
+  h2d_bw_per_rank : float;
+  d2h_bw_per_rank : float;
+  serial_copy_bw : float;
+  serial_copy_overhead_s : float;
+  parallel_xfer_overhead_s : float;
+  xfer_prepare_per_dpu_s : float;
+  kernel_launch_overhead_s : float;
+  host_threads : int;
+  host_ops_per_s : float;
+  host_mem_bw : float;
+}
+
+let default =
+  {
+    nr_ranks = 32;
+    dpus_per_rank = 64;
+    max_tasklets = 24;
+    wram_bytes = 64 * 1024;
+    mram_bytes = 64 * 1024 * 1024;
+    iram_bytes = 24 * 1024;
+    dpu_freq_hz = 350e6;
+    revolver_period = 11;
+    branch_stall_cycles = 3;
+    dma_setup_cycles = 24.;
+    dma_cycles_per_byte = 0.5;
+    dma_min_bytes = 8;
+    dma_max_bytes = 2048;
+    (* 32 ranks in parallel give ~6.9 GB/s H2D and ~4.4 GB/s D2H at the
+       system level, matching the PrIM measurements on a comparable
+       server. *)
+    h2d_bw_per_rank = 215e6;
+    d2h_bw_per_rank = 137e6;
+    serial_copy_bw = 300e6;
+    serial_copy_overhead_s = 2e-6;
+    parallel_xfer_overhead_s = 22e-6;
+    xfer_prepare_per_dpu_s = 0.15e-6;
+    kernel_launch_overhead_s = 55e-6;
+    host_threads = 32;
+    host_ops_per_s = 1.2e9;
+    host_mem_bw = 20e9;
+  }
+
+let nr_dpus t = t.nr_ranks * t.dpus_per_rank
+let seconds_of_cycles t cy = cy /. t.dpu_freq_hz
+let cycles_of_seconds t s = s *. t.dpu_freq_hz
+
+let with_dpus t n =
+  if n <= 0 then invalid_arg "Config.with_dpus: non-positive DPU count";
+  if n >= nr_dpus t then t
+  else if n >= t.dpus_per_rank then
+    { t with nr_ranks = (n + t.dpus_per_rank - 1) / t.dpus_per_rank }
+  else { t with nr_ranks = 1; dpus_per_rank = n }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "upmem{%d ranks x %d dpus, %d tasklets, wram=%dKB, %.0fMHz}" t.nr_ranks
+    t.dpus_per_rank t.max_tasklets (t.wram_bytes / 1024)
+    (t.dpu_freq_hz /. 1e6)

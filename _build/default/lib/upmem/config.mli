@@ -1,0 +1,54 @@
+(** Configuration of the simulated UPMEM system.
+
+    The defaults model the server used in the paper (§6): 32 ranks of
+    PIM-enabled DIMMs totalling 2,048 DPUs, each DPU a 350 MHz in-order
+    multithreaded core with 24 hardware threads (tasklets), 64 KB WRAM,
+    24 KB IRAM and a 64 MB MRAM bank.  Timing constants follow the PrIM
+    characterization study (Gómez-Luna et al., IEEE Access 2022) and
+    UPMEM's documentation; see DESIGN.md for the substitution rationale. *)
+
+type t = {
+  nr_ranks : int;  (** number of PIM ranks (32). *)
+  dpus_per_rank : int;  (** DPUs per rank (64). *)
+  max_tasklets : int;  (** hardware threads per DPU (24). *)
+  wram_bytes : int;  (** working RAM per DPU (65,536). *)
+  mram_bytes : int;  (** MRAM bank per DPU (64 MiB). *)
+  iram_bytes : int;  (** instruction RAM per DPU (24,576). *)
+  dpu_freq_hz : float;  (** DPU clock (350 MHz). *)
+  revolver_period : int;
+      (** minimum cycles between two issues of the same tasklet; the
+          14-stage "revolver" pipeline saturates at 11 tasklets. *)
+  branch_stall_cycles : int;
+      (** extra front-end bubble charged per conditional branch when the
+          pipeline is not saturated (no branch predictor on DPUs). *)
+  dma_setup_cycles : float;  (** fixed cost of one MRAM<->WRAM DMA. *)
+  dma_cycles_per_byte : float;  (** marginal DMA cost (≈0.5 cy/B). *)
+  dma_min_bytes : int;  (** minimum DMA transfer size (8). *)
+  dma_max_bytes : int;  (** maximum DMA transfer size (2,048). *)
+  h2d_bw_per_rank : float;  (** bank-parallel host→DPU B/s per rank. *)
+  d2h_bw_per_rank : float;  (** bank-parallel DPU→host B/s per rank. *)
+  serial_copy_bw : float;  (** B/s of a single-DPU (serial) copy. *)
+  serial_copy_overhead_s : float;  (** per-DPU fixed cost, serial copy. *)
+  parallel_xfer_overhead_s : float;  (** per push_xfer launch cost. *)
+  xfer_prepare_per_dpu_s : float;
+      (** host-side [dpu_prepare_xfer] bookkeeping per participating
+          DPU in a bank-parallel transfer. *)
+  kernel_launch_overhead_s : float;  (** per dpu_launch cost. *)
+  host_threads : int;  (** usable host CPU threads. *)
+  host_ops_per_s : float;  (** per-thread host scalar op throughput. *)
+  host_mem_bw : float;  (** host memory bandwidth (B/s), all threads. *)
+}
+
+val default : t
+(** The 2,048-DPU paper configuration. *)
+
+val nr_dpus : t -> int
+(** Total DPUs in the system. *)
+
+val seconds_of_cycles : t -> float -> float
+val cycles_of_seconds : t -> float -> float
+val with_dpus : t -> int -> t
+(** [with_dpus cfg n] scales the system down to [n] DPUs (whole ranks
+    first); used for experiments that vary the machine size. *)
+
+val pp : Format.formatter -> t -> unit

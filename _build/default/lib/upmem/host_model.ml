@@ -1,0 +1,14 @@
+let thread_spawn_overhead_s = 8e-6
+
+let loop_seconds (cfg : Config.t) ~threads ~elems ~ops_per_elem
+    ~bytes_per_elem =
+  if elems <= 0 then 0.
+  else begin
+    let threads = max 1 (min threads cfg.host_threads) in
+    let ops = float_of_int elems *. ops_per_elem in
+    let bytes = float_of_int elems *. bytes_per_elem in
+    let compute_s = ops /. (cfg.host_ops_per_s *. float_of_int threads) in
+    let mem_s = bytes /. cfg.host_mem_bw in
+    let spawn = if threads > 1 then thread_spawn_overhead_s else 0. in
+    spawn +. Float.max compute_s mem_s
+  end

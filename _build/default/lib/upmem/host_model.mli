@@ -1,0 +1,13 @@
+(** Host-CPU cost model for post-processing loops (final reductions and
+    result aggregation, §5.2.2 "Reduction code generation"). *)
+
+val loop_seconds :
+  Config.t -> threads:int -> elems:int -> ops_per_elem:float ->
+  bytes_per_elem:float -> float
+(** Time for a host loop over [elems] items doing [ops_per_elem] scalar
+    operations and touching [bytes_per_elem] of memory each, run on
+    [threads] threads (clamped to the configured host thread count).
+    The loop is limited by either compute throughput or memory
+    bandwidth, plus a per-thread spawn overhead when [threads] > 1. *)
+
+val thread_spawn_overhead_s : float

@@ -1,0 +1,36 @@
+type binop = Add | Sub | Mul | Div | Min | Max
+
+let binop_slots dt op =
+  match (dt, op) with
+  | (Imtp_tensor.Dtype.I8 | Imtp_tensor.Dtype.I32), (Add | Sub) -> 1.
+  | (Imtp_tensor.Dtype.I8 | Imtp_tensor.Dtype.I32), (Min | Max) -> 2.
+  (* the 8x8 multiplier handles int8 natively; int32 needs a stepper. *)
+  | Imtp_tensor.Dtype.I8, Mul -> 2.
+  | Imtp_tensor.Dtype.I32, Mul -> 6.
+  | Imtp_tensor.Dtype.I8, Div -> 12.
+  | Imtp_tensor.Dtype.I32, Div -> 24.
+  | Imtp_tensor.Dtype.F32, (Add | Sub) -> 8.
+  | Imtp_tensor.Dtype.F32, (Min | Max) -> 6.
+  | Imtp_tensor.Dtype.F32, Mul -> 12.
+  | Imtp_tensor.Dtype.F32, Div -> 48.
+
+let wram_access_slots = 1.
+let mram_scalar_access_slots = 40.
+let loop_overhead_slots = 3.
+
+let branch_slots (cfg : Config.t) ~tasklets =
+  let base = 2. in
+  if tasklets < cfg.revolver_period then
+    base +. float_of_int cfg.branch_stall_cycles
+  else base
+
+let address_calc_slots ~terms = if terms <= 1 then 1. else float_of_int terms *. 2.
+
+let dma_cycles (cfg : Config.t) bytes =
+  let b = max cfg.dma_min_bytes (min bytes cfg.dma_max_bytes) in
+  cfg.dma_setup_cycles +. (cfg.dma_cycles_per_byte *. float_of_int b)
+
+let dma_legal (cfg : Config.t) bytes =
+  bytes >= cfg.dma_min_bytes && bytes <= cfg.dma_max_bytes && bytes mod 8 = 0
+
+let estimate_iram_bytes ~instructions = int_of_float (instructions *. 8.)

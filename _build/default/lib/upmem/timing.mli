@@ -1,0 +1,48 @@
+(** Per-instruction issue-slot costs and DMA latency formulas for the
+    simulated DPU.
+
+    The DPU is an in-order core: performance is dominated by how many
+    issue slots a kernel's dynamic instruction stream occupies (§3 of
+    the paper: "simple in-order DPU cores ... make the system strongly
+    compute-bound").  Costs are expressed in issue slots; the pipeline
+    model in {!Dpu_model} converts slots to cycles given the number of
+    active tasklets. *)
+
+type binop = Add | Sub | Mul | Div | Min | Max
+
+val binop_slots : Imtp_tensor.Dtype.t -> binop -> float
+(** Issue slots for an ALU operation.  32-bit integer multiplication is
+    a multi-instruction sequence on DPUs (8×8 multiplier stepper);
+    floating point is software-emulated. *)
+
+val wram_access_slots : float
+(** One WRAM load or store. *)
+
+val mram_scalar_access_slots : float
+(** A direct (non-DMA) scalar access to MRAM — much slower; generated
+    code should always cache via WRAM, but the interpreter supports it. *)
+
+val loop_overhead_slots : float
+(** Per-iteration induction increment + compare + back-edge branch. *)
+
+val branch_slots : Config.t -> tasklets:int -> float
+(** Cost of one conditional branch (compare + jump), including the
+    front-end bubble when the revolver pipeline is unsaturated
+    ([tasklets] < revolver period). *)
+
+val address_calc_slots : terms:int -> float
+(** Cost of computing a multi-term affine address (multiply-add per
+    term beyond the first). *)
+
+val dma_cycles : Config.t -> int -> float
+(** [dma_cycles cfg bytes] — latency of one MRAM↔WRAM DMA transfer of
+    [bytes] (clamped to the legal size range; callers are expected to
+    have validated alignment). *)
+
+val dma_legal : Config.t -> int -> bool
+(** Whether a DMA of this size is legal (8-byte aligned, within
+    [dma_min_bytes, dma_max_bytes]). *)
+
+val estimate_iram_bytes : instructions:float -> int
+(** Rough static code footprint (used by the verifier to reject
+    over-unrolled kernels): DPU instructions are 8 bytes each. *)

@@ -1,0 +1,35 @@
+type direction = H2d | D2h
+type mode = Serial | Bank_parallel
+
+let rank_bw (cfg : Config.t) = function
+  | H2d -> cfg.h2d_bw_per_rank
+  | D2h -> cfg.d2h_bw_per_rank
+
+let seconds (cfg : Config.t) dir mode ~ndpus ~bytes_per_dpu =
+  if bytes_per_dpu <= 0 || ndpus <= 0 then 0.
+  else
+    match mode with
+    | Serial ->
+        let per_dpu =
+          cfg.serial_copy_overhead_s
+          +. (float_of_int bytes_per_dpu /. cfg.serial_copy_bw)
+        in
+        float_of_int ndpus *. per_dpu
+    | Bank_parallel ->
+        (* Ranks proceed in parallel; the busiest rank holds
+           min(ndpus, dpus_per_rank) DPUs. *)
+        let dpus_busiest_rank = min ndpus cfg.dpus_per_rank in
+        let bytes_busiest_rank = dpus_busiest_rank * bytes_per_dpu in
+        cfg.parallel_xfer_overhead_s
+        +. (float_of_int ndpus *. cfg.xfer_prepare_per_dpu_s)
+        +. (float_of_int bytes_busiest_rank /. rank_bw cfg dir)
+
+let broadcast_seconds (cfg : Config.t) ~ndpus ~bytes =
+  if bytes <= 0 || ndpus <= 0 then 0.
+  else
+    (* dpu_broadcast_to: the same buffer is pushed once per rank, ranks
+       in parallel; replication inside a rank is pipelined so the cost
+       is that of one rank-wide push of [bytes] per DPU. *)
+    let dpus_busiest_rank = min ndpus cfg.dpus_per_rank in
+    cfg.parallel_xfer_overhead_s
+    +. (float_of_int (dpus_busiest_rank * bytes) /. rank_bw cfg H2d)

@@ -1,0 +1,27 @@
+(** Host↔DPU data-transfer timing.
+
+    All host↔DPU movement goes through the host CPU over the memory
+    channels (§2.1).  Two mechanisms are modeled, matching the UPMEM
+    SDK and the paper's data-transfer codegen (§5.2.2):
+
+    - serial per-DPU copies ([dpu_copy_to]/[dpu_copy_from]): a fixed
+      per-call overhead plus bytes over the single-copy bandwidth,
+      summed over DPUs;
+    - bank-parallel transfers ([dpu_prepare_xfer] + [dpu_push_xfer]):
+      one launch overhead, all DPUs of a rank served in parallel at the
+      rank bandwidth, ranks in parallel with each other. *)
+
+type direction = H2d | D2h
+
+type mode =
+  | Serial  (** one runtime call per DPU. *)
+  | Bank_parallel  (** prepare/push xfer across DPUs of each rank. *)
+
+val seconds :
+  Config.t -> direction -> mode -> ndpus:int -> bytes_per_dpu:int -> float
+(** Time to move [bytes_per_dpu] to/from each of [ndpus] DPUs.  A zero
+    byte count costs nothing. *)
+
+val broadcast_seconds : Config.t -> ndpus:int -> bytes:int -> float
+(** Broadcast of identical data to all DPUs (e.g. the shared input
+    vector of MTV): a single rank-parallel push of [bytes]. *)

@@ -1,0 +1,1 @@
+lib/workloads/gptj.mli: Op

@@ -1,0 +1,1 @@
+lib/workloads/op.ml: Array Format Hashtbl Imtp_tensor List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/op.mli: Format Imtp_tensor

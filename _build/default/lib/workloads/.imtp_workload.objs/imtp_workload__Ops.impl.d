@@ -1,0 +1,1 @@
+lib/workloads/ops.ml: Imtp_tensor List Op Printf

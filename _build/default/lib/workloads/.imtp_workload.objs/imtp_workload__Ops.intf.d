@@ -1,0 +1,1 @@
+lib/workloads/ops.mli: Imtp_tensor Op

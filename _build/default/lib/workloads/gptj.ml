@@ -1,0 +1,35 @@
+type model = Gptj_6b | Gptj_30b
+
+let model_name = function Gptj_6b -> "GPT-J-6B" | Gptj_30b -> "GPT-J-30B"
+let heads = function Gptj_6b -> 16 | Gptj_30b -> 28
+let d_model = function Gptj_6b -> 4096 | Gptj_30b -> 7168
+
+type fc_kind = Qkv_gen | Qkv_proj | Fc | Fc_proj
+
+let fc_kinds = [ Qkv_gen; Qkv_proj; Fc; Fc_proj ]
+
+let fc_kind_name = function
+  | Qkv_gen -> "qkv_gen"
+  | Qkv_proj -> "qkv_proj"
+  | Fc -> "fc"
+  | Fc_proj -> "fc_proj"
+
+let fc_shape model kind =
+  let d = d_model model in
+  match kind with
+  | Qkv_gen -> (3 * d, d)
+  | Qkv_proj -> (d, d)
+  | Fc -> (4 * d, d)
+  | Fc_proj -> (d, 4 * d)
+
+let fc_op model kind =
+  let rows, cols = fc_shape model kind in
+  Ops.mtv rows cols
+
+let head_dim = 256
+
+let mmtv_op model ~batch ~tokens =
+  Ops.mmtv (batch * heads model) tokens head_dim
+
+let batches = [ 1; 4 ]
+let token_sizes = [ 64; 128; 256; 512 ]

@@ -1,0 +1,33 @@
+(** GPT-J multi-head-attention workload shapes (§6): the four
+    fully-connected MTV kernels and the batched MMTV kernels the paper
+    evaluates on GPT-J 6B and 30B. *)
+
+type model = Gptj_6b | Gptj_30b
+
+val model_name : model -> string
+val heads : model -> int
+(** 16 for 6B, 28 for 30B. *)
+
+val d_model : model -> int
+(** Hidden size: 4096 for 6B, 7168 for 30B. *)
+
+type fc_kind = Qkv_gen | Qkv_proj | Fc | Fc_proj
+
+val fc_kinds : fc_kind list
+val fc_kind_name : fc_kind -> string
+
+val fc_shape : model -> fc_kind -> int * int
+(** (rows, cols) of the FC weight matrix, as listed in Fig. 10(a). *)
+
+val fc_op : model -> fc_kind -> Op.t
+(** The MTV operation of that FC layer. *)
+
+val mmtv_op : model -> batch:int -> tokens:int -> Op.t
+(** Attention-score MMTV of shape (batch×heads, tokens, 256)
+    (Fig. 10(b)). *)
+
+val batches : int list
+(** Batch sizes evaluated in the paper: 1 and 4. *)
+
+val token_sizes : int list
+(** Token counts evaluated in the paper: 64, 128, 256, 512. *)

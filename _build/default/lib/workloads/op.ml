@@ -1,0 +1,134 @@
+module T = Imtp_tensor
+
+type axis_kind = Spatial | Reduction
+type axis = { aname : string; extent : int; kind : axis_kind }
+type elem = Ref of string | Const of T.Value.t | Bin of bin * elem * elem
+and bin = Add | Sub | Mul
+
+type t = {
+  opname : string;
+  dtype : T.Dtype.t;
+  axes : axis list;
+  inputs : (string * string list) list;
+  output : string * string list;
+  body : elem;
+}
+
+let axis t name =
+  match List.find_opt (fun a -> String.equal a.aname name) t.axes with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Op.axis: unknown axis %s" name)
+
+let rec elem_refs = function
+  | Ref n -> [ n ]
+  | Const _ -> []
+  | Bin (_, a, b) -> elem_refs a @ elem_refs b
+
+let create ~name ~dtype ~axes ~inputs ~output ~body =
+  let t = { opname = name; dtype; axes; inputs; output; body } in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      if a.extent <= 0 then invalid_arg "Op.create: non-positive axis extent";
+      if Hashtbl.mem seen a.aname then invalid_arg "Op.create: duplicate axis";
+      Hashtbl.add seen a.aname ())
+    axes;
+  List.iter
+    (fun (tn, dims) ->
+      if dims = [] then
+        invalid_arg (Printf.sprintf "Op.create: input %s has no axes" tn);
+      List.iter (fun d -> ignore (axis t d)) dims)
+    inputs;
+  let _, out_dims = output in
+  List.iter
+    (fun d ->
+      let a = axis t d in
+      if a.kind = Reduction then
+        invalid_arg "Op.create: output indexed by a reduction axis")
+    out_dims;
+  List.iter
+    (fun r ->
+      if not (List.mem_assoc r inputs) then
+        invalid_arg (Printf.sprintf "Op.create: body references unknown input %s" r))
+    (elem_refs body);
+  t
+
+let spatial_axes t = List.filter (fun a -> a.kind = Spatial) t.axes
+let reduction_axes t = List.filter (fun a -> a.kind = Reduction) t.axes
+let has_reduction t = reduction_axes t <> []
+
+let input_shape t name =
+  match List.assoc_opt name t.inputs with
+  | Some dims -> List.map (fun d -> (axis t d).extent) dims
+  | None -> invalid_arg (Printf.sprintf "Op.input_shape: unknown input %s" name)
+
+let output_shape t = List.map (fun d -> (axis t d).extent) (snd t.output)
+let output_elems t = List.fold_left ( * ) 1 (output_shape t)
+
+let total_flops t =
+  List.fold_left (fun acc a -> acc *. float_of_int a.extent) 1. t.axes
+
+let reference t inputs =
+  let find name =
+    match List.assoc_opt name inputs with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Op.reference: missing input %s" name)
+  in
+  let out_shape =
+    match output_shape t with [] -> T.Shape.create [ 1 ] | dims -> T.Shape.create dims
+  in
+  let out = T.Tensor.create t.dtype out_shape in
+  let point = Hashtbl.create 8 in
+  let rec eval_elem = function
+    | Const v -> v
+    | Ref name ->
+        let dims = List.assoc name t.inputs in
+        let idx = Array.of_list (List.map (Hashtbl.find point) dims) in
+        T.Tensor.get (find name) idx
+    | Bin (op, a, b) -> (
+        let x = eval_elem a and y = eval_elem b in
+        match op with
+        | Add -> T.Value.add x y
+        | Sub -> T.Value.sub x y
+        | Mul -> T.Value.mul x y)
+  in
+  let out_index () =
+    match snd t.output with
+    | [] -> [| 0 |]
+    | dims -> Array.of_list (List.map (Hashtbl.find point) dims)
+  in
+  let rec loop = function
+    | [] ->
+        let idx = out_index () in
+        let v = eval_elem t.body in
+        if has_reduction t then T.Tensor.set out idx (T.Value.add (T.Tensor.get out idx) v)
+        else T.Tensor.set out idx v
+    | a :: rest ->
+        for i = 0 to a.extent - 1 do
+          Hashtbl.replace point a.aname i;
+          loop rest
+        done
+  in
+  loop t.axes;
+  out
+
+let rec pp_elem ppf = function
+  | Ref n -> Format.pp_print_string ppf n
+  | Const v -> T.Value.pp ppf v
+  | Bin (op, a, b) ->
+      let s = match op with Add -> "+" | Sub -> "-" | Mul -> "*" in
+      Format.fprintf ppf "(%a %s %a)" pp_elem a s pp_elem b
+
+let pp ppf t =
+  let axis_str a =
+    Format.sprintf "%s%s:%d" a.aname
+      (match a.kind with Spatial -> "" | Reduction -> "(red)")
+      a.extent
+  in
+  Format.fprintf ppf "%s[%s] %s%s = %a" t.opname
+    (String.concat ", " (List.map axis_str t.axes))
+    (fst t.output)
+    (match snd t.output with
+    | [] -> ""
+    | dims -> "(" ^ String.concat "," dims ^ ")")
+    pp_elem t.body

@@ -1,0 +1,60 @@
+(** Operator definitions — the "abstract computational task" side of
+    the TensorIR separation (§2.2): an iteration domain over named axes
+    and an element expression, with no implementation choices.
+    Schedules (how to tile, bind, cache) are applied separately by
+    {!Imtp_schedule.Sched}. *)
+
+type axis_kind = Spatial | Reduction
+
+type axis = { aname : string; extent : int; kind : axis_kind }
+
+(** Element expression over the current iteration point.  [Ref t] reads
+    input tensor [t] at the point's coordinates (projected onto [t]'s
+    axes).  For reduction ops the output accumulates the expression
+    with [+] over the reduction axes. *)
+type elem =
+  | Ref of string
+  | Const of Imtp_tensor.Value.t
+  | Bin of bin * elem * elem
+
+and bin = Add | Sub | Mul
+
+type t = {
+  opname : string;
+  dtype : Imtp_tensor.Dtype.t;
+  axes : axis list;  (** canonical loop order, spatial and reduction. *)
+  inputs : (string * string list) list;
+      (** tensor name and its axes, outermost first. *)
+  output : string * string list;  (** name and spatial axes. *)
+  body : elem;
+}
+
+val create :
+  name:string ->
+  dtype:Imtp_tensor.Dtype.t ->
+  axes:axis list ->
+  inputs:(string * string list) list ->
+  output:string * string list ->
+  body:elem ->
+  t
+(** @raise Invalid_argument if an input/output references an unknown
+    axis, the output references a reduction axis, a [Ref] names an
+    unknown input, or axis names collide. *)
+
+val axis : t -> string -> axis
+val spatial_axes : t -> axis list
+val reduction_axes : t -> axis list
+val has_reduction : t -> bool
+val input_shape : t -> string -> int list
+val output_shape : t -> int list
+(** Empty list means a scalar output (stored as one element). *)
+
+val output_elems : t -> int
+val total_flops : t -> float
+(** Multiply-add count of the whole operation (for reporting). *)
+
+val reference : t -> (string * Imtp_tensor.Tensor.t) list -> Imtp_tensor.Tensor.t
+(** Direct-loop evaluation of the definition; the golden semantics every
+    schedule must preserve. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module T = Imtp_tensor
+
+let sp name extent = { Op.aname = name; extent; kind = Op.Spatial }
+let rd name extent = { Op.aname = name; extent; kind = Op.Reduction }
+let cst n = Op.Const (T.Value.Int n)
+
+let va ?(dtype = T.Dtype.I32) n =
+  Op.create ~name:"va" ~dtype
+    ~axes:[ sp "i" n ]
+    ~inputs:[ ("A", [ "i" ]); ("B", [ "i" ]) ]
+    ~output:("C", [ "i" ])
+    ~body:(Op.Bin (Op.Add, Op.Ref "A", Op.Ref "B"))
+
+let geva ?(dtype = T.Dtype.I32) ~c ~d n =
+  Op.create ~name:"geva" ~dtype
+    ~axes:[ sp "i" n ]
+    ~inputs:[ ("A", [ "i" ]); ("B", [ "i" ]) ]
+    ~output:("C", [ "i" ])
+    ~body:
+      (Op.Bin
+         ( Op.Add,
+           Op.Bin (Op.Mul, cst c, Op.Ref "A"),
+           Op.Bin (Op.Mul, cst d, Op.Ref "B") ))
+
+let red ?(dtype = T.Dtype.I32) n =
+  Op.create ~name:"red" ~dtype
+    ~axes:[ rd "i" n ]
+    ~inputs:[ ("A", [ "i" ]) ]
+    ~output:("C", [])
+    ~body:(Op.Ref "A")
+
+let mtv ?(dtype = T.Dtype.I32) n k =
+  Op.create ~name:"mtv" ~dtype
+    ~axes:[ sp "i" n; rd "j" k ]
+    ~inputs:[ ("A", [ "i"; "j" ]); ("B", [ "j" ]) ]
+    ~output:("C", [ "i" ])
+    ~body:(Op.Bin (Op.Mul, Op.Ref "A", Op.Ref "B"))
+
+let gemv ?(dtype = T.Dtype.I32) ~c n k =
+  Op.create ~name:"gemv" ~dtype
+    ~axes:[ sp "i" n; rd "j" k ]
+    ~inputs:[ ("A", [ "i"; "j" ]); ("B", [ "j" ]) ]
+    ~output:("C", [ "i" ])
+    ~body:(Op.Bin (Op.Mul, cst c, Op.Bin (Op.Mul, Op.Ref "A", Op.Ref "B")))
+
+let ttv ?(dtype = T.Dtype.I32) n m k =
+  Op.create ~name:"ttv" ~dtype
+    ~axes:[ sp "i" n; sp "j" m; rd "k" k ]
+    ~inputs:[ ("A", [ "i"; "j"; "k" ]); ("B", [ "k" ]) ]
+    ~output:("C", [ "i"; "j" ])
+    ~body:(Op.Bin (Op.Mul, Op.Ref "A", Op.Ref "B"))
+
+let mmtv ?(dtype = T.Dtype.I32) b n k =
+  Op.create ~name:"mmtv" ~dtype
+    ~axes:[ sp "i" b; sp "j" n; rd "k" k ]
+    ~inputs:[ ("A", [ "i"; "j"; "k" ]); ("B", [ "i"; "k" ]) ]
+    ~output:("C", [ "i"; "j" ])
+    ~body:(Op.Bin (Op.Mul, Op.Ref "A", Op.Ref "B"))
+
+let gemm ?(dtype = T.Dtype.I32) n m k =
+  Op.create ~name:"gemm" ~dtype
+    ~axes:[ sp "i" n; sp "j" m; rd "k" k ]
+    ~inputs:[ ("A", [ "i"; "k" ]); ("B", [ "k"; "j" ]) ]
+    ~output:("C", [ "i"; "j" ])
+    ~body:(Op.Bin (Op.Mul, Op.Ref "A", Op.Ref "B"))
+
+let all_names = [ "va"; "geva"; "red"; "mtv"; "gemv"; "ttv"; "mmtv"; "gemm" ]
+
+let by_name name ~sizes =
+  match (name, sizes) with
+  | "va", [ n ] -> va n
+  | "geva", [ n ] -> geva ~c:3 ~d:2 n
+  | "red", [ n ] -> red n
+  | "mtv", [ n; k ] -> mtv n k
+  | "gemv", [ n; k ] -> gemv ~c:3 n k
+  | "ttv", [ n; m; k ] -> ttv n m k
+  | "mmtv", [ b; n; k ] -> mmtv b n k
+  | "gemm", [ n; m; k ] -> gemm n m k
+  | _, _ ->
+      invalid_arg
+        (Printf.sprintf "Ops.by_name: unknown op %s or wrong arity (%d sizes)"
+           name (List.length sizes))
+
+let random_inputs ?(seed = 7) (op : Op.t) =
+  List.mapi
+    (fun i (name, _) ->
+      let shape = T.Shape.create (Op.input_shape op name) in
+      (name, T.Tensor.random ~seed:(seed + (17 * i)) ~bound:9 op.Op.dtype shape))
+    op.Op.inputs

@@ -1,0 +1,38 @@
+(** The seven tensor-algebra operations of the paper's evaluation (§6),
+    as {!Op.t} definitions.  All default to int32, matching the PrIM
+    benchmark suite. *)
+
+val va : ?dtype:Imtp_tensor.Dtype.t -> int -> Op.t
+(** [va n]: C(i) = A(i) + B(i), i < n. *)
+
+val geva : ?dtype:Imtp_tensor.Dtype.t -> c:int -> d:int -> int -> Op.t
+(** [geva ~c ~d n]: C(i) = c*A(i) + d*B(i). *)
+
+val red : ?dtype:Imtp_tensor.Dtype.t -> int -> Op.t
+(** [red n]: b = Σ_i A(i). *)
+
+val mtv : ?dtype:Imtp_tensor.Dtype.t -> int -> int -> Op.t
+(** [mtv n k]: C(i) = Σ_j A(i,j)·B(j). *)
+
+val gemv : ?dtype:Imtp_tensor.Dtype.t -> c:int -> int -> int -> Op.t
+(** [gemv ~c n k]: C(i) = c·Σ_j A(i,j)·B(j). *)
+
+val ttv : ?dtype:Imtp_tensor.Dtype.t -> int -> int -> int -> Op.t
+(** [ttv n m k]: C(i,j) = Σ_k A(i,j,k)·B(k). *)
+
+val mmtv : ?dtype:Imtp_tensor.Dtype.t -> int -> int -> int -> Op.t
+(** [mmtv b n k]: C(i,j) = Σ_k A(i,j,k)·B(i,k). *)
+
+val gemm : ?dtype:Imtp_tensor.Dtype.t -> int -> int -> int -> Op.t
+(** [gemm n m k]: C(i,j) = Σ_k A(i,k)·B(k,j) — an extension beyond the
+    paper's seven operations (general matrix multiplication, as
+    supported by CINM in Table 1). *)
+
+val all_names : string list
+val by_name : string -> sizes:int list -> Op.t
+(** Build an op by name with the given dimension sizes (for the CLI).
+    @raise Invalid_argument on unknown names or wrong arity. *)
+
+val random_inputs : ?seed:int -> Op.t -> (string * Imtp_tensor.Tensor.t) list
+(** Deterministic random inputs with small magnitudes (int32-safe for
+    the reduction depths used in tests and benches). *)

@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Filename Float Imtp_autotune Imtp_lower Imtp_schedule Imtp_tensor Imtp_tir Imtp_upmem Imtp_workload List Printf QCheck2 QCheck_alcotest Result String Sys

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Imtp_baselines Imtp_tensor Imtp_tir Imtp_upmem Imtp_workload List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Format Imtp List QCheck2 QCheck_alcotest String

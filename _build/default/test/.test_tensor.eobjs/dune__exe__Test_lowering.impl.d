@@ -1,0 +1,1 @@
+test/test_lowering.ml: Alcotest Imtp_lower Imtp_schedule Imtp_tensor Imtp_tir Imtp_upmem Imtp_workload List QCheck2 QCheck_alcotest

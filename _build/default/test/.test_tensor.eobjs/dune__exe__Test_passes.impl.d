@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Imtp_autotune Imtp_lower Imtp_passes Imtp_tensor Imtp_tir Imtp_upmem Imtp_workload List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Float Imtp_autotune Imtp_lower Imtp_passes Imtp_tensor Imtp_tir Imtp_upmem Imtp_workload List Option QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Imtp_schedule Imtp_workload List QCheck2 QCheck_alcotest String

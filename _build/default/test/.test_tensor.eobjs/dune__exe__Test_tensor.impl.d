@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Imtp_tensor List QCheck2 QCheck_alcotest

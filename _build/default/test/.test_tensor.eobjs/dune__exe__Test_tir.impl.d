@@ -1,0 +1,1 @@
+test/test_tir.ml: Alcotest Array Imtp_tensor Imtp_tir Imtp_upmem List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_upmem.ml: Alcotest Float Imtp_tensor Imtp_upmem List Printf QCheck2 QCheck_alcotest

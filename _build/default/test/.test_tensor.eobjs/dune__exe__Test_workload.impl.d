@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Imtp_tensor Imtp_workload List QCheck2 QCheck_alcotest

@@ -1,0 +1,341 @@
+(* Autotuner tests: sketches, verifier, cost model, measurement and the
+   balanced evolutionary search. *)
+
+module Sk = Imtp_autotune.Sketch
+module V = Imtp_autotune.Verifier
+module Ms = Imtp_autotune.Measure
+module Cm = Imtp_autotune.Cost_model
+module Se = Imtp_autotune.Search
+module Tu = Imtp_autotune.Tuner
+module Rng = Imtp_autotune.Rng
+module Ops = Imtp_workload.Ops
+module Op = Imtp_workload.Op
+module U = Imtp_upmem
+module T = Imtp_tensor
+
+let cfg = U.Config.default
+
+let test_family_detection () =
+  Alcotest.(check bool) "va" true (Sk.family_of (Ops.va 8) = Sk.Elementwise);
+  Alcotest.(check bool) "red" true (Sk.family_of (Ops.red 8) = Sk.Tasklet_reduce);
+  Alcotest.(check bool) "mtv" true (Sk.family_of (Ops.mtv 4 4) = Sk.Mat_vec);
+  Alcotest.(check bool) "mmtv" true (Sk.family_of (Ops.mmtv 2 4 4) = Sk.Batched);
+  Alcotest.(check bool) "gemm" true (Sk.family_of (Ops.gemm 4 4 4) = Sk.Mat_mat)
+
+let test_sketch_instantiates_all_families () =
+  let check op p =
+    let s = Sk.instantiate op p in
+    let prog = Imtp_lower.Lowering.lower ~options:(Sk.lower_options p) s in
+    match Imtp_tir.Program.validate prog with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m
+  in
+  let p = { Sk.default_params with Sk.spatial_dpus = 8; tasklets = 4; cache_elems = 8 } in
+  check (Ops.va 500) p;
+  check (Ops.red 500) { p with Sk.reduction_dpus = 4 };
+  check (Ops.mtv 30 40) p;
+  check (Ops.mtv 30 40) { p with Sk.reduction_dpus = 2 };
+  check (Ops.mmtv 3 10 20) { p with Sk.rows_per_tasklet = 2 };
+  check (Ops.ttv 3 10 20) { p with Sk.reduction_dpus = 2; rows_per_tasklet = 2 };
+  check (Ops.gemm 10 12 14) p;
+  check (Ops.gemm 10 12 14) { p with Sk.reduction_dpus = 2 }
+
+let test_sketch_correctness_random_params () =
+  let rng = Rng.create ~seed:11 in
+  List.iter
+    (fun op ->
+      for _ = 1 to 5 do
+        let p = Sk.random rng cfg op in
+        match Ms.build cfg op p with
+        | Error _ -> () (* verifier may reject; that's fine *)
+        | Ok prog ->
+            let inputs = Ops.random_inputs op in
+            let outs = Imtp_tir.Eval.run prog ~inputs in
+            let got = T.Tensor.to_value_list (List.assoc (fst op.Op.output) outs) in
+            let want = T.Tensor.to_value_list (Op.reference op inputs) in
+            if got <> want then
+              Alcotest.failf "wrong result for %s under %s" op.Op.opname
+                (Sk.describe p)
+      done)
+    [
+      Ops.va 333;
+      Ops.geva ~c:3 ~d:2 333;
+      Ops.red 257;
+      Ops.mtv 19 37;
+      Ops.gemv ~c:5 19 37;
+      Ops.ttv 3 9 17;
+      Ops.mmtv 3 9 17;
+      Ops.gemm 13 11 9;
+    ]
+
+let test_verifier_rejects_too_many_tasklets () =
+  let s =
+    Sk.instantiate (Ops.va 100000)
+      { Sk.default_params with Sk.tasklets = 24; spatial_dpus = 16 }
+  in
+  (match V.check_sched cfg s with Ok () -> () | Error _ -> Alcotest.fail "24 ok");
+  (* 25 tasklets cannot even be expressed through the sketch choices;
+     check the verifier directly on a hand schedule. *)
+  let op = Ops.va 100000 in
+  let sch = Imtp_schedule.Sched.create op in
+  let i = List.hd (Imtp_schedule.Sched.order sch) in
+  (match Imtp_schedule.Sched.split sch i ~factors:[ 25; 4 ] with
+  | [ _o; th; _inner ] -> Imtp_schedule.Sched.bind sch th Imtp_schedule.Sched.Thread_x
+  | _ -> assert false);
+  match V.check_sched cfg sch with
+  | Error r -> Alcotest.(check string) "constraint" "tasklets" r.V.constraint_name
+  | Ok () -> Alcotest.fail "25 tasklets accepted"
+
+let test_verifier_rejects_wram_overflow () =
+  (* 512-element caches x 3 buffers x 24 tasklets = 144 KB > 64 KB. *)
+  let p =
+    {
+      Sk.default_params with
+      Sk.spatial_dpus = 4;
+      tasklets = 24;
+      cache_elems = 512;
+    }
+  in
+  match Ms.build cfg (Ops.va 1000000) p with
+  | Error m ->
+      Alcotest.(check bool) "mentions wram" true
+        (String.length m > 0
+        &&
+        let rec find i =
+          i + 4 <= String.length m && (String.sub m i 4 = "WRAM" || find (i + 1))
+        in
+        find 0)
+  | Ok _ -> Alcotest.fail "WRAM overflow accepted"
+
+let test_verifier_rejects_grid_overflow () =
+  let small = U.Config.with_dpus cfg 64 in
+  let p = { Sk.default_params with Sk.spatial_dpus = 2048; tasklets = 2; cache_elems = 4 } in
+  match Ms.build small (Ops.va (1 lsl 20)) p with
+  | Error _ -> ()
+  | Ok prog ->
+      Alcotest.(check bool) "grid within machine" true
+        (Imtp_tir.Program.dpus_used prog <= 64)
+
+let test_wram_accounting () =
+  (* VA with 4 tasklets and 16-element caches: 3 buffers x 64 B x 4
+     tasklets = 768 B of WRAM. *)
+  let p = { Sk.default_params with Sk.spatial_dpus = 4; tasklets = 4; cache_elems = 16 } in
+  let prog = Ms.build cfg (Ops.va 4096) p |> Result.get_ok in
+  let k = List.hd prog.Imtp_tir.Program.kernels in
+  Alcotest.(check int) "wram bytes" (3 * 64 * 4) (V.kernel_wram_bytes k)
+
+let test_measure_deterministic_without_rng () =
+  let op = Ops.mtv 64 128 in
+  let p = { Sk.default_params with Sk.spatial_dpus = 16; tasklets = 4; cache_elems = 16 } in
+  match (Ms.measure cfg op p, Ms.measure cfg op p) with
+  | Ok a, Ok b ->
+      Alcotest.(check (float 0.)) "deterministic" a.Ms.latency_s b.Ms.latency_s
+  | _ -> Alcotest.fail "measurement failed"
+
+let test_measure_noise_bounded () =
+  let op = Ops.mtv 64 128 in
+  let p = { Sk.default_params with Sk.spatial_dpus = 16; tasklets = 4; cache_elems = 16 } in
+  let base = match Ms.measure cfg op p with Ok r -> r.Ms.latency_s | Error m -> failwith m in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 20 do
+    match Ms.measure ~rng cfg op p with
+    | Ok r ->
+        let rel = Float.abs (r.Ms.latency_s -. base) /. base in
+        Alcotest.(check bool) "within 2%" true (rel <= Ms.noise_amplitude +. 1e-9)
+    | Error m -> Alcotest.fail m
+  done
+
+let test_cost_model_learns_ranking () =
+  let model = Cm.create () in
+  let op = Ops.mtv 256 512 in
+  let rng = Rng.create ~seed:5 in
+  let samples = ref [] in
+  (* train on random candidates *)
+  let tries = ref 0 in
+  while List.length !samples < 30 && !tries < 300 do
+    incr tries;
+    let p = Sk.random rng cfg op in
+    match Ms.measure cfg op p with
+    | Ok r ->
+        samples := (p, r.Ms.latency_s) :: !samples;
+        Cm.observe model (Cm.features op p) r.Ms.latency_s
+    | Error _ -> ()
+  done;
+  Alcotest.(check bool) "trained" true (Cm.trained model);
+  (* rank correlation on held-out pairs: the model should order most
+     clearly-separated pairs correctly. *)
+  let eval = ref [] in
+  let tries = ref 0 in
+  while List.length !eval < 20 && !tries < 300 do
+    incr tries;
+    let p = Sk.random rng cfg op in
+    match Ms.measure cfg op p with
+    | Ok r -> eval := (Cm.predict model (Cm.features op p), r.Ms.latency_s) :: !eval
+    | Error _ -> ()
+  done;
+  let correct = ref 0 and total = ref 0 in
+  List.iteri
+    (fun i (pi, yi) ->
+      List.iteri
+        (fun j (pj, yj) ->
+          if i < j && Float.abs (log yi -. log yj) > 0.7 then begin
+            incr total;
+            if (pi < pj) = (yi < yj) then incr correct
+          end)
+        !eval)
+    !eval;
+  if !total > 0 then
+    Alcotest.(check bool)
+      (Printf.sprintf "ranking accuracy %d/%d" !correct !total)
+      true
+      (float_of_int !correct /. float_of_int !total > 0.6)
+
+let test_search_finds_improvement () =
+  let op = Ops.mtv 512 1024 in
+  let o = Se.run ~seed:7 cfg op ~trials:48 in
+  Alcotest.(check bool) "measured something" true (o.Se.measured > 10);
+  match (o.Se.history, o.Se.best) with
+  | first :: _, Some best ->
+      Alcotest.(check bool) "improved over first trial" true
+        (best.Ms.latency_s <= first.Se.latency_s)
+  | _ -> Alcotest.fail "no history"
+
+let test_search_deterministic_per_seed () =
+  let op = Ops.mtv 128 256 in
+  let a = Se.run ~seed:9 cfg op ~trials:24 in
+  let b = Se.run ~seed:9 cfg op ~trials:24 in
+  let latencies o = List.map (fun r -> r.Se.latency_s) o.Se.history in
+  Alcotest.(check bool) "same trace" true (latencies a = latencies b)
+
+let test_search_history_monotone_best () =
+  let op = Ops.mtv 128 256 in
+  let o = Se.run ~seed:13 cfg op ~trials:32 in
+  let rec check prev = function
+    | [] -> ()
+    | r :: rest ->
+        Alcotest.(check bool) "best never regresses" true
+          (r.Se.best_so_far <= prev +. 1e-12);
+        check r.Se.best_so_far rest
+  in
+  check infinity o.Se.history
+
+let test_epsilon_schedule () =
+  (* indirect: adaptive search explores more distinct rfactor states
+     early on than the default. Direct check of the schedule itself. *)
+  let strategies = [ Se.tvm_default; Se.imtp_default ] in
+  List.iter
+    (fun s ->
+      let op = Ops.mtv 64 128 in
+      let o = Se.run ~strategy:s ~seed:3 cfg op ~trials:16 in
+      Alcotest.(check bool) "ran" true (o.Se.measured > 0))
+    strategies
+
+let test_tuner_end_to_end () =
+  let op = Ops.va 100_000 in
+  match Tu.tune ~seed:21 ~trials:32 cfg op with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      (* the tuned program computes the right answer *)
+      let inputs = Ops.random_inputs op in
+      let outs = Imtp_tir.Eval.run r.Tu.program ~inputs in
+      let got = T.Tensor.to_value_list (List.assoc "C" outs) in
+      let want = T.Tensor.to_value_list (Op.reference op inputs) in
+      Alcotest.(check bool) "correct" true (got = want);
+      Alcotest.(check bool) "describe non-empty" true
+        (String.length (Tu.describe r) > 0)
+
+let test_tuning_log_roundtrip () =
+  let module Tl = Imtp_autotune.Tuning_log in
+  let op = Ops.mtv 128 256 in
+  let o = Se.run ~seed:41 cfg op ~trials:16 in
+  let path = Filename.temp_file "imtp_log" ".txt" in
+  Tl.save path ~op_name:"mtv" o;
+  (match Tl.load path with
+  | Error m -> Alcotest.fail m
+  | Ok (name, entries) ->
+      Alcotest.(check string) "op name" "mtv" name;
+      Alcotest.(check int) "entry count" (List.length o.Se.history)
+        (List.length entries);
+      (match (Tl.best entries, o.Se.best) with
+      | Some e, Some b ->
+          Alcotest.(check (float 1e-12)) "best latency preserved"
+            b.Ms.latency_s e.Tl.latency_s;
+          Alcotest.(check bool) "best params preserved" true
+            (e.Tl.params = b.Ms.params)
+      | _ -> Alcotest.fail "missing best"));
+  Sys.remove path
+
+let test_tuning_log_params_roundtrip () =
+  let module Tl = Imtp_autotune.Tuning_log in
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 50 do
+    let p = Sk.random rng cfg (Ops.mtv 64 64) in
+    match Tl.params_of_string (Tl.params_to_string p) with
+    | Ok p' -> Alcotest.(check bool) "roundtrip" true (p = p')
+    | Error m -> Alcotest.fail m
+  done;
+  match Tl.params_of_string "sd=1 rd=2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "partial params accepted"
+
+let test_rng_reproducible () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let prop_verified_candidates_run =
+  QCheck2.Test.make ~name:"verifier-accepted candidates execute without error"
+    ~count:15
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 0 10000))
+    (fun (n, seed) ->
+      let op = Imtp_workload.Ops.va n in
+      let rng = Rng.create ~seed in
+      let p = Sk.random rng cfg op in
+      match Ms.build cfg op p with
+      | Error _ -> true
+      | Ok prog -> (
+          match Imtp_tir.Eval.run prog ~inputs:(Ops.random_inputs op) with
+          | _ -> true
+          | exception Imtp_tir.Eval.Error _ -> false))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "autotune"
+    [
+      ( "sketch",
+        [
+          Alcotest.test_case "families" `Quick test_family_detection;
+          Alcotest.test_case "instantiate" `Quick test_sketch_instantiates_all_families;
+          Alcotest.test_case "random params correct" `Quick
+            test_sketch_correctness_random_params;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "tasklets" `Quick test_verifier_rejects_too_many_tasklets;
+          Alcotest.test_case "wram" `Quick test_verifier_rejects_wram_overflow;
+          Alcotest.test_case "grid" `Quick test_verifier_rejects_grid_overflow;
+          Alcotest.test_case "wram accounting" `Quick test_wram_accounting;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_measure_deterministic_without_rng;
+          Alcotest.test_case "noise bounded" `Quick test_measure_noise_bounded;
+        ] );
+      ( "cost model",
+        [ Alcotest.test_case "learns ranking" `Slow test_cost_model_learns_ranking ] );
+      ( "search",
+        [
+          Alcotest.test_case "improves" `Quick test_search_finds_improvement;
+          Alcotest.test_case "deterministic" `Quick test_search_deterministic_per_seed;
+          Alcotest.test_case "monotone best" `Quick test_search_history_monotone_best;
+          Alcotest.test_case "strategies run" `Quick test_epsilon_schedule;
+          Alcotest.test_case "tuner end-to-end" `Quick test_tuner_end_to_end;
+          Alcotest.test_case "rng" `Quick test_rng_reproducible;
+          Alcotest.test_case "tuning log roundtrip" `Quick test_tuning_log_roundtrip;
+          Alcotest.test_case "params roundtrip" `Quick
+            test_tuning_log_params_roundtrip;
+        ] );
+      ("properties", q [ prop_verified_candidates_run ]);
+    ]

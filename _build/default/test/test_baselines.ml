@@ -1,0 +1,179 @@
+(* Baseline tests: PrIM / PrIM(E) / PrIM+search and SimplePIM produce
+   correct results and show the paper's qualitative cost orderings. *)
+
+module Pr = Imtp_baselines.Prim
+module Sp = Imtp_baselines.Simplepim
+module Ops = Imtp_workload.Ops
+module Op = Imtp_workload.Op
+module U = Imtp_upmem
+module T = Imtp_tensor
+
+let cfg = U.Config.default
+
+let check_correct name prog op =
+  let inputs = Ops.random_inputs op in
+  let outs = Imtp_tir.Eval.run prog ~inputs in
+  let got = T.Tensor.to_value_list (List.assoc (fst op.Op.output) outs) in
+  let want = T.Tensor.to_value_list (Op.reference op inputs) in
+  Alcotest.(check bool) (name ^ " correct") true (got = want)
+
+let test_prim_va_correct () =
+  let op = Ops.va 5000 in
+  match Pr.build cfg op { Pr.default with Pr.ndpus = 16 } with
+  | Ok prog -> check_correct "prim va" prog op
+  | Error m -> Alcotest.fail m
+
+let test_prim_red_correct () =
+  let op = Ops.red 4999 in
+  match Pr.build cfg op { Pr.default with Pr.ndpus = 8; tasklets = 4; cache_bytes = 64 } with
+  | Ok prog -> check_correct "prim red" prog op
+  | Error m -> Alcotest.fail m
+
+let test_prim_mtv_correct () =
+  let op = Ops.mtv 61 47 in
+  match Pr.build cfg op { Pr.default with Pr.ndpus = 8; tasklets = 4; cache_bytes = 32 } with
+  | Ok prog -> check_correct "prim mtv" prog op
+  | Error m -> Alcotest.fail m
+
+let test_prim_mmtv_correct () =
+  let op = Ops.mmtv 3 17 23 in
+  match Pr.build cfg op { Pr.default with Pr.ndpus = 12; tasklets = 2; cache_bytes = 32 } with
+  | Ok prog -> check_correct "prim mmtv" prog op
+  | Error m -> Alcotest.fail m
+
+let test_prim_red_ships_all_tasklet_partials () =
+  (* The PrIM RED program must transfer tasklets-many results per DPU
+     (the inefficiency IMTP fixes, §7.1). *)
+  let op = Ops.red 100_000 in
+  let t = 16 in
+  match Pr.build cfg op { Pr.default with Pr.ndpus = 32; tasklets = t } with
+  | Error m -> Alcotest.fail m
+  | Ok prog ->
+      let stats = Imtp_tir.Cost.measure cfg prog in
+      Alcotest.(check int) "d2h bytes = dpus * tasklets * 4"
+        (stats.U.Stats.dpus_used * t * 4)
+        stats.U.Stats.bytes_d2h
+
+let test_prim_e_searches_dpus_only () =
+  let op = Ops.mtv 2048 2048 in
+  match Pr.prim_e cfg op with
+  | Error m -> Alcotest.fail m
+  | Ok (p, _) ->
+      Alcotest.(check int) "tasklets fixed" Pr.default.Pr.tasklets p.Pr.tasklets;
+      Alcotest.(check int) "cache fixed" Pr.default.Pr.cache_bytes p.Pr.cache_bytes
+
+let test_grid_search_beats_default () =
+  let op = Ops.mtv 2048 2048 in
+  let d =
+    match Pr.measure cfg op Pr.default with Ok s -> s | Error m -> failwith m
+  in
+  match Pr.grid_search ~dpu_choices:[ 256; 512; 1024; 2048 ]
+          ~tasklet_choices:[ 8; 16 ] ~cache_choices:[ 64; 256; 1024 ] cfg op
+  with
+  | Error m -> Alcotest.fail m
+  | Ok (_, s) ->
+      Alcotest.(check bool) "search <= default" true
+        (U.Stats.total_s s <= U.Stats.total_s d +. 1e-12)
+
+let test_simplepim_va_correct () =
+  let op = Ops.va 3000 in
+  match Sp.build cfg op with
+  | Ok prog -> check_correct "simplepim va" prog op
+  | Error m -> Alcotest.fail m
+
+let test_simplepim_red_correct () =
+  let op = Ops.red 3001 in
+  match Sp.build cfg op with
+  | Ok prog -> check_correct "simplepim red" prog op
+  | Error m -> Alcotest.fail m
+
+let test_simplepim_rejects_mtv () =
+  match Sp.build cfg (Ops.mtv 8 8) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mtv accepted"
+
+let test_simplepim_va_slower_than_prim () =
+  (* SimplePIM's extra host-side copy makes VA slower end-to-end
+     (§7.1: 4-11x worse on the D2H side). *)
+  let op = Ops.va (1 lsl 20) in
+  let prim =
+    match Pr.measure cfg op Pr.default with Ok s -> s | Error m -> failwith m
+  in
+  match Sp.measure cfg op with
+  | Error m -> Alcotest.fail m
+  | Ok sp ->
+      Alcotest.(check bool)
+        (Printf.sprintf "simplepim %.3fms > prim %.3fms"
+           (U.Stats.total_s sp *. 1e3) (U.Stats.total_s prim *. 1e3))
+        true
+        (U.Stats.total_s sp > U.Stats.total_s prim)
+
+let test_simplepim_red_beats_prim_on_d2h () =
+  (* SimplePIM RED sends one partial per DPU, PrIM sends one per
+     tasklet: SimplePIM's D2H bytes must be lower. *)
+  let op = Ops.red (1 lsl 22) in
+  let prim =
+    match Pr.measure cfg op Pr.default with Ok s -> s | Error m -> failwith m
+  in
+  match Sp.measure cfg op with
+  | Error m -> Alcotest.fail m
+  | Ok sp ->
+      Alcotest.(check bool) "fewer d2h bytes" true
+        (sp.U.Stats.bytes_d2h < prim.U.Stats.bytes_d2h)
+
+let prop_prim_correct_any_shape =
+  QCheck2.Test.make ~name:"prim correct on random va shapes" ~count:20
+    QCheck2.Gen.(pair (int_range 1 3000) (int_range 0 3))
+    (fun (n, i) ->
+      let op = Imtp_workload.Ops.va n in
+      let p =
+        { Pr.default with Pr.ndpus = 1 lsl (i + 2); tasklets = 4; cache_bytes = 64 }
+      in
+      match Pr.build cfg op p with
+      | Error _ -> true
+      | Ok prog ->
+          let inputs = Ops.random_inputs ~seed:n op in
+          let outs = Imtp_tir.Eval.run prog ~inputs in
+          T.Tensor.to_value_list (List.assoc "C" outs)
+          = T.Tensor.to_value_list (Op.reference op inputs))
+
+let prop_prim_red_correct_any_shape =
+  QCheck2.Test.make ~name:"prim red correct on random sizes" ~count:15
+    QCheck2.Gen.(int_range 1 5000)
+    (fun n ->
+      let op = Imtp_workload.Ops.red n in
+      match Pr.build cfg op { Pr.default with Pr.ndpus = 8; tasklets = 4; cache_bytes = 32 } with
+      | Error _ -> true
+      | Ok prog ->
+          let inputs = Ops.random_inputs ~seed:n op in
+          let outs = Imtp_tir.Eval.run prog ~inputs in
+          T.Tensor.to_value_list (List.assoc "C" outs)
+          = T.Tensor.to_value_list (Op.reference op inputs))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "baselines"
+    [
+      ( "prim",
+        [
+          Alcotest.test_case "va" `Quick test_prim_va_correct;
+          Alcotest.test_case "red" `Quick test_prim_red_correct;
+          Alcotest.test_case "mtv" `Quick test_prim_mtv_correct;
+          Alcotest.test_case "mmtv" `Quick test_prim_mmtv_correct;
+          Alcotest.test_case "red ships tasklet partials" `Quick
+            test_prim_red_ships_all_tasklet_partials;
+          Alcotest.test_case "prim(e)" `Slow test_prim_e_searches_dpus_only;
+          Alcotest.test_case "grid search" `Slow test_grid_search_beats_default;
+        ] );
+      ( "simplepim",
+        [
+          Alcotest.test_case "va" `Quick test_simplepim_va_correct;
+          Alcotest.test_case "red" `Quick test_simplepim_red_correct;
+          Alcotest.test_case "rejects mtv" `Quick test_simplepim_rejects_mtv;
+          Alcotest.test_case "va slower than prim" `Quick
+            test_simplepim_va_slower_than_prim;
+          Alcotest.test_case "red d2h beats prim" `Quick
+            test_simplepim_red_beats_prim_on_d2h;
+        ] );
+      ("properties", q [ prop_prim_correct_any_shape; prop_prim_red_correct_any_shape ]);
+    ]

@@ -1,0 +1,253 @@
+(* Tests for the extension subsystems: the UPMEM C emitter, the
+   graph-level frontend, and the HBM-PIM prototype backend. *)
+
+let cfg = Imtp.default_config
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let compiled_gemv () =
+  let op = Imtp.Ops.gemv ~c:3 100 99 in
+  let p =
+    { Imtp.Sketch.default_params with Imtp.Sketch.spatial_dpus = 8; tasklets = 4; cache_elems = 8 }
+  in
+  Imtp.compile (Imtp.Sketch.instantiate op p)
+
+(* --- C emission -------------------------------------------------------- *)
+
+let test_codegen_kernel_markers () =
+  let prog = compiled_gemv () in
+  let k = List.hd prog.Imtp.Program.kernels in
+  let c = Imtp.Codegen_c.kernel_to_c prog k in
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool) ("kernel has " ^ marker) true (contains c marker))
+    [
+      "#include <mram.h>"; "me()"; "mram_read"; "mram_write"; "mem_alloc";
+      "__mram_noinit"; "BARRIER_INIT"; "int main(void)";
+    ]
+
+let test_codegen_host_markers () =
+  let prog = compiled_gemv () in
+  let c = Imtp.Codegen_c.host_to_c prog in
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool) ("host has " ^ marker) true (contains c marker))
+    [
+      "#include <dpu.h>"; "dpu_alloc"; "dpu_launch"; "dpu_push_xfer";
+      "dpu_prepare_xfer"; "DPU_XFER_TO_DPU"; "DPU_XFER_FROM_DPU"; "dpu_free";
+    ]
+
+let test_codegen_broadcast () =
+  (* B of MTV has no DPU-bound axes in 1-D tiling: broadcast. *)
+  let op = Imtp.Ops.mtv 64 32 in
+  let p =
+    { Imtp.Sketch.default_params with Imtp.Sketch.spatial_dpus = 8; tasklets = 4; cache_elems = 8 }
+  in
+  let prog = Imtp.compile (Imtp.Sketch.instantiate op p) in
+  Alcotest.(check bool) "broadcast emitted" true
+    (contains (Imtp.Codegen_c.host_to_c prog) "dpu_broadcast_to")
+
+let test_codegen_shared_vs_private_allocs () =
+  (* RED: the partials array is shared across tasklets, the caching
+     buffers are per-tasklet. *)
+  let op = Imtp.Ops.red 4096 in
+  let p =
+    {
+      Imtp.Sketch.default_params with
+      Imtp.Sketch.reduction_dpus = 4;
+      tasklets = 4;
+      cache_elems = 8;
+    }
+  in
+  let prog = Imtp.compile (Imtp.Sketch.instantiate op p) in
+  let k = List.hd prog.Imtp.Program.kernels in
+  let c = Imtp.Codegen_c.kernel_to_c prog k in
+  Alcotest.(check bool) "shared partials" true
+    (contains c "// shared across tasklets");
+  Alcotest.(check bool) "tasklet-0 guard" true (contains c "if (me() == 0)")
+
+let test_codegen_deterministic () =
+  let p1 = Imtp.Codegen_c.program_to_c (compiled_gemv ()) in
+  Alcotest.(check bool) "non-trivial" true (String.length p1 > 500)
+
+(* --- graph frontend ---------------------------------------------------- *)
+
+module G = Imtp.Graph
+
+let mlp () =
+  let g = G.create "t" in
+  let x = G.input g ~name:"x" ~shape:[ 32 ] in
+  let w1 = G.input g ~name:"W1" ~shape:[ 64; 32 ] in
+  let w2 = G.input g ~name:"W2" ~shape:[ 32; 64 ] in
+  let h = G.add g (Imtp.Ops.mtv 64 32) ~args:[ ("A", w1); ("B", x) ] in
+  let y = G.add g (Imtp.Ops.mtv 32 64) ~args:[ ("A", w2); ("B", h) ] in
+  let _ = G.add g (Imtp.Ops.va 32) ~args:[ ("A", y); ("B", x) ] in
+  g
+
+let test_graph_structure () =
+  let g = mlp () in
+  Alcotest.(check int) "nodes" 3 (G.node_count g);
+  let s = Format.asprintf "%a" G.pp g in
+  Alcotest.(check bool) "prints nodes" true (contains s "node2 = va")
+
+let test_graph_shape_checking () =
+  let g = G.create "t" in
+  let x = G.input g ~name:"x" ~shape:[ 32 ] in
+  let w = G.input g ~name:"W" ~shape:[ 64; 16 ] in
+  (match G.add g (Imtp.Ops.mtv 64 32) ~args:[ ("A", w); ("B", x) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shape mismatch accepted");
+  match G.add g (Imtp.Ops.va 32) ~args:[ ("A", x) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing binding accepted"
+
+let test_graph_duplicate_input_rejected () =
+  let g = G.create "t" in
+  let _ = G.input g ~name:"x" ~shape:[ 4 ] in
+  match G.input g ~name:"x" ~shape:[ 4 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate input accepted"
+
+let test_graph_end_to_end () =
+  let g = mlp () in
+  match G.Compiled.compile ~trials:24 ~seed:3 cfg g with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+      let shape l = Imtp.Shape.create l in
+      let x = Imtp.Tensor.random ~seed:1 ~bound:5 Imtp.Dtype.I32 (shape [ 32 ]) in
+      let w1 = Imtp.Tensor.random ~seed:2 ~bound:5 Imtp.Dtype.I32 (shape [ 64; 32 ]) in
+      let w2 = Imtp.Tensor.random ~seed:3 ~bound:5 Imtp.Dtype.I32 (shape [ 32; 64 ]) in
+      let outs = G.Compiled.run c ~inputs:[ ("x", x); ("W1", w1); ("W2", w2) ] in
+      let got = List.assoc "node2" outs in
+      let want =
+        Imtp.Reference.va (Imtp.Reference.mtv w2 (Imtp.Reference.mtv w1 x)) x
+      in
+      Alcotest.(check bool) "end-to-end correct" true
+        (Imtp.Tensor.to_value_list got = Imtp.Tensor.to_value_list want);
+      (* estimate = sum of node stats *)
+      let total = Imtp.Stats.total_s (G.Compiled.estimate c) in
+      let parts =
+        List.fold_left
+          (fun acc (_, s) -> acc +. Imtp.Stats.total_s s)
+          0. (G.Compiled.node_stats c)
+      in
+      Alcotest.(check (float 1e-9)) "estimate is the sum" parts total
+
+let test_graph_missing_input () =
+  let g = mlp () in
+  match G.Compiled.compile ~trials:16 ~seed:3 cfg g with
+  | Error m -> Alcotest.fail m
+  | Ok c -> (
+      match G.Compiled.run c ~inputs:[] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "missing inputs accepted")
+
+(* --- HBM-PIM prototype -------------------------------------------------- *)
+
+module H = Imtp.Hbm_pim
+
+let hcfg = H.default_config
+
+let test_hbm_supported () =
+  Alcotest.(check bool) "va" true (H.supported (Imtp.Ops.va 8));
+  Alcotest.(check bool) "gemv" true (H.supported (Imtp.Ops.gemv ~c:1 4 4));
+  Alcotest.(check bool) "mmtv not" false (H.supported (Imtp.Ops.mmtv 2 4 4));
+  match H.compile hcfg (Imtp.Ops.mmtv 2 4 4) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mmtv accepted"
+
+let check_hbm op =
+  match H.compile hcfg op with
+  | Error m -> Alcotest.fail m
+  | Ok prog ->
+      let inputs = Imtp.Ops.random_inputs op in
+      let got = H.execute prog inputs in
+      let want = Imtp.Op.reference op inputs in
+      Alcotest.(check bool)
+        (op.Imtp.Op.opname ^ " correct")
+        true
+        (Imtp.Tensor.to_value_list got = Imtp.Tensor.to_value_list want)
+
+let test_hbm_correctness () =
+  check_hbm (Imtp.Ops.va 1000);
+  check_hbm (Imtp.Ops.geva ~c:3 ~d:2 513);
+  check_hbm (Imtp.Ops.mtv 123 77);
+  check_hbm (Imtp.Ops.gemv ~c:5 257 129);
+  (* tiny shapes: fewer elements than lanes/units *)
+  check_hbm (Imtp.Ops.va 3);
+  check_hbm (Imtp.Ops.mtv 1 1)
+
+let test_hbm_cost_monotone () =
+  let t n =
+    match H.compile hcfg (Imtp.Ops.gemv ~c:1 n n) with
+    | Ok p -> H.estimate_seconds p
+    | Error m -> failwith m
+  in
+  Alcotest.(check bool) "monotone" true (t 512 < t 2048 && t 2048 < t 8192)
+
+let test_hbm_describe () =
+  match H.compile hcfg (Imtp.Ops.va 100000) with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+      Alcotest.(check bool) "describe mentions units" true
+        (contains (H.describe p) "units");
+      Alcotest.(check bool) "uses all units" true (H.units_used p = H.total_units hcfg)
+
+let prop_hbm_va_matches =
+  QCheck2.Test.make ~name:"hbm-pim va correct for any size" ~count:30
+    QCheck2.Gen.(int_range 1 5000)
+    (fun n ->
+      let op = Imtp.Ops.va n in
+      match H.compile hcfg op with
+      | Error _ -> false
+      | Ok p ->
+          let inputs = Imtp.Ops.random_inputs ~seed:n op in
+          Imtp.Tensor.to_value_list (H.execute p inputs)
+          = Imtp.Tensor.to_value_list (Imtp.Op.reference op inputs))
+
+let prop_hbm_mtv_matches =
+  QCheck2.Test.make ~name:"hbm-pim mtv correct for any shape" ~count:20
+    QCheck2.Gen.(pair (int_range 1 200) (int_range 1 100))
+    (fun (n, k) ->
+      let op = Imtp.Ops.mtv n k in
+      match H.compile hcfg op with
+      | Error _ -> false
+      | Ok p ->
+          let inputs = Imtp.Ops.random_inputs ~seed:(n * k) op in
+          Imtp.Tensor.to_value_list (H.execute p inputs)
+          = Imtp.Tensor.to_value_list (Imtp.Op.reference op inputs))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "extensions"
+    [
+      ( "codegen_c",
+        [
+          Alcotest.test_case "kernel markers" `Quick test_codegen_kernel_markers;
+          Alcotest.test_case "host markers" `Quick test_codegen_host_markers;
+          Alcotest.test_case "broadcast" `Quick test_codegen_broadcast;
+          Alcotest.test_case "shared vs private allocs" `Quick
+            test_codegen_shared_vs_private_allocs;
+          Alcotest.test_case "deterministic" `Quick test_codegen_deterministic;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "structure" `Quick test_graph_structure;
+          Alcotest.test_case "shape checking" `Quick test_graph_shape_checking;
+          Alcotest.test_case "duplicate input" `Quick
+            test_graph_duplicate_input_rejected;
+          Alcotest.test_case "end to end" `Quick test_graph_end_to_end;
+          Alcotest.test_case "missing input" `Quick test_graph_missing_input;
+        ] );
+      ( "hbm_pim",
+        [
+          Alcotest.test_case "supported" `Quick test_hbm_supported;
+          Alcotest.test_case "correctness" `Quick test_hbm_correctness;
+          Alcotest.test_case "cost monotone" `Quick test_hbm_cost_monotone;
+          Alcotest.test_case "describe" `Quick test_hbm_describe;
+        ] );
+      ("properties", q [ prop_hbm_va_matches; prop_hbm_mtv_matches ]);
+    ]

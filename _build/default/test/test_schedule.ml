@@ -1,0 +1,220 @@
+(* Tests for the schedule primitives: split arithmetic, reorder
+   semantics, binding rules, caches, rfactor. *)
+
+module S = Imtp_schedule.Sched
+module Ops = Imtp_workload.Ops
+
+let mk () = S.create (Ops.va 1024)
+let hd s = List.hd (S.order s)
+
+let extents s = List.map (fun (l : S.loop) -> l.S.extent) (S.order s)
+let strides s = List.map (fun (l : S.loop) -> l.S.stride) (S.order s)
+
+let test_create () =
+  let s = mk () in
+  Alcotest.(check (list int)) "one loop" [ 1024 ] (extents s);
+  Alcotest.(check (list int)) "unit stride" [ 1 ] (strides s)
+
+let test_split_exact () =
+  let s = mk () in
+  let _ = S.split s (hd s) ~factors:[ 16; 4 ] in
+  Alcotest.(check (list int)) "extents" [ 16; 16; 4 ] (extents s);
+  Alcotest.(check (list int)) "strides" [ 64; 4; 1 ] (strides s);
+  Alcotest.(check int) "covered" 1024 (S.covered_extent s "i")
+
+let test_split_misaligned () =
+  let s = S.create (Ops.va 1000) in
+  let _ = S.split s (hd s) ~factors:[ 16; 4 ] in
+  (* outer = ceil(1000/64) = 16; covered 1024 > 1000 *)
+  Alcotest.(check (list int)) "extents" [ 16; 16; 4 ] (extents s);
+  Alcotest.(check int) "covered" 1024 (S.covered_extent s "i")
+
+let test_split_nested () =
+  let s = mk () in
+  let news = S.split s (hd s) ~factors:[ 64 ] in
+  let inner = List.nth news 1 in
+  let _ = S.split s inner ~factors:[ 8 ] in
+  Alcotest.(check (list int)) "extents" [ 16; 8; 8 ] (extents s);
+  Alcotest.(check (list int)) "strides" [ 64; 8; 1 ] (strides s)
+
+let test_split_invalid () =
+  let s = mk () in
+  (match S.split s (hd s) ~factors:[ 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero factor accepted");
+  let stale = hd s in
+  let _ = S.split s stale ~factors:[ 4 ] in
+  match S.split s stale ~factors:[ 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stale loop accepted"
+
+let test_reorder_subset () =
+  let s = mk () in
+  let news = S.split s (hd s) ~factors:[ 16; 4 ] in
+  match news with
+  | [ a; b; c ] ->
+      S.reorder s [ c; b ];
+      let names = List.map (fun (l : S.loop) -> l.S.lid) (S.order s) in
+      Alcotest.(check (list int)) "order" [ a.S.lid; c.S.lid; b.S.lid ] names
+  | _ -> Alcotest.fail "expected three loops"
+
+let test_reorder_duplicate_rejected () =
+  let s = mk () in
+  let l = hd s in
+  match S.reorder s [ l; l ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate accepted"
+
+let test_bind_rules () =
+  let s = mk () in
+  let news = S.split s (hd s) ~factors:[ 16; 4 ] in
+  let a = List.nth news 0 and b = List.nth news 1 in
+  S.bind s a S.Block_x;
+  (match S.bind s b S.Block_x with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate binding accepted");
+  S.bind s b S.Thread_x;
+  Alcotest.(check int) "grid" 16 (S.grid_dpus s);
+  Alcotest.(check int) "tasklets" 16 (S.tasklets s);
+  match S.unroll s a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "re-annotating a bound loop accepted"
+
+let test_loops_of_axis_sorted () =
+  let s = mk () in
+  let news = S.split s (hd s) ~factors:[ 16; 4 ] in
+  S.reorder s [ List.nth news 2; List.nth news 0 ];
+  let segs = S.loops_of_axis s "i" in
+  let strides = List.map (fun (l : S.loop) -> l.S.stride) segs in
+  Alcotest.(check (list int)) "stride desc regardless of order" [ 64; 4; 1 ] strides
+
+let test_caches () =
+  let s = mk () in
+  let news = S.split s (hd s) ~factors:[ 16; 4 ] in
+  let mid = List.nth news 1 in
+  let ca = S.cache_read s "A" in
+  let cc = S.cache_write s "C" in
+  S.compute_at s ca mid;
+  S.reverse_compute_at s cc mid;
+  Alcotest.(check int) "two caches" 2 (List.length (S.caches s));
+  (match S.cache_read s "A" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate cache accepted");
+  (match S.cache_read s "Z" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown tensor accepted");
+  match S.compute_at s cc mid with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "compute_at on write cache accepted"
+
+let test_rfactor_rules () =
+  let s = S.create (Ops.mtv 64 128) in
+  let j = List.nth (S.order s) 1 in
+  let i = List.nth (S.order s) 0 in
+  (match S.rfactor s i with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rfactor on spatial accepted");
+  let news = S.split s j ~factors:[ 32 ] in
+  let j_dpu = List.nth news 0 in
+  S.rfactor s j_dpu;
+  (match S.rfactor_loop s with
+  | Some l -> Alcotest.(check int) "marked" j_dpu.S.lid l.S.lid
+  | None -> Alcotest.fail "rfactor not recorded");
+  match S.rfactor s j_dpu with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double rfactor accepted"
+
+let test_parallel () =
+  let s = mk () in
+  let l = hd s in
+  S.parallel s l ~threads:8;
+  match (List.hd (S.order s)).S.annot with
+  | S.Host_parallel 8 -> ()
+  | _ -> Alcotest.fail "parallel annotation missing"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_describe () =
+  let s = mk () in
+  let news = S.split s (hd s) ~factors:[ 4 ] in
+  S.bind s (List.hd news) S.Block_x;
+  Alcotest.(check bool) "mentions blockIdx" true
+    (contains (S.describe s) "blockIdx.x")
+
+let test_trace_records_primitives () =
+  let s = S.create (Ops.mtv 64 128) in
+  let i = List.nth (S.order s) 0 and j = List.nth (S.order s) 1 in
+  (match S.split s i ~factors:[ 4; 2 ] with
+  | [ i_dpu; i_th; _ ] ->
+      S.bind s i_dpu S.Block_x;
+      S.bind s i_th S.Thread_x
+  | _ -> assert false);
+  (match S.split s j ~factors:[ 8 ] with
+  | [ j_chunk; j_in ] ->
+      let ca = S.cache_read s "A" in
+      S.compute_at s ca j_chunk;
+      S.unroll s j_in
+  | _ -> assert false);
+  let tr = S.trace s in
+  Alcotest.(check int) "seven primitives" 7 (List.length tr);
+  Alcotest.(check bool) "split recorded" true
+    (contains (List.nth tr 0) "sch.split(i, factors=[4, 2])");
+  Alcotest.(check bool) "bind recorded" true
+    (contains (String.concat "\n" tr) "sch.bind(io, \"blockIdx.x\")");
+  Alcotest.(check bool) "compute_at recorded" true
+    (contains (String.concat "\n" tr) "sch.compute_at(cache_A, jo)");
+  Alcotest.(check bool) "unroll recorded" true
+    (contains (String.concat "\n" tr) "sch.unroll(j0)")
+
+let prop_split_preserves_coverage =
+  QCheck2.Test.make ~name:"split covers at least the axis"
+    QCheck2.Gen.(triple (int_range 1 2000) (int_range 1 32) (int_range 1 32))
+    (fun (n, f1, f2) ->
+      let s = S.create (Imtp_workload.Ops.va n) in
+      let _ = S.split s (List.hd (S.order s)) ~factors:[ f1; f2 ] in
+      let covered = S.covered_extent s "i" in
+      covered >= n && covered < n + (f1 * f2))
+
+let prop_split_stride_product =
+  QCheck2.Test.make ~name:"split strides consistent"
+    QCheck2.Gen.(pair (int_range 1 2000) (int_range 1 64))
+    (fun (n, f) ->
+      let s = S.create (Imtp_workload.Ops.va n) in
+      let news = S.split s (List.hd (S.order s)) ~factors:[ f ] in
+      match news with
+      | [ outer; inner ] -> outer.S.stride = f && inner.S.stride = 1
+      | _ -> false)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "schedule"
+    [
+      ( "split",
+        [
+          Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "exact" `Quick test_split_exact;
+          Alcotest.test_case "misaligned" `Quick test_split_misaligned;
+          Alcotest.test_case "nested" `Quick test_split_nested;
+          Alcotest.test_case "invalid" `Quick test_split_invalid;
+        ] );
+      ( "reorder+bind",
+        [
+          Alcotest.test_case "reorder subset" `Quick test_reorder_subset;
+          Alcotest.test_case "reorder duplicate" `Quick
+            test_reorder_duplicate_rejected;
+          Alcotest.test_case "bind rules" `Quick test_bind_rules;
+          Alcotest.test_case "axis segs sorted" `Quick test_loops_of_axis_sorted;
+        ] );
+      ( "caches+rfactor",
+        [
+          Alcotest.test_case "caches" `Quick test_caches;
+          Alcotest.test_case "rfactor" `Quick test_rfactor_rules;
+          Alcotest.test_case "parallel" `Quick test_parallel;
+          Alcotest.test_case "describe" `Quick test_describe;
+          Alcotest.test_case "trace" `Quick test_trace_records_primitives;
+        ] );
+      ("properties", q [ prop_split_preserves_coverage; prop_split_stride_product ]);
+    ]

@@ -1,0 +1,514 @@
+(* Tests for the TIR core: expressions, simplifier, analysis,
+   substitution, statements, programs and the interpreter on
+   hand-written programs. *)
+
+module E = Imtp_tir.Expr
+module St = Imtp_tir.Stmt
+module B = Imtp_tir.Buffer
+module V = Imtp_tir.Var
+module P = Imtp_tir.Program
+module Simp = Imtp_tir.Simplify
+module An = Imtp_tir.Analysis
+module T = Imtp_tensor
+
+let v name = V.fresh name
+let ei = E.int
+
+let test_var_identity () =
+  let a = v "i" and b = v "i" in
+  Alcotest.(check bool) "distinct ids" false (V.equal a b);
+  Alcotest.(check bool) "self equal" true (V.equal a a)
+
+let test_expr_equal () =
+  let x = v "x" in
+  let e1 = E.(var x + int 1) and e2 = E.(var x + int 1) in
+  Alcotest.(check bool) "structural" true (E.equal e1 e2);
+  Alcotest.(check bool) "different" false (E.equal e1 E.(var x + int 2))
+
+let test_expr_free_vars () =
+  let x = v "x" and y = v "y" in
+  let e = E.(var x * (var y + int 1)) in
+  Alcotest.(check int) "two free" 2 (V.Set.cardinal (E.free_vars e))
+
+let test_expr_pp () =
+  let x = v "x" in
+  Alcotest.(check string) "print" "(x + 3)" (E.to_string E.(var x + int 3));
+  Alcotest.(check string) "load" "A[x]" (E.to_string (E.load "A" (E.var x)))
+
+let test_simplify_identities () =
+  let x = v "x" in
+  let s e = Simp.expr e in
+  Alcotest.(check bool) "x+0" true (E.equal (s E.(var x + int 0)) (E.var x));
+  Alcotest.(check bool) "x*1" true (E.equal (s E.(var x * int 1)) (E.var x));
+  Alcotest.(check bool) "x*0" true (E.equal (s E.(var x * int 0)) (ei 0));
+  Alcotest.(check bool) "const fold" true (E.equal (s E.(int 3 * int 4)) (ei 12));
+  Alcotest.(check bool) "reassoc" true
+    (E.equal (s E.(var x + int 2 + int 3)) (s E.(var x + int 5)))
+
+let test_simplify_floor_div () =
+  Alcotest.(check (option int)) "7//2" (Some 3) (Simp.const_int E.(int 7 / int 2));
+  Alcotest.(check (option int)) "-7//2 floors" (Some (-4))
+    (Simp.const_int E.(int (-7) / int 2));
+  Alcotest.(check (option int)) "-7 mod 2 positive" (Some 1)
+    (Simp.const_int E.(int (-7) % int 2))
+
+let test_simplify_bool () =
+  let x = v "x" in
+  let s = Simp.expr in
+  Alcotest.(check bool) "and false" true
+    (E.equal (s (E.and_ (ei 0) E.(var x < int 3))) (ei 0));
+  Alcotest.(check bool) "or true" true
+    (E.equal (s (E.or_ (ei 1) E.(var x < int 3))) (ei 1));
+  Alcotest.(check bool) "not not" true
+    (E.equal (s (E.not_ (E.not_ E.(var x < int 3)))) (s E.(var x < int 3)))
+
+let test_eval_int_env () =
+  let x = v "x" in
+  let env = V.Map.singleton x 5 in
+  Alcotest.(check (option int)) "env" (Some 11) (Simp.eval_int env E.(var x * int 2 + int 1));
+  Alcotest.(check (option int)) "unbound" None (Simp.eval_int V.Map.empty (E.var x));
+  Alcotest.(check (option int)) "cmp" (Some 1) (Simp.eval_int env E.(var x < int 6))
+
+let test_simplify_stmt_prunes () =
+  let x = v "x" in
+  let s =
+    St.seq
+      [
+        St.If { cond = ei 0; then_ = St.store "A" (ei 0) (ei 1); else_ = None };
+        St.For { var = x; extent = ei 0; kind = St.Serial; body = St.store "A" (ei 0) (ei 1) };
+      ]
+  in
+  Alcotest.(check bool) "pruned to nop" true (Simp.stmt s = St.Nop)
+
+let test_simplify_stmt_unit_loop () =
+  let x = v "x" in
+  let s =
+    St.For
+      { var = x; extent = ei 1; kind = St.Serial; body = St.store "A" (E.var x) (E.var x) }
+  in
+  match Simp.stmt s with
+  | St.Store { index; value; _ } ->
+      Alcotest.(check bool) "index folded" true (E.equal index (ei 0));
+      Alcotest.(check bool) "value folded" true (E.equal value (ei 0))
+  | _ -> Alcotest.fail "expected bare store"
+
+let test_subst () =
+  let x = v "x" and y = v "y" in
+  let e = E.(var x + var y) in
+  let e' = Imtp_tir.Subst.expr x (ei 7) e in
+  Alcotest.(check (option int)) "subst" (Some 10)
+    (Simp.eval_int (V.Map.singleton y 3) e')
+
+let test_analysis_linear () =
+  let x = v "x" and y = v "y" in
+  let e = E.((var x * int 4) + var y + int 2) in
+  (match An.linear_in x e with
+  | Some (c, rest) ->
+      Alcotest.(check int) "coeff" 4 c;
+      Alcotest.(check bool) "rest free" true (An.is_free_of x rest)
+  | None -> Alcotest.fail "linear expected");
+  Alcotest.(check (option int)) "stride y" (Some 1) (An.stride_in y e);
+  Alcotest.(check (option int)) "not linear" None
+    (An.stride_in x E.(var x * var x))
+
+let test_analysis_upper_bound () =
+  let k = v "k" and r = v "r" in
+  (* k*4 + r < 40  ⟺  k < (40 - r + 3)/4 *)
+  let cond = E.((var k * int 4) + var r < int 40) in
+  match An.upper_bound_from_cond k cond with
+  | None -> Alcotest.fail "bound expected"
+  | Some b ->
+      let check rv expect =
+        Alcotest.(check (option int))
+          (Printf.sprintf "r=%d" rv)
+          (Some expect)
+          (Simp.eval_int (V.Map.singleton r rv) b)
+      in
+      (* r=0: k < 10; r=1: k < 10 (ceil(39/4)=10); r=37: k < 1 *)
+      check 0 10;
+      check 1 10;
+      check 37 1
+
+let test_analysis_upper_bound_le () =
+  let k = v "k" in
+  (* k <= 5 ⟺ k < 6 *)
+  match An.upper_bound_from_cond k E.(var k <= int 5) with
+  | Some b -> Alcotest.(check (option int)) "le" (Some 6) (Simp.const_int b)
+  | None -> Alcotest.fail "bound expected"
+
+let test_analysis_lower_bound_rejected () =
+  let k = v "k" in
+  Alcotest.(check bool) "lower bound none" true
+    (An.upper_bound_from_cond k E.(var k > int 5) = None);
+  Alcotest.(check bool) "eq none" true
+    (An.upper_bound_from_cond k E.(var k = int 5) = None)
+
+let test_conjuncts () =
+  let x = v "x" in
+  let a = E.(var x < int 1) and b = E.(var x < int 2) and c = E.(var x < int 3) in
+  let cs = An.conjuncts (E.and_ (E.and_ a b) c) in
+  Alcotest.(check int) "three" 3 (List.length cs);
+  Alcotest.(check bool) "rebuild" true
+    (List.length (An.conjuncts (An.conjoin cs)) = 3)
+
+let test_stmt_seq_flatten () =
+  let s = St.seq [ St.Nop; St.seq [ St.Barrier; St.Nop ]; St.Barrier ] in
+  match s with
+  | St.Seq [ St.Barrier; St.Barrier ] -> ()
+  | _ -> Alcotest.fail "expected flat two-barrier seq"
+
+let test_stmt_free_vars () =
+  let x = v "x" and y = v "y" in
+  let s =
+    St.For
+      {
+        var = x;
+        extent = ei 4;
+        kind = St.Serial;
+        body = St.store "A" (E.var x) (E.var y);
+      }
+  in
+  let fv = St.free_vars s in
+  Alcotest.(check bool) "y free" true (V.Set.mem y fv);
+  Alcotest.(check bool) "x bound" false (V.Set.mem x fv)
+
+let test_loop_extents () =
+  let x = v "x" and y = v "y" in
+  let s =
+    St.For
+      {
+        var = x;
+        extent = ei 4;
+        kind = St.Serial;
+        body = St.For { var = y; extent = ei 2; kind = St.Unrolled; body = St.Nop };
+      }
+  in
+  Alcotest.(check int) "two loops" 2 (List.length (St.loop_extents s))
+
+(* A tiny hand-written program: per-DPU vector doubling with 2 DPUs. *)
+let hand_program n_per_dpu dpus =
+  let n = n_per_dpu * dpus in
+  let a = B.create "A" T.Dtype.I32 ~elems:n B.Host in
+  let c = B.create "C" T.Dtype.I32 ~elems:n B.Host in
+  let am = B.create "A_m" T.Dtype.I32 ~elems:n_per_dpu B.Mram in
+  let cm = B.create "C_m" T.Dtype.I32 ~elems:n_per_dpu B.Mram in
+  let blk = v "blk" and thr = v "thr" and i = v "i" in
+  let wa = B.create "A_w" T.Dtype.I32 ~elems:n_per_dpu B.Wram in
+  let kernel_body =
+    St.For
+      {
+        var = blk;
+        extent = ei dpus;
+        kind = St.Bound St.Block_x;
+        body =
+          St.For
+            {
+              var = thr;
+              extent = ei 1;
+              kind = St.Bound St.Thread_x;
+              body =
+                St.Alloc
+                  {
+                    buffer = wa;
+                    body =
+                      St.seq
+                        [
+                          St.Dma
+                            {
+                              dir = St.Mram_to_wram;
+                              wram = "A_w";
+                              wram_off = ei 0;
+                              mram = "A_m";
+                              mram_off = ei 0;
+                              elems = ei n_per_dpu;
+                            };
+                          St.For
+                            {
+                              var = i;
+                              extent = ei n_per_dpu;
+                              kind = St.Serial;
+                              body =
+                                St.store "A_w" (E.var i)
+                                  E.(load "A_w" (var i) * int 2);
+                            };
+                          St.Dma
+                            {
+                              dir = St.Wram_to_mram;
+                              wram = "A_w";
+                              wram_off = ei 0;
+                              mram = "C_m";
+                              mram_off = ei 0;
+                              elems = ei n_per_dpu;
+                            };
+                        ];
+                  };
+            };
+      }
+  in
+  let d = v "d" in
+  let host =
+    St.seq
+      [
+        St.For
+          {
+            var = d;
+            extent = ei dpus;
+            kind = St.Serial;
+            body =
+              St.Xfer
+                {
+                  dir = St.To_dpu;
+                  mode = St.Push;
+                  host = "A";
+                  host_off = E.(var d * int n_per_dpu);
+                  dpu = E.var d;
+                  mram = "A_m";
+                  mram_off = ei 0;
+                  elems = ei n_per_dpu;
+                  group_dpus = dpus;
+                };
+          };
+        St.Launch "k";
+        (let d2 = v "d2" in
+         St.For
+           {
+             var = d2;
+             extent = ei dpus;
+             kind = St.Serial;
+             body =
+               St.Xfer
+                 {
+                   dir = St.From_dpu;
+                   mode = St.Push;
+                   host = "C";
+                   host_off = E.(var d2 * int n_per_dpu);
+                   dpu = E.var d2;
+                   mram = "C_m";
+                   mram_off = ei 0;
+                   elems = ei n_per_dpu;
+                   group_dpus = dpus;
+                 };
+           });
+      ]
+  in
+  {
+    P.name = "double";
+    host_buffers = [ a; c ];
+    mram_buffers = [ am; cm ];
+    kernels = [ { P.kname = "k"; body = kernel_body } ];
+    host;
+  }
+
+let test_program_grid () =
+  let p = hand_program 8 2 in
+  let k = List.hd p.P.kernels in
+  Alcotest.(check (pair int int)) "grid" (2, 1) (P.grid k);
+  Alcotest.(check int) "dpus" 2 (P.dpus_used p)
+
+let test_program_validate () =
+  let p = hand_program 8 2 in
+  (match P.validate p with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let bad = { p with host = St.Barrier } in
+  match P.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "barrier in host should be invalid"
+
+let test_eval_hand_program () =
+  let p = hand_program 8 2 in
+  let a =
+    T.Tensor.init T.Dtype.I32 (T.Shape.create [ 16 ]) (fun i -> T.Value.Int i.(0))
+  in
+  let outs = Imtp_tir.Eval.run p ~inputs:[ ("A", a) ] in
+  let c = List.assoc "C" outs in
+  for i = 0 to 15 do
+    Alcotest.(check bool)
+      (Printf.sprintf "c[%d]" i)
+      true
+      (T.Value.equal (T.Tensor.get_flat c i) (T.Value.Int (2 * i)))
+  done
+
+let test_eval_rejects_scope_violation () =
+  let p = hand_program 8 2 in
+  let k = List.hd p.P.kernels in
+  (* Kernel writing a host buffer must fail. *)
+  let bad_kernel =
+    { k with P.body = St.store "A" (ei 0) (ei 1) }
+  in
+  let bad = { p with P.kernels = [ bad_kernel ] } in
+  match Imtp_tir.Eval.run bad ~inputs:[] with
+  | exception Imtp_tir.Eval.Error _ -> ()
+  | _ -> Alcotest.fail "expected scope violation"
+
+let test_eval_out_of_bounds () =
+  let p = hand_program 8 2 in
+  let k = List.hd p.P.kernels in
+  let bad_kernel = { k with P.body = St.store "C_m" (ei 99) (ei 1) } in
+  let bad = { p with P.kernels = [ bad_kernel ] } in
+  match Imtp_tir.Eval.run bad ~inputs:[] with
+  | exception Imtp_tir.Eval.Error _ -> ()
+  | _ -> Alcotest.fail "expected out-of-bounds error"
+
+let test_cost_measures_phases () =
+  let p = hand_program 1024 64 in
+  let stats = Imtp_tir.Cost.measure Imtp_upmem.Config.default p in
+  let open Imtp_upmem.Stats in
+  Alcotest.(check bool) "h2d > 0" true (stats.h2d_s > 0.);
+  Alcotest.(check bool) "kernel > 0" true (stats.kernel_s > 0.);
+  Alcotest.(check bool) "d2h > 0" true (stats.d2h_s > 0.);
+  Alcotest.(check bool) "launch > 0" true (stats.launch_s > 0.);
+  Alcotest.(check int) "dpus" 64 stats.dpus_used
+
+let test_cost_more_work_costs_more () =
+  let small = Imtp_tir.Cost.measure Imtp_upmem.Config.default (hand_program 512 8) in
+  let large = Imtp_tir.Cost.measure Imtp_upmem.Config.default (hand_program 4096 8) in
+  Alcotest.(check bool) "monotone" true
+    Imtp_upmem.Stats.(total_s large > total_s small)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_printer_smoke () =
+  let p = hand_program 8 2 in
+  let s = Imtp_tir.Printer.program_to_string p in
+  Alcotest.(check bool) "mentions kernel" true (contains s "kernel_k");
+  Alcotest.(check bool) "mentions dma" true (contains s "dma_mram_to_wram");
+  Alcotest.(check bool) "mentions launch" true (contains s "launch(k)")
+
+let prop_upper_bound_solver_exact =
+  (* For random linear conditions c*k + r < n, the solver's bound b
+     satisfies: forall v in [0, extent), cond(v) <-> v < b. *)
+  QCheck2.Test.make ~name:"upper-bound solver agrees with brute force" ~count:200
+    QCheck2.Gen.(
+      quad (int_range 1 8) (int_range (-50) 50) (int_range 1 100) (int_range 1 40))
+    (fun (c, r, n, extent) ->
+      let k = v "k" in
+      let cond = E.((var k * int c) + int r < int n) in
+      match An.upper_bound_from_cond k cond with
+      | None -> false
+      | Some b -> (
+          match Simp.const_int b with
+          | None -> false
+          | Some bound ->
+              let ok = ref true in
+              for vv = 0 to extent - 1 do
+                let truth = (c * vv) + r < n in
+                if truth <> (vv < bound) then ok := false
+              done;
+              !ok))
+
+let prop_kernel_profile_chunks =
+  (* The cost walker's chunk count equals tasklets x per-tasklet chunk
+     iterations for the canonical cached kernel. *)
+  QCheck2.Test.make ~name:"kernel profile chunk count" ~count:50
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 32))
+    (fun (dpus, chunks) ->
+      let p = hand_program 8 dpus in
+      ignore chunks;
+      let k = List.hd p.P.kernels in
+      let prof = Imtp_tir.Cost.kernel_profile Imtp_upmem.Config.default p k in
+      (* hand program: 1 tasklet, 1 chunk (one DMA in + compute + out) *)
+      prof.Imtp_upmem.Dpu_model.tasklets = 1
+      && prof.Imtp_upmem.Dpu_model.chunks = 1)
+
+let prop_simplify_sound =
+  (* Simplification preserves value under random environments. *)
+  let gen_expr =
+    let open QCheck2.Gen in
+    sized (fun n ->
+        fix
+          (fun self (n, vars) ->
+            if n <= 0 then
+              oneof
+                [
+                  map E.int (int_range (-20) 20);
+                  map (fun i -> E.var (List.nth vars (i mod List.length vars))) (int_range 0 10);
+                ]
+            else
+              oneof
+                [
+                  map E.int (int_range (-20) 20);
+                  map (fun i -> E.var (List.nth vars (i mod List.length vars))) (int_range 0 10);
+                  map3
+                    (fun op a b -> E.Binop (op, a, b))
+                    (oneofl [ E.Add; E.Sub; E.Mul; E.Min; E.Max ])
+                    (self (n / 2, vars))
+                    (self (n / 2, vars));
+                  map3
+                    (fun op a b -> E.Cmp (op, a, b))
+                    (oneofl [ E.Lt; E.Le; E.Gt; E.Ge; E.Eq; E.Ne ])
+                    (self (n / 2, vars))
+                    (self (n / 2, vars));
+                ])
+          (min n 8, [ v "p"; v "q" ]))
+  in
+  QCheck2.Test.make ~name:"simplify preserves semantics" ~count:300 gen_expr
+    (fun e ->
+      let vars = V.Set.elements (E.free_vars e) in
+      let env =
+        List.fold_left (fun m (i, x) -> V.Map.add x (i * 3 mod 7) m) V.Map.empty
+          (List.mapi (fun i x -> (i, x)) vars)
+      in
+      match Simp.eval_int env e with
+      | None -> true
+      | Some expected -> Simp.eval_int env (Simp.expr e) = Some expected)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "tir"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "var identity" `Quick test_var_identity;
+          Alcotest.test_case "equal" `Quick test_expr_equal;
+          Alcotest.test_case "free vars" `Quick test_expr_free_vars;
+          Alcotest.test_case "pp" `Quick test_expr_pp;
+        ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "identities" `Quick test_simplify_identities;
+          Alcotest.test_case "floor div" `Quick test_simplify_floor_div;
+          Alcotest.test_case "bool" `Quick test_simplify_bool;
+          Alcotest.test_case "eval env" `Quick test_eval_int_env;
+          Alcotest.test_case "stmt prune" `Quick test_simplify_stmt_prunes;
+          Alcotest.test_case "unit loop" `Quick test_simplify_stmt_unit_loop;
+          Alcotest.test_case "subst" `Quick test_subst;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "linear" `Quick test_analysis_linear;
+          Alcotest.test_case "upper bound lt" `Quick test_analysis_upper_bound;
+          Alcotest.test_case "upper bound le" `Quick test_analysis_upper_bound_le;
+          Alcotest.test_case "lower bound rejected" `Quick
+            test_analysis_lower_bound_rejected;
+          Alcotest.test_case "conjuncts" `Quick test_conjuncts;
+        ] );
+      ( "stmt",
+        [
+          Alcotest.test_case "seq flatten" `Quick test_stmt_seq_flatten;
+          Alcotest.test_case "free vars" `Quick test_stmt_free_vars;
+          Alcotest.test_case "loop extents" `Quick test_loop_extents;
+        ] );
+      ( "program+eval+cost",
+        [
+          Alcotest.test_case "grid" `Quick test_program_grid;
+          Alcotest.test_case "validate" `Quick test_program_validate;
+          Alcotest.test_case "eval" `Quick test_eval_hand_program;
+          Alcotest.test_case "scope violation" `Quick
+            test_eval_rejects_scope_violation;
+          Alcotest.test_case "out of bounds" `Quick test_eval_out_of_bounds;
+          Alcotest.test_case "cost phases" `Quick test_cost_measures_phases;
+          Alcotest.test_case "cost monotone" `Quick test_cost_more_work_costs_more;
+          Alcotest.test_case "printer" `Quick test_printer_smoke;
+        ] );
+      ( "properties",
+        q
+          [
+            prop_simplify_sound;
+            prop_upper_bound_solver_exact;
+            prop_kernel_profile_chunks;
+          ] );
+    ]

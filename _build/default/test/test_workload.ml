@@ -1,0 +1,147 @@
+(* Tests for operator definitions: construction, validation, shape
+   queries, and agreement between the generic Op.reference evaluator
+   and the hand-written Reference implementations. *)
+
+module Op = Imtp_workload.Op
+module Ops = Imtp_workload.Ops
+module Gptj = Imtp_workload.Gptj
+module T = Imtp_tensor
+
+let test_va_structure () =
+  let op = Ops.va 100 in
+  Alcotest.(check int) "one axis" 1 (List.length op.Op.axes);
+  Alcotest.(check bool) "no reduction" false (Op.has_reduction op);
+  Alcotest.(check (list int)) "out shape" [ 100 ] (Op.output_shape op);
+  Alcotest.(check int) "out elems" 100 (Op.output_elems op)
+
+let test_red_structure () =
+  let op = Ops.red 64 in
+  Alcotest.(check bool) "reduction" true (Op.has_reduction op);
+  Alcotest.(check (list int)) "scalar out" [] (Op.output_shape op);
+  Alcotest.(check int) "out elems" 1 (Op.output_elems op)
+
+let test_mmtv_structure () =
+  let op = Ops.mmtv 4 8 16 in
+  Alcotest.(check int) "axes" 3 (List.length op.Op.axes);
+  Alcotest.(check (list int)) "A shape" [ 4; 8; 16 ] (Op.input_shape op "A");
+  Alcotest.(check (list int)) "B shape" [ 4; 16 ] (Op.input_shape op "B");
+  Alcotest.(check (list int)) "out" [ 4; 8 ] (Op.output_shape op);
+  Alcotest.(check int) "spatial" 2 (List.length (Op.spatial_axes op))
+
+let test_create_validation () =
+  let bad_axis () =
+    ignore
+      (Op.create ~name:"x" ~dtype:T.Dtype.I32
+         ~axes:[ { Op.aname = "i"; extent = 4; kind = Op.Spatial } ]
+         ~inputs:[ ("A", [ "nope" ]) ]
+         ~output:("C", [ "i" ])
+         ~body:(Op.Ref "A"))
+  in
+  (match bad_axis () with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "unknown axis accepted");
+  let bad_out () =
+    ignore
+      (Op.create ~name:"x" ~dtype:T.Dtype.I32
+         ~axes:[ { Op.aname = "i"; extent = 4; kind = Op.Reduction } ]
+         ~inputs:[ ("A", [ "i" ]) ]
+         ~output:("C", [ "i" ])
+         ~body:(Op.Ref "A"))
+  in
+  match bad_out () with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "reduction output axis accepted"
+
+let test_by_name () =
+  List.iter
+    (fun name ->
+      let sizes =
+        match name with
+        | "va" | "geva" | "red" -> [ 32 ]
+        | "mtv" | "gemv" -> [ 8; 16 ]
+        | _ -> [ 2; 4; 8 ]
+      in
+      let op = Ops.by_name name ~sizes in
+      Alcotest.(check string) name name op.Op.opname)
+    Ops.all_names;
+  match Ops.by_name "nonsense" ~sizes:[ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown op accepted"
+
+(* Generic reference agrees with the hand-written reference for every op. *)
+let check_against_handwritten name op hand =
+  let inputs = Ops.random_inputs op in
+  let got = Op.reference op inputs in
+  let want = hand inputs in
+  Alcotest.(check bool) (name ^ " agrees") true (T.Tensor.equal got want)
+
+let test_generic_vs_handwritten () =
+  let find n inputs = List.assoc n inputs in
+  check_against_handwritten "va" (Ops.va 37) (fun ins ->
+      T.Reference.va (find "A" ins) (find "B" ins));
+  check_against_handwritten "geva" (Ops.geva ~c:3 ~d:2 37) (fun ins ->
+      T.Reference.geva (T.Value.Int 3) (T.Value.Int 2) (find "A" ins) (find "B" ins));
+  check_against_handwritten "red" (Ops.red 41) (fun ins ->
+      T.Tensor.scalar (T.Reference.red (find "A" ins)));
+  check_against_handwritten "mtv" (Ops.mtv 7 13) (fun ins ->
+      T.Reference.mtv (find "A" ins) (find "B" ins));
+  check_against_handwritten "gemv" (Ops.gemv ~c:3 7 13) (fun ins ->
+      T.Reference.gemv (T.Value.Int 3) (find "A" ins) (find "B" ins));
+  check_against_handwritten "ttv" (Ops.ttv 3 5 7) (fun ins ->
+      T.Reference.ttv (find "A" ins) (find "B" ins));
+  check_against_handwritten "mmtv" (Ops.mmtv 3 5 7) (fun ins ->
+      T.Reference.mmtv (find "A" ins) (find "B" ins))
+
+let test_gptj_shapes () =
+  Alcotest.(check (pair int int)) "6B qkv_gen" (12288, 4096)
+    (Gptj.fc_shape Gptj.Gptj_6b Gptj.Qkv_gen);
+  Alcotest.(check (pair int int)) "6B fc_proj" (4096, 16384)
+    (Gptj.fc_shape Gptj.Gptj_6b Gptj.Fc_proj);
+  Alcotest.(check (pair int int)) "30B fc" (28672, 7168)
+    (Gptj.fc_shape Gptj.Gptj_30b Gptj.Fc);
+  let op = Gptj.mmtv_op Gptj.Gptj_6b ~batch:4 ~tokens:128 in
+  Alcotest.(check (list int)) "mmtv A" [ 64; 128; 256 ] (Op.input_shape op "A")
+
+let test_total_flops () =
+  let op = Ops.mtv 8 16 in
+  Alcotest.(check (float 0.)) "flops" 128. (Op.total_flops op)
+
+let prop_reference_va_matches =
+  QCheck2.Test.make ~name:"generic reference = handwritten (va, any size)"
+    QCheck2.Gen.(int_range 1 100)
+    (fun n ->
+      let op = Imtp_workload.Ops.va n in
+      let ins = Imtp_workload.Ops.random_inputs ~seed:n op in
+      T.Tensor.equal
+        (Op.reference op ins)
+        (T.Reference.va (List.assoc "A" ins) (List.assoc "B" ins)))
+
+let prop_reference_mmtv_matches =
+  QCheck2.Test.make ~name:"generic reference = handwritten (mmtv, any size)"
+    QCheck2.Gen.(triple (int_range 1 5) (int_range 1 8) (int_range 1 9))
+    (fun (b, n, k) ->
+      let op = Imtp_workload.Ops.mmtv b n k in
+      let ins = Imtp_workload.Ops.random_inputs ~seed:(b + n + k) op in
+      T.Tensor.equal
+        (Op.reference op ins)
+        (T.Reference.mmtv (List.assoc "A" ins) (List.assoc "B" ins)))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "va" `Quick test_va_structure;
+          Alcotest.test_case "red" `Quick test_red_structure;
+          Alcotest.test_case "mmtv" `Quick test_mmtv_structure;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "flops" `Quick test_total_flops;
+        ] );
+      ( "reference",
+        [ Alcotest.test_case "generic vs handwritten" `Quick test_generic_vs_handwritten ]
+      );
+      ("gptj", [ Alcotest.test_case "shapes" `Quick test_gptj_shapes ]);
+      ("properties", q [ prop_reference_va_matches; prop_reference_mmtv_matches ]);
+    ]
