@@ -1,0 +1,22 @@
+# Convenience targets; everything is driven by dune underneath.
+
+FUZZ_SEED ?= $(shell date +%Y%m%d)
+FUZZ_CASES ?= 10000
+
+.PHONY: all test fuzz clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+# Long fuzzing campaign with a date-derived seed (override with
+# FUZZ_SEED=n / FUZZ_CASES=n).  The seed is printed first so a failing
+# campaign can be reproduced exactly.
+fuzz:
+	@echo "fuzz seed: $(FUZZ_SEED)  cases: $(FUZZ_CASES)"
+	dune exec bin/imtp_cli.exe -- fuzz --seed $(FUZZ_SEED) --cases $(FUZZ_CASES)
+
+clean:
+	dune clean

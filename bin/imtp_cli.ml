@@ -225,6 +225,78 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ szs)
 
+(* --- fuzz ------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let doc =
+    "Run a differential-testing campaign: random workloads and schedules, \
+     checked bit-exactly against reference semantics under every pass \
+     configuration."
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "cases" ] ~doc:"Number of checked cases in the campaign.")
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value & opt int 2025
+      & info [ "seed" ] ~doc:"Campaign seed; failures reproduce from it.")
+  in
+  let case_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "case" ]
+          ~doc:
+            "Re-check only the case at this index (reproduce a reported \
+             failure without re-running the whole campaign).")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
+  in
+  let run seed cases case no_shrink verbose =
+    setup_logging verbose;
+    match case with
+    | Some index -> (
+        match Imtp.Fuzz.case_of_seed ~seed ~index with
+        | None ->
+            Format.eprintf "error: case %d of seed %d never lowers@." index seed;
+            exit 1
+        | Some c -> (
+            match Imtp.Fuzz_oracle.check c with
+            | Imtp.Fuzz_oracle.Passed { configs_checked } ->
+                Format.printf "case %d: PASSED (%d pass configs)@." index
+                  configs_checked
+            | Imtp.Fuzz_oracle.Rejected m ->
+                Format.printf "case %d: rejected by lowering (%s)@." index m
+            | Imtp.Fuzz_oracle.Failed f ->
+                let c = if no_shrink then c else Imtp.Fuzz_shrink.minimize c in
+                let f =
+                  match Imtp.Fuzz_oracle.check c with
+                  | Imtp.Fuzz_oracle.Failed f -> f
+                  | _ -> f
+                in
+                print_string (Imtp.Fuzz.report_failure index c f);
+                exit 1))
+    | None ->
+        Format.printf "fuzzing: seed=%d cases=%d@." seed cases;
+        let progress i =
+          if (i + 1) mod 100 = 0 then
+            Format.printf "  ... %d/%d cases@.%!" (i + 1) cases
+        in
+        let outcome =
+          Imtp.Fuzz.run ~progress ~shrink:(not no_shrink) ~seed ~cases ()
+        in
+        print_string (Imtp.Fuzz.summary ~seed outcome);
+        if outcome.Imtp.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ fuzz_seed_arg $ cases_arg $ case_arg $ no_shrink_arg
+      $ verbose_arg)
+
 (* --- baseline -------------------------------------------------------- *)
 
 let baseline_cmd =
@@ -246,4 +318,4 @@ let baseline_cmd =
 let () =
   let doc = "search-based code generation for in-memory tensor programs" in
   let info = Cmd.info "imtp" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ info_cmd; lower_cmd; codegen_cmd; run_cmd; tune_cmd; replay_cmd; baseline_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ info_cmd; lower_cmd; codegen_cmd; run_cmd; tune_cmd; replay_cmd; baseline_cmd; fuzz_cmd ]))

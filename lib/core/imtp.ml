@@ -38,6 +38,12 @@ module Cost_model = Imtp_autotune.Cost_model
 module Search = Imtp_autotune.Search
 module Tuner = Imtp_autotune.Tuner
 module Tuning_log = Imtp_autotune.Tuning_log
+module Fuzz = Imtp_fuzz.Driver
+module Fuzz_oracle = Imtp_fuzz.Oracle
+module Fuzz_shrink = Imtp_fuzz.Shrink
+module Gen_workload = Imtp_fuzz.Gen_workload
+module Gen_sched = Imtp_fuzz.Gen_sched
+module Gen_passes = Imtp_fuzz.Gen_passes
 module Graph = Imtp_graph.Graph
 module Hbm_pim = Imtp_hbmpim.Hbm_pim
 module Prim = Imtp_baselines.Prim

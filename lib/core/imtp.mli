@@ -67,6 +67,14 @@ module Search = Imtp_autotune.Search
 module Tuner = Imtp_autotune.Tuner
 module Tuning_log = Imtp_autotune.Tuning_log
 
+(* Differential fuzzing *)
+module Fuzz = Imtp_fuzz.Driver
+module Fuzz_oracle = Imtp_fuzz.Oracle
+module Fuzz_shrink = Imtp_fuzz.Shrink
+module Gen_workload = Imtp_fuzz.Gen_workload
+module Gen_sched = Imtp_fuzz.Gen_sched
+module Gen_passes = Imtp_fuzz.Gen_passes
+
 (* Baselines *)
 module Graph = Imtp_graph.Graph
 module Hbm_pim = Imtp_hbmpim.Hbm_pim

@@ -1,0 +1,134 @@
+module Op = Imtp_workload.Op
+module Ops = Imtp_workload.Ops
+module L = Imtp_lower.Lowering
+module Pl = Imtp_passes.Pipeline
+module T = Imtp_tensor
+module Eval = Imtp_tir.Eval
+module Cost = Imtp_tir.Cost
+
+type case = {
+  workload : Gen_workload.t;
+  steps : Gen_sched.step list;
+  options : L.options;
+  extra_config : (string * Pl.config) option;
+  input_seed : int;
+}
+
+type failure =
+  | Output_mismatch of { config : string; index : int; got : string; want : string }
+  | Counter_mismatch of {
+      config : string;
+      field : string;
+      executed : int;
+      analytic : int;
+    }
+  | Crash of { config : string; message : string }
+
+type verdict =
+  | Passed of { configs_checked : int }
+  | Rejected of string
+  | Failed of failure
+
+let machine = Imtp_upmem.Config.default
+
+let configs case =
+  Pl.ablations
+  @
+  match case.extra_config with
+  | Some (name, c) when not (List.mem_assoc name Pl.ablations) -> [ (name, c) ]
+  | Some _ | None -> []
+
+let lower case =
+  let op = Gen_workload.op case.workload in
+  let sched, _ = Gen_sched.replay op case.steps in
+  match L.lower ~options:case.options sched with
+  | prog -> Ok prog
+  | exception L.Lower_error m -> Error m
+
+(* First index where two value lists diverge. *)
+let first_diff got want =
+  let rec go i g w =
+    match (g, w) with
+    | [], [] -> None
+    | x :: g', y :: w' ->
+        if T.Value.compare x y = 0 then go (i + 1) g' w' else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, T.Value.Int 0)
+    | [], y :: _ -> Some (i, T.Value.Int 0, y)
+  in
+  go 0 got want
+
+let check_config op inputs want raw (name, config) =
+  match
+    let prog = Pl.run ~config machine raw in
+    let outs, counters = Eval.run_counted prog ~inputs in
+    let got =
+      T.Tensor.to_value_list (List.assoc (fst op.Op.output) outs)
+    in
+    (prog, counters, got)
+  with
+  | exception Eval.Error m -> Some (Crash { config = name; message = m })
+  | exception Cost.Error m -> Some (Crash { config = name; message = m })
+  | prog, counters, got -> (
+      match first_diff got want with
+      | Some (index, g, w) ->
+          Some
+            (Output_mismatch
+               {
+                 config = name;
+                 index;
+                 got = T.Value.to_string g;
+                 want = T.Value.to_string w;
+               })
+      | None -> (
+          match Cost.dma_counts prog with
+          | exception Cost.Error m -> Some (Crash { config = name; message = m })
+          | analytic ->
+              if analytic.Cost.dma_ops <> counters.Eval.dma_ops then
+                Some
+                  (Counter_mismatch
+                     {
+                       config = name;
+                       field = "dma_ops";
+                       executed = counters.Eval.dma_ops;
+                       analytic = analytic.Cost.dma_ops;
+                     })
+              else if analytic.Cost.dma_elems <> counters.Eval.dma_elems then
+                Some
+                  (Counter_mismatch
+                     {
+                       config = name;
+                       field = "dma_elems";
+                       executed = counters.Eval.dma_elems;
+                       analytic = analytic.Cost.dma_elems;
+                     })
+              else None))
+
+let check case =
+  match lower case with
+  | Error m -> Rejected m
+  | Ok raw -> (
+      let op = Gen_workload.op case.workload in
+      let inputs = Ops.random_inputs ~seed:case.input_seed op in
+      let want = T.Tensor.to_value_list (Op.reference op inputs) in
+      let cfgs = configs case in
+      let rec go checked = function
+        | [] -> Passed { configs_checked = checked }
+        | c :: rest -> (
+            match check_config op inputs want raw c with
+            | Some f -> Failed f
+            | None -> go (checked + 1) rest)
+      in
+      go 0 cfgs)
+
+let failure_to_string = function
+  | Output_mismatch { config; index; got; want } ->
+      Printf.sprintf
+        "output mismatch under pass config '%s': C[%d] = %s, reference says %s"
+        config index got want
+  | Counter_mismatch { config; field; executed; analytic } ->
+      Printf.sprintf
+        "counter divergence under pass config '%s': interpreter executed %s=%d, \
+         analytic model says %d"
+        config field executed analytic
+  | Crash { config; message } ->
+      Printf.sprintf "crash under pass config '%s': %s" config message

@@ -1,0 +1,55 @@
+(** The differential-testing oracle.
+
+    A {!case} packages everything needed to deterministically rebuild
+    one experiment: a workload, a replayable schedule-step list,
+    lowering options, an optional pass configuration beyond the four
+    standard ablations, and the input seed.
+
+    {!check} lowers the schedule and, for every pass configuration,
+    runs the program on the functional interpreter and compares
+
+    - the output tensor bit-exactly against the operator's reference
+      semantics ({!Imtp_workload.Op.reference}), and
+    - the interpreter's dynamic DMA counters exactly against the
+      analytic enumeration {!Imtp_tir.Cost.dma_counts}.
+
+    Schedules the lowering rejects are reported as {!Rejected} — they
+    are discarded draws, not failures. *)
+
+type case = {
+  workload : Gen_workload.t;
+  steps : Gen_sched.step list;
+  options : Imtp_lower.Lowering.options;
+  extra_config : (string * Imtp_passes.Pipeline.config) option;
+  input_seed : int;
+}
+
+type failure =
+  | Output_mismatch of {
+      config : string;
+      index : int;  (** first diverging flat element. *)
+      got : string;
+      want : string;
+    }
+  | Counter_mismatch of {
+      config : string;
+      field : string;  (** ["dma_ops"] or ["dma_elems"]. *)
+      executed : int;
+      analytic : int;
+    }
+  | Crash of { config : string; message : string }
+
+type verdict =
+  | Passed of { configs_checked : int }
+  | Rejected of string
+  | Failed of failure
+
+val configs : case -> (string * Imtp_passes.Pipeline.config) list
+(** The four ablations plus the case's extra configuration, if any. *)
+
+val lower : case -> (Imtp_tir.Program.t, string) result
+(** The unoptimized lowering of the case's schedule. *)
+
+val check : case -> verdict
+
+val failure_to_string : failure -> string

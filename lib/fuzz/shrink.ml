@@ -1,0 +1,67 @@
+(* Greedy shrinking: drop schedule steps, then shrink dimensions,
+   repeating until a fixpoint (or until the attempt budget runs out).
+   Every candidate is validated by re-running the caller's failure
+   predicate, so the minimized case provably still fails. *)
+
+let budget = 400
+
+let drop_nth steps n = List.filteri (fun i _ -> i <> n) steps
+
+(* Candidate replacements for a dimension, largest first so the
+   greedy pass takes big steps when it can. *)
+let dim_candidates d =
+  List.sort_uniq compare
+    (List.filter (fun c -> c >= 1 && c < d) [ 1; 2; 3; d / 2; d - 1 ])
+
+let minimize_with ~still_fails (case : Oracle.case) =
+  let tries = ref 0 in
+  let fails c =
+    incr tries;
+    !tries <= budget && still_fails c
+  in
+  (* One pass of step-dropping: try removing each step in turn,
+     front to back, restarting the scan after every success so the
+     indices stay meaningful. *)
+  let rec drop_steps (c : Oracle.case) =
+    let n = List.length c.steps in
+    let rec scan i =
+      if i >= n then c
+      else
+        let c' = { c with steps = drop_nth c.steps i } in
+        if fails c' then drop_steps c' else scan (i + 1)
+    in
+    scan 0
+  in
+  let rec shrink_dims (c : Oracle.case) =
+    let dims = Gen_workload.dims c.workload in
+    let rec scan i =
+      if i >= List.length dims then c
+      else
+        let d = List.nth dims i in
+        let rec try_cands = function
+          | [] -> scan (i + 1)
+          | cand :: rest -> (
+              let dims' = List.mapi (fun j x -> if j = i then cand else x) dims in
+              match Gen_workload.with_dims c.workload dims' with
+              | exception Invalid_argument _ -> try_cands rest
+              | w ->
+                  let c' = { c with workload = w } in
+                  if fails c' then shrink_dims c' else try_cands rest)
+        in
+        try_cands (dim_candidates d)
+    in
+    scan 0
+  in
+  let rec fix c =
+    let c' = shrink_dims (drop_steps c) in
+    if !tries > budget || c' = c then c' else fix c'
+  in
+  fix case
+
+let minimize case =
+  minimize_with
+    ~still_fails:(fun c ->
+      match Oracle.check c with
+      | Oracle.Failed _ -> true
+      | Oracle.Passed _ | Oracle.Rejected _ -> false)
+    case

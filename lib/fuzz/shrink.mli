@@ -1,0 +1,18 @@
+(** Greedy minimization of failing cases.
+
+    Shrinking is deterministic: it only ever removes schedule steps or
+    shrinks workload dimensions, re-running the oracle after each
+    candidate edit and keeping edits under which the case still fails.
+    Because steps are replayed through {!Gen_sched.replay}, dropping a
+    step whose later steps referenced its loops simply makes those
+    later steps no-ops — the replayed schedule stays well-formed. *)
+
+val minimize_with :
+  still_fails:(Oracle.case -> bool) -> Oracle.case -> Oracle.case
+(** [minimize_with ~still_fails case] greedily minimizes [case],
+    assuming [still_fails case] holds on entry.  The predicate is
+    called at most a few hundred times. *)
+
+val minimize : Oracle.case -> Oracle.case
+(** {!minimize_with} with the real oracle: a case "still fails" when
+    {!Oracle.check} returns [Failed _]. *)

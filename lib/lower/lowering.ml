@@ -138,10 +138,9 @@ let check_structure ctx =
   List.iter
     (fun (l : S.loop) ->
       match l.S.annot with
-      | S.Serial | S.Unrolled -> ()
-      | S.Bound _ | S.Host_parallel _ ->
-          err "loop %s: bound/parallel loops must precede serial kernel loops"
-            l.S.lname)
+      | S.Serial | S.Unrolled | S.Host_parallel _ -> ()
+      | S.Bound _ ->
+          err "loop %s: bound loops must precede serial kernel loops" l.S.lname)
     after_thread;
   (* per axis: the non-block segments must jointly cover a contiguous
      [0, tile) range with unit granularity, so that per-DPU MRAM tiles
@@ -163,6 +162,17 @@ let check_structure ctx =
     (fun (a : Op.axis) ->
       if not (spans_unit (non_block_segs ctx a.Op.aname)) then
         err "axis %s: DPU-bound segments must be its outermost segments"
+          a.Op.aname;
+      (* On a reduction axis the block segment's stride must also meet
+         the inner span exactly: overlapping per-DPU tiles would count
+         interior elements twice, and the boundary guards only clamp
+         the tail.  (Spatial overlap merely rewrites equal values.) *)
+      if
+        a.Op.kind = Op.Reduction
+        && not (spans_unit (segs ctx a.Op.aname))
+      then
+        err "reduction axis %s: segments overlap; split factors must tile \
+             the axis without double coverage"
           a.Op.aname)
     ctx.op.Op.axes;
   (* reduction-axis block segment must be the rfactor loop. *)
@@ -375,7 +385,10 @@ let stmt_kind_of (l : S.loop) : St.loop_kind =
   match l.S.annot with
   | S.Serial -> St.Serial
   | S.Unrolled -> St.Unrolled
-  | S.Host_parallel n -> St.Host_parallel n
+  (* [parallel] is a host post-processing hint (Table 2): inside the
+     kernel the loop runs serially per tasklet; the thread count feeds
+     the host final-reduction loop instead (see [host_par_threads]). *)
+  | S.Host_parallel _ -> St.Serial
   | S.Bound S.Block_x -> St.Bound St.Block_x
   | S.Bound S.Block_y -> St.Bound St.Block_y
   | S.Bound S.Block_z -> St.Bound St.Block_z
@@ -397,6 +410,30 @@ let emit_thread_reduction ctx (thr : S.loop) rest =
         let body = wrap_caches ctx l inner in
         St.For { var = kvar ctx l; extent = ei l.S.extent; kind = stmt_kind_of l; body }
   in
+  (* Read caches placed at the thread loop itself: each tasklet stages
+     its own MRAM slice before accumulating.  (The write cache at this
+     loop is the hand-built partial slot above, not a generic cache.) *)
+  let reads_at_thr =
+    List.filter
+      (fun (c : S.cache) ->
+        c.S.rw = S.Read
+        &&
+        match c.S.at with
+        | Some loc -> loc.S.lid = thr.S.lid
+        | None -> false)
+      (S.caches ctx.sched)
+  in
+  let with_reads body =
+    List.fold_right
+      (fun (c : S.cache) acc ->
+        St.Alloc
+          {
+            buffer = wram_buffer ctx c.S.tensor thr;
+            body =
+              St.seq [ cache_dma ctx St.Mram_to_wram c.S.tensor thr; acc ];
+          })
+      reads_at_thr body
+  in
   let per_tasklet =
     St.Alloc
       {
@@ -405,7 +442,7 @@ let emit_thread_reduction ctx (thr : S.loop) rest =
           St.seq
             [
               St.store wc_buf.B.name (ei 0) (ei 0);
-              emit_inner rest;
+              with_reads (emit_inner rest);
               St.store partials.B.name (E.var (kvar ctx thr))
                 (E.load wc_buf.B.name (ei 0));
             ];
@@ -491,6 +528,9 @@ let tensor_xfer ctx (dir : St.xfer_dir) t ~into_partial =
   let mode : St.xfer_mode =
     if not ctx.opts.parallel_transfer then St.Copy
     else if has_block || into_partial then St.Push
+    else if dir = St.From_dpu then St.Push
+      (* broadcast only exists host-to-DPU; an unpartitioned tensor is
+         replicated across the grid, so read it back from DPU 0. *)
     else St.Broadcast_x
   in
   (* Coalescing: with bulk transfer, merge the maximal fully-covered,
@@ -620,6 +660,17 @@ let tensor_xfer ctx (dir : St.xfer_dir) t ~into_partial =
 
 (* --- host reduction ----------------------------------------------------- *)
 
+(* Effective host post-processing parallelism: the lowering option, or
+   any [Sched.parallel] annotation in the schedule, whichever is
+   larger. *)
+let host_par_threads ctx =
+  List.fold_left
+    (fun acc (l : S.loop) ->
+      match l.S.annot with
+      | S.Host_parallel n -> max acc n
+      | S.Serial | S.Unrolled | S.Bound _ -> acc)
+    ctx.opts.host_reduce_threads (S.order ctx.sched)
+
 let final_reduction ctx =
   match S.rfactor_loop ctx.sched with
   | None -> St.Nop
@@ -696,10 +747,9 @@ let final_reduction ctx =
         match spatial_blocks with
         | [] -> with_tiles
         | first :: rest ->
+            let threads = host_par_threads ctx in
             let kind =
-              if ctx.opts.host_reduce_threads > 1 then
-                St.Host_parallel ctx.opts.host_reduce_threads
-              else St.Serial
+              if threads > 1 then St.Host_parallel threads else St.Serial
             in
             St.For
               {

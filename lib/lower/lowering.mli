@@ -46,7 +46,13 @@ val lower : ?options:options -> Imtp_schedule.Sched.t -> Imtp_tir.Program.t
     by the optional tasklet loop), each axis's DPU-bound segments must
     be its outermost segments, every tensor needs a placed cache, cache
     locations must dominate the segments they cover, and a DPU-bound
-    reduction segment must be the [rfactor] loop. *)
+    reduction segment must be the [rfactor] loop.
+
+    A [Sched.parallel] annotation on a trailing kernel loop is treated
+    as a host post-processing hint (Table 2): the loop itself lowers to
+    a serial per-tasklet loop, and its thread count raises the
+    [host_reduce_threads] used for the hierarchical-reduction
+    post-processing loop. *)
 
 val partial_buffer_name : string
 (** Name of the host buffer holding gathered per-DPU partials when

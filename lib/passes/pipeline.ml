@@ -11,6 +11,27 @@ let ablations =
     ("dma+lt+bh", all_on);
   ]
 
+let config_name c =
+  let parts =
+    (if c.dma_elim then [ "dma" ] else [])
+    @ (if c.loop_tighten then [ "lt" ] else [])
+    @ if c.branch_hoist then [ "bh" ] else []
+  in
+  match parts with [] -> "none" | ps -> String.concat "+" ps
+
+let all_configs =
+  List.concat_map
+    (fun dma_elim ->
+      List.concat_map
+        (fun loop_tighten ->
+          List.map
+            (fun branch_hoist ->
+              let c = { dma_elim; loop_tighten; branch_hoist } in
+              (config_name c, c))
+            [ false; true ])
+        [ false; true ])
+    [ false; true ]
+
 let simplify_kernels (p : Imtp_tir.Program.t) =
   {
     p with

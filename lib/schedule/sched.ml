@@ -238,6 +238,25 @@ let grid_dpus t = List.fold_left (fun acc l -> acc * l.extent) 1 (block_loops t)
 let tasklets t =
   match thread_loop t with Some l -> l.extent | None -> 1
 
+let serial_loops t =
+  List.filter
+    (fun l ->
+      match l.annot with
+      | Serial -> true
+      | Unrolled | Host_parallel _ | Bound _ -> false)
+    t.sorder
+
+let unused_bindings t =
+  let used b =
+    List.exists
+      (fun l ->
+        match l.annot with
+        | Bound b' -> b' = b
+        | Serial | Unrolled | Host_parallel _ -> false)
+      t.sorder
+  in
+  List.filter (fun b -> not (used b)) [ Block_x; Block_y; Block_z; Thread_x ]
+
 let binding_name = function
   | Block_x -> "blockIdx.x"
   | Block_y -> "blockIdx.y"

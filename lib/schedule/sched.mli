@@ -115,6 +115,14 @@ val is_block : loop -> bool
 val loop_index : t -> loop -> int
 (** Position in the current order.  @raise Not_found on stale loops. *)
 
+val serial_loops : t -> loop list
+(** Loops still carrying the [Serial] annotation, i.e. the candidates
+    for [split]/[bind]/[unroll]/[parallel] (used by random schedule
+    generation). *)
+
+val unused_bindings : t -> binding list
+(** The bindings not yet claimed by any loop, in declaration order. *)
+
 val describe : t -> string
 (** Human-readable schedule summary (used for Table 3). *)
 

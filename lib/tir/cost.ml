@@ -202,6 +202,51 @@ let kernel_profile cfg (p : Program.t) (k : Program.kernel) =
 
 let kernel_cycles cfg p k = U.Dpu_model.kernel_cycles cfg (kernel_profile cfg p k)
 
+(* --- exact DMA counting ---------------------------------------------- *)
+
+type dma_counts = { dma_ops : int; dma_elems : int }
+
+(* Exact dynamic DMA traffic by full loop enumeration, the analytic
+   twin of the [Eval.run_counted] counters.  Unlike the timing walk
+   above there is no interior-DPU approximation: block and thread
+   loops are enumerated and guards are evaluated, so the count matches
+   what the interpreter actually executes. *)
+let dma_counts (p : Program.t) =
+  let ops = ref 0 and elems = ref 0 in
+  let budget = ref 50_000_000 in
+  let spend () =
+    decr budget;
+    if !budget <= 0 then err "dma_counts: enumeration exceeds node budget"
+  in
+  let rec walk env (s : Stmt.t) =
+    spend ();
+    match s with
+    | Nop | Barrier | Store _ | Xfer _ -> ()
+    | Seq ss -> List.iter (walk env) ss
+    | Alloc { body; _ } -> walk env body
+    | For { var; extent; kind = _; body } ->
+        let n = max 0 (extent_int env extent) in
+        for i = 0 to n - 1 do
+          walk (Var.Map.add var i env) body
+        done
+    | If { cond; then_; else_ } -> (
+        match Simplify.eval_int env cond with
+        | Some 0 -> Option.iter (walk env) else_
+        | Some _ -> walk env then_
+        | None -> err "dma_counts: undecidable guard %s" (Expr.to_string cond))
+    | Dma { elems = e; _ } ->
+        (* mirror [Eval]: the op and its element count are recorded
+           unconditionally once the instruction issues. *)
+        incr ops;
+        elems := !elems + extent_int env e
+    | Launch kname -> (
+        match Program.kernel_of p kname with
+        | Some k -> walk env k.body
+        | None -> err "dma_counts: launch of unknown kernel %s" kname)
+  in
+  walk Var.Map.empty p.host;
+  { dma_ops = !ops; dma_elems = !elems }
+
 (* --- host walk -------------------------------------------------------- *)
 
 type hacc = {

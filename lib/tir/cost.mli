@@ -25,3 +25,19 @@ val kernel_profile :
   Imtp_upmem.Config.t -> Program.t -> Program.kernel -> Imtp_upmem.Dpu_model.profile
 (** The chunk profile backing {!kernel_cycles}, for tests and
     diagnostics. *)
+
+type dma_counts = {
+  dma_ops : int;  (** DMA instructions executed across the whole grid. *)
+  dma_elems : int;  (** elements moved by MRAM<->WRAM DMA. *)
+}
+
+val dma_counts : Program.t -> dma_counts
+(** Exact analytic DMA traffic of a program: every kernel launch is
+    enumerated loop iteration by loop iteration (guards evaluate under
+    the enumeration, so skipped boundary work is excluded), summing DMA
+    executions and element counts over all DPUs and tasklets.  The
+    result must agree exactly with the [dma_ops]/[dma_elems] fields of
+    {!Eval.run_counted} — the fuzz oracle cross-validates the two.
+
+    @raise Error on non-constant loop extents, undecidable guards, or
+    programs whose enumeration exceeds the node budget. *)

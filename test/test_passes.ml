@@ -71,6 +71,46 @@ let test_semantics_gemv_fig8 () =
     op
     (params ~sd:4 ~t:1 ~c:16 ())
 
+let test_semantics_gemm () =
+  (* Odd extents on all three axes: boundary guards in both spatial
+     tiles and the reduction tail. *)
+  check_semantics_all_ablations "gemm" (Ops.gemm 17 13 21) (params ~c:4 ())
+
+let test_semantics_mlp_chain () =
+  (* A two-layer MLP as a chain of separately compiled stages
+     (mtv -> mtv -> va, odd dims): every ablation must produce the
+     same final activations, with each stage's output feeding the
+     next stage's inputs. *)
+  let d = 23 and h = 19 and o = 7 in
+  let l1 = Ops.mtv h d and l2 = Ops.mtv o h in
+  let bias = Ops.va o in
+  let w1 = T.Tensor.random ~seed:41 ~bound:9 T.Dtype.I32 (T.Shape.create [ h; d ]) in
+  let x = T.Tensor.random ~seed:42 ~bound:9 T.Dtype.I32 (T.Shape.create [ d ]) in
+  let w2 = T.Tensor.random ~seed:43 ~bound:9 T.Dtype.I32 (T.Shape.create [ o; h ]) in
+  let b = T.Tensor.random ~seed:44 ~bound:9 T.Dtype.I32 (T.Shape.create [ o ]) in
+  let p = params ~sd:2 ~t:2 ~c:4 () in
+  let run_chain config =
+    let stage op inputs =
+      let prog = Pl.run ~config cfg (lower_raw op p) in
+      List.assoc (fst op.Op.output) (Imtp_tir.Eval.run prog ~inputs)
+    in
+    let y1 = stage l1 [ ("A", w1); ("B", x) ] in
+    let y2 = stage l2 [ ("A", w2); ("B", y1) ] in
+    T.Tensor.to_value_list (stage bias [ ("A", y2); ("B", b) ])
+  in
+  let reference =
+    let y1 = Op.reference l1 [ ("A", w1); ("B", x) ] in
+    let y2 = Op.reference l2 [ ("A", w2); ("B", y1) ] in
+    T.Tensor.to_value_list (Op.reference bias [ ("A", y2); ("B", b) ])
+  in
+  List.iter
+    (fun (aname, config) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mlp chain under %s" aname)
+        true
+        (run_chain config = reference))
+    Pl.ablations
+
 let kernel prog = List.hd prog.P.kernels
 
 let test_dma_vectorizes () =
@@ -225,6 +265,8 @@ let () =
           Alcotest.test_case "mtv rfactor" `Quick test_semantics_mtv_rfactor;
           Alcotest.test_case "mmtv" `Quick test_semantics_mmtv;
           Alcotest.test_case "gemv fig8" `Quick test_semantics_gemv_fig8;
+          Alcotest.test_case "gemm" `Quick test_semantics_gemm;
+          Alcotest.test_case "mlp chain" `Quick test_semantics_mlp_chain;
           Alcotest.test_case "aligned" `Quick
             test_aligned_shapes_unaffected_semantically;
         ] );

@@ -414,47 +414,81 @@ let prop_kernel_profile_chunks =
       prof.Imtp_upmem.Dpu_model.tasklets = 1
       && prof.Imtp_upmem.Dpu_model.chunks = 1)
 
+(* Random small expressions over two variables.  Division and modulo
+   appear only with nonzero constant divisors — [Simplify.expr] raises
+   on a constant-0 divisor by design, which is not what these
+   properties are about. *)
+let gen_expr =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self (n, vars) ->
+          if n <= 0 then
+            oneof
+              [
+                map E.int (int_range (-20) 20);
+                map (fun i -> E.var (List.nth vars (i mod List.length vars))) (int_range 0 10);
+              ]
+          else
+            oneof
+              [
+                map E.int (int_range (-20) 20);
+                map (fun i -> E.var (List.nth vars (i mod List.length vars))) (int_range 0 10);
+                map3
+                  (fun op a b -> E.Binop (op, a, b))
+                  (oneofl [ E.Add; E.Sub; E.Mul; E.Min; E.Max ])
+                  (self (n / 2, vars))
+                  (self (n / 2, vars));
+                map3
+                  (fun op a b -> E.Binop (op, a, E.int b))
+                  (oneofl [ E.Div; E.Mod ])
+                  (self (n / 2, vars))
+                  (oneofl [ -3; -2; 2; 3; 5; 7 ]);
+                map3
+                  (fun op a b -> E.Cmp (op, a, b))
+                  (oneofl [ E.Lt; E.Le; E.Gt; E.Ge; E.Eq; E.Ne ])
+                  (self (n / 2, vars))
+                  (self (n / 2, vars));
+              ])
+        (min n 8, [ v "p"; v "q" ]))
+
+let full_env e =
+  let vars = V.Set.elements (E.free_vars e) in
+  List.fold_left (fun m (i, x) -> V.Map.add x (i * 3 mod 7) m) V.Map.empty
+    (List.mapi (fun i x -> (i, x)) vars)
+
 let prop_simplify_sound =
   (* Simplification preserves value under random environments. *)
-  let gen_expr =
-    let open QCheck2.Gen in
-    sized (fun n ->
-        fix
-          (fun self (n, vars) ->
-            if n <= 0 then
-              oneof
-                [
-                  map E.int (int_range (-20) 20);
-                  map (fun i -> E.var (List.nth vars (i mod List.length vars))) (int_range 0 10);
-                ]
-            else
-              oneof
-                [
-                  map E.int (int_range (-20) 20);
-                  map (fun i -> E.var (List.nth vars (i mod List.length vars))) (int_range 0 10);
-                  map3
-                    (fun op a b -> E.Binop (op, a, b))
-                    (oneofl [ E.Add; E.Sub; E.Mul; E.Min; E.Max ])
-                    (self (n / 2, vars))
-                    (self (n / 2, vars));
-                  map3
-                    (fun op a b -> E.Cmp (op, a, b))
-                    (oneofl [ E.Lt; E.Le; E.Gt; E.Ge; E.Eq; E.Ne ])
-                    (self (n / 2, vars))
-                    (self (n / 2, vars));
-                ])
-          (min n 8, [ v "p"; v "q" ]))
-  in
   QCheck2.Test.make ~name:"simplify preserves semantics" ~count:300 gen_expr
     (fun e ->
-      let vars = V.Set.elements (E.free_vars e) in
-      let env =
-        List.fold_left (fun m (i, x) -> V.Map.add x (i * 3 mod 7) m) V.Map.empty
-          (List.mapi (fun i x -> (i, x)) vars)
-      in
+      let env = full_env e in
       match Simp.eval_int env e with
       | None -> true
       | Some expected -> Simp.eval_int env (Simp.expr e) = Some expected)
+
+let prop_simplify_idempotent =
+  (* A second pass over already-simplified output must be the identity:
+     rewrites that keep firing indicate a non-confluent rule set. *)
+  QCheck2.Test.make ~name:"simplify is idempotent" ~count:300 gen_expr (fun e ->
+      let once = Simp.expr e in
+      E.equal (Simp.expr once) once)
+
+let prop_simplify_identities =
+  (* Algebraic identities hold on random subexpressions, not just on
+     the hand-picked cases above: e+0, e*1, e*0, min/max self. *)
+  QCheck2.Test.make ~name:"simplify algebraic identities" ~count:300 gen_expr
+    (fun e ->
+      let env = full_env e in
+      let same a b =
+        match (Simp.eval_int env a, Simp.eval_int env b) with
+        | Some x, Some y -> x = y
+        | None, _ | _, None -> true
+      in
+      same (Simp.expr E.(e + int 0)) (Simp.expr e)
+      && same (Simp.expr E.(e * int 1)) (Simp.expr e)
+      && Simp.eval_int env (Simp.expr E.(e * int 0)) = Some 0
+      && same (Simp.expr (E.Binop (E.Min, e, e))) (Simp.expr e)
+      && same (Simp.expr (E.Binop (E.Max, e, e))) (Simp.expr e))
 
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
@@ -508,6 +542,8 @@ let () =
         q
           [
             prop_simplify_sound;
+            prop_simplify_idempotent;
+            prop_simplify_identities;
             prop_upper_bound_solver_exact;
             prop_kernel_profile_chunks;
           ] );
