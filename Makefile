@@ -3,13 +3,20 @@
 FUZZ_SEED ?= $(shell date +%Y%m%d)
 FUZZ_CASES ?= 10000
 
-.PHONY: all test fuzz clean
+.PHONY: all test check fuzz clean
 
 all:
 	dune build @all
 
 test:
 	dune runtest
+
+# Full gate: build, unit tests, and a fixed-seed 50-case fuzz smoke
+# through the engine path (the `@check` alias in test/dune).
+check:
+	dune build
+	dune runtest
+	dune build @check
 
 # Long fuzzing campaign with a date-derived seed (override with
 # FUZZ_SEED=n / FUZZ_CASES=n).  The seed is printed first so a failing

@@ -15,12 +15,16 @@ let sk ?(sd = 512) ?(rd = 1) ?(t = 16) ?(c = 64) ?(rows = 1) ?(ht = 1) () =
     host_threads = ht;
   }
 
+(* One shared engine for every experiment: repeated (op, params, passes)
+   triples across figures are served from its cache.  [~verify:false]
+   because several sweeps (Fig. 4 tile sizes, Fig. 12 ablations)
+   deliberately step outside the verifier's hardware envelope. *)
+let engine = Imtp.Engine.create cfg
+
 let build_with passes op params =
-  let sched = Imtp.Sketch.instantiate op params in
-  let prog =
-    Imtp.Lowering.lower ~options:(Imtp.Sketch.lower_options params) sched
-  in
-  Imtp.Passes.run ~config:passes cfg prog
+  match Imtp.Engine.build engine ~passes ~verify:false op params with
+  | Ok a -> a.Imtp.Engine.program
+  | Error e -> failwith (Imtp.Engine.error_to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 3 — boundary checks' impact on GEMV kernel execution time.     *)
@@ -689,9 +693,8 @@ let transfer () =
   pr [ "workload"; "naive(ms)"; "+bulk(ms)"; "+bank-parallel" ];
   let build op params (options : Imtp.Lowering.options) =
     let sched = Imtp.Sketch.instantiate op params in
-    let prog = Imtp.Lowering.lower ~options sched in
-    let prog = Imtp.Passes.run cfg prog in
-    total (Imtp.estimate prog)
+    let prog = Imtp.compile ~config:cfg ~options sched in
+    total (Imtp.estimate ~config:cfg prog)
   in
   List.iter
     (fun (label, op, params) ->

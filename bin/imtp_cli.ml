@@ -64,10 +64,11 @@ let machine dpus = Imtp.Config.with_dpus cfg dpus
 
 let build_op name sizes = Imtp.Ops.by_name name ~sizes
 
-let default_params op =
-  let p = { Imtp.Sketch.default_params with Imtp.Sketch.spatial_dpus = 256; tasklets = 8; cache_elems = 32 } in
+let default_params config op =
+  let dpus = min 256 (Imtp.Config.nr_dpus config) in
+  let p = { Imtp.Sketch.default_params with Imtp.Sketch.spatial_dpus = dpus; tasklets = 8; cache_elems = 32 } in
   match Imtp.Sketch.family_of op with
-  | Imtp.Sketch.Tasklet_reduce -> { p with Imtp.Sketch.reduction_dpus = 256 }
+  | Imtp.Sketch.Tasklet_reduce -> { p with Imtp.Sketch.reduction_dpus = dpus }
   | _ -> p
 
 (* --- info ------------------------------------------------------------ *)
@@ -98,7 +99,7 @@ let lower_cmd =
   let run name sizes no_passes dpus =
     let op = build_op name sizes in
     let config = machine dpus in
-    let sched = Imtp.Sketch.instantiate op (default_params op) in
+    let sched = Imtp.Sketch.instantiate op (default_params config op) in
     let prog =
       if no_passes then Imtp.Lowering.lower sched
       else Imtp.compile ~config sched
@@ -116,7 +117,9 @@ let codegen_cmd =
   let run name sizes dpus =
     let op = build_op name sizes in
     let config = machine dpus in
-    let prog = Imtp.compile ~config (Imtp.Sketch.instantiate op (default_params op)) in
+    let prog =
+      Imtp.compile ~config (Imtp.Sketch.instantiate op (default_params config op))
+    in
     print_string (Imtp.Codegen_c.program_to_c prog)
   in
   Cmd.v (Cmd.info "codegen" ~doc) Term.(const run $ op_arg $ sizes_arg $ dpus_arg)
@@ -129,17 +132,23 @@ let run_cmd =
   let run name sizes dpus =
     let op = build_op name sizes in
     let config = machine dpus in
-    let prog = Imtp.compile ~config (Imtp.Sketch.instantiate op (default_params op)) in
-    let inputs = Imtp.Ops.random_inputs op in
-    let outs = Imtp.execute ~inputs prog op in
-    let got = List.assoc (fst op.Imtp.Op.output) outs in
-    let want = Imtp.Op.reference op inputs in
-    let ok =
-      Imtp.Tensor.to_value_list got = Imtp.Tensor.to_value_list want
-    in
-    Format.printf "result: %s@." (if ok then "VALID" else "MISMATCH");
-    Format.printf "timing: %a@." Imtp.Stats.pp (Imtp.estimate ~config prog);
-    if not ok then exit 1
+    let engine = Imtp.Engine.create config in
+    match Imtp.Engine.build engine op (default_params config op) with
+    | Error e ->
+        Format.eprintf "error: %s@." (Imtp.Engine.error_to_string e);
+        exit 1
+    | Ok art ->
+        let prog = art.Imtp.Engine.program in
+        let inputs = Imtp.Ops.random_inputs op in
+        let outs = Imtp.execute ~inputs prog op in
+        let got = List.assoc (fst op.Imtp.Op.output) outs in
+        let want = Imtp.Op.reference op inputs in
+        let ok =
+          Imtp.Tensor.to_value_list got = Imtp.Tensor.to_value_list want
+        in
+        Format.printf "result: %s@." (if ok then "VALID" else "MISMATCH");
+        Format.printf "timing: %a@." Imtp.Stats.pp art.Imtp.Engine.stats;
+        if not ok then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ op_arg $ sizes_arg $ dpus_arg)
 
@@ -167,6 +176,13 @@ let tune_cmd =
         Format.printf "search: %d measured, %d invalid candidates filtered@."
           r.Imtp.Tuner.search.Imtp.Search.measured
           r.Imtp.Tuner.search.Imtp.Search.invalid_candidates;
+        let c = r.Imtp.Tuner.cache in
+        Format.printf
+          "engine: %d/%d lookups served from cache (%.0f%% hit rate), %d \
+           search candidates deduplicated@."
+          c.Imtp.Engine.hits c.Imtp.Engine.lookups
+          (100. *. Imtp.Engine.hit_rate c)
+          r.Imtp.Tuner.search.Imtp.Search.cache_hits;
         Format.printf "schedule primitives:@.";
         List.iter
           (fun line -> Format.printf "  %s@." line)
@@ -215,13 +231,14 @@ let replay_cmd =
               e.Imtp.Tuning_log.trial
               (e.Imtp.Tuning_log.latency_s *. 1e3)
               (Imtp.Sketch.describe e.Imtp.Tuning_log.params);
-            match Imtp.Measure.measure cfg op e.Imtp.Tuning_log.params with
-            | Error m ->
-                Format.eprintf "error: %s@." m;
+            let engine = Imtp.Engine.create cfg in
+            match Imtp.Engine.measure engine op e.Imtp.Tuning_log.params with
+            | Error err ->
+                Format.eprintf "error: %s@." (Imtp.Engine.error_to_string err);
                 exit 1
-            | Ok r ->
+            | Ok m ->
                 Format.printf "re-measured:  %.3f ms@."
-                  (r.Imtp.Measure.latency_s *. 1e3)))
+                  (m.Imtp.Engine.latency_s *. 1e3)))
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ szs)
 

@@ -1,44 +1,33 @@
+module Engine = Imtp_engine.Engine
+
 type result = {
   params : Sketch.params;
   stats : Imtp_upmem.Stats.t;
   latency_s : float;
 }
 
-let noise_amplitude = 0.02
+let noise_amplitude = Engine.noise_amplitude
 
-let build ?(passes = Imtp_passes.Pipeline.all_on) ?(skip_inputs = []) cfg op params =
-  match Sketch.instantiate op params with
-  | exception Invalid_argument m -> Error ("sketch: " ^ m)
-  | sched -> (
-      match Verifier.check_sched cfg sched with
-      | Error r -> Error ("verifier: " ^ r.Verifier.reason)
-      | Ok () -> (
-          let options =
-            {
-              (Sketch.lower_options params) with
-              Imtp_lower.Lowering.skip_input_transfer = skip_inputs;
-            }
-          in
-          match Imtp_lower.Lowering.lower ~options sched with
-          | exception Imtp_lower.Lowering.Lower_error m -> Error ("lower: " ^ m)
-          | prog -> (
-              let prog = Imtp_passes.Pipeline.run ~config:passes cfg prog in
-              match Verifier.check cfg prog with
-              | Error r -> Error ("verifier: " ^ r.Verifier.reason)
-              | Ok () -> Ok prog)))
+(* One engine per machine configuration, interned so independent
+   Measure calls (benchmarks, grid searches) share builds.  Config.t is
+   a plain record, so structural hashing is well-defined. *)
+let engines : (Imtp_upmem.Config.t, Engine.t) Hashtbl.t = Hashtbl.create 4
+
+let engine_for cfg =
+  match Hashtbl.find_opt engines cfg with
+  | Some e -> e
+  | None ->
+      let e = Engine.create cfg in
+      Hashtbl.add engines cfg e;
+      e
+
+let build ?passes ?skip_inputs cfg op params =
+  match Engine.build (engine_for cfg) ?passes ?skip_inputs op params with
+  | Ok a -> Ok a.Engine.program
+  | Error e -> Error (Engine.error_to_string e)
 
 let measure ?rng ?passes ?skip_inputs cfg op params =
-  match build ?passes ?skip_inputs cfg op params with
-  | Error m -> Error m
-  | Ok prog -> (
-      match Imtp_tir.Cost.measure cfg prog with
-      | exception Imtp_tir.Cost.Error m -> Error ("cost: " ^ m)
-      | stats ->
-          let base = Imtp_upmem.Stats.total_s stats in
-          let latency_s =
-            match rng with
-            | None -> base
-            | Some r ->
-                base *. (1. +. (noise_amplitude *. ((2. *. Rng.float r 1.) -. 1.)))
-          in
-          Ok { params; stats; latency_s })
+  match Engine.measure (engine_for cfg) ?rng ?passes ?skip_inputs op params with
+  | Ok m ->
+      Ok { params; stats = m.Engine.artifact.Engine.stats; latency_s = m.Engine.latency_s }
+  | Error e -> Error (Engine.error_to_string e)

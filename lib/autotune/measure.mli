@@ -1,7 +1,14 @@
-(** Candidate measurement: sketch instantiation → lowering → PIM-aware
+(** Candidate measurement, kept as a thin compatibility veneer over
+    {!Imtp_engine.Engine}: sketch instantiation → lowering → PIM-aware
     passes → verifier → simulated hardware timing, with optional
     deterministic measurement noise modelling run-to-run variation on
-    the real machine. *)
+    the real machine.
+
+    Calls share one interned engine per machine configuration, so
+    repeated builds of the same candidate (grid searches, benchmark
+    sweeps) are served from the engine's content-addressed cache.
+    Callers that need artifacts, typed errors, batching or cache
+    telemetry should use {!Imtp_engine.Engine} directly. *)
 
 type result = {
   params : Sketch.params;
@@ -19,8 +26,8 @@ val build :
   Imtp_workload.Op.t ->
   Sketch.params ->
   (Imtp_tir.Program.t, string) Result.t
-(** Lower and optimize a candidate; [Error] carries the lowering or
-    verifier rejection. *)
+(** Lower and optimize a candidate; [Error] carries the rendered
+    {!Imtp_engine.Engine.error} (lowering or verifier rejection). *)
 
 val measure :
   ?rng:Rng.t ->

@@ -1,6 +1,7 @@
 let log_src = Logs.Src.create "imtp.search" ~doc:"IMTP evolutionary search"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Engine = Imtp_engine.Engine
 
 type strategy = { balanced_sampling : bool; adaptive_epsilon : bool }
 
@@ -19,6 +20,7 @@ type outcome = {
   history : record list;
   invalid_candidates : int;
   measured : int;
+  cache_hits : int;
 }
 
 let population_size = 16
@@ -71,9 +73,16 @@ let parent_pool strategy ~early population =
   else take top_k sorted
 
 let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
-    ?(use_cost_model = true) cfg op ~trials =
+    ?(use_cost_model = true) ?engine cfg op ~trials =
+  let engine =
+    match engine with Some e -> e | None -> Engine.create cfg
+  in
+  let hits0 = (Engine.counters engine).Engine.hits in
   let rng = Rng.create ~seed in
   let model = Cost_model.create () in
+  (* Params measured this run; duplicate proposals are deduplicated here
+     (one history entry per candidate) while the engine cache spares
+     them the re-build. *)
   let seen = Hashtbl.create 64 in
   let history = ref [] in
   let best = ref None in
@@ -81,55 +90,46 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
   let measured = ref 0 in
   let trial = ref 0 in
   let population = ref [] in
-  let record (r : Measure.result) =
+  let record ~trial params (m : Engine.measurement) =
     incr measured;
-    Hashtbl.replace seen r.Measure.params ();
-    Cost_model.observe model
-      (Cost_model.features op r.Measure.params)
-      r.Measure.latency_s;
+    Hashtbl.replace seen params ();
+    let latency_s = m.Engine.latency_s in
+    Cost_model.observe model (Cost_model.features op params) latency_s;
+    let r =
+      { Measure.params; stats = m.Engine.artifact.Engine.stats; latency_s }
+    in
     (match !best with
-    | Some b when b.Measure.latency_s <= r.Measure.latency_s -> ()
+    | Some b when b.Measure.latency_s <= latency_s -> ()
     | Some _ | None -> best := Some r);
     let best_so_far =
       match !best with Some b -> b.Measure.latency_s | None -> infinity
     in
-    history :=
-      {
-        trial = !trial;
-        params = r.Measure.params;
-        latency_s = r.Measure.latency_s;
-        best_so_far;
-      }
-      :: !history
+    history := { trial; params; latency_s; best_so_far } :: !history
   in
-  (* One measurement consumes one trial; verifier rejections are
-     filtered cheaply (retried), duplicate proposals burn the trial. *)
-  let measure_candidate params =
-    if Hashtbl.mem seen params then None
-    else begin
-      match Measure.measure ~rng ?passes ?skip_inputs cfg op params with
-      | Ok r ->
-          record r;
-          Some (r.Measure.params, r.Measure.latency_s)
-      | Error _ ->
-          incr invalid;
-          None
-    end
+  (* One proposal consumes one trial; invalid candidates (typed engine
+     errors, cached after first rejection) and duplicate proposals burn
+     the trial without contributing offspring. *)
+  let consume ~trial (params, result) =
+    match result with
+    | Error _ ->
+        incr invalid;
+        None
+    | Ok m ->
+        if Hashtbl.mem seen params then None
+        else begin
+          record ~trial params m;
+          Some (params, m.Engine.latency_s)
+        end
   in
   let random_valid () =
     let rec go attempts =
       if attempts = 0 then None
       else begin
         let params = Sketch.random rng cfg op in
-        if Hashtbl.mem seen params then go (attempts - 1)
-        else
-          match Measure.measure ~rng ?passes ?skip_inputs cfg op params with
-          | Ok r ->
-              record r;
-              Some (r.Measure.params, r.Measure.latency_s)
-          | Error _ ->
-              incr invalid;
-              go (attempts - 1)
+        let result = Engine.measure engine ~rng ?passes ?skip_inputs op params in
+        match consume ~trial:!trial (params, result) with
+        | Some c -> Some c
+        | None -> go (attempts - 1)
       end
     in
     go 16
@@ -142,51 +142,49 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
     | None -> ());
     incr trial
   done;
-  (* Generations. *)
+  (* Generations: propose a whole generation against the fixed parent
+     pool, then measure it in one engine batch. *)
   while !trial < trials do
     let early =
       float_of_int !trial < exploration_fraction *. float_of_int trials
     in
     let parents = parent_pool strategy ~early !population in
-    let offspring = ref [] in
     let gen_size = min population_size (trials - !trial) in
-    for _ = 1 to gen_size do
-      if !trial < trials then begin
-        let eps = epsilon strategy ~trial:!trial ~trials in
-        let candidate =
-          if Rng.float rng 1. < eps || parents = [] then
-            Sketch.random rng cfg op
-          else begin
-            let parent, _ = Rng.pick rng parents in
-            let muts =
-              (* mostly single-field mutations, occasionally two fields
-                 at once to escape coordinate-wise local optima. *)
-              List.init mutations_per_pick (fun _ ->
-                  let m = Sketch.mutate rng cfg op parent in
-                  if Rng.float rng 1. < 0.3 then Sketch.mutate rng cfg op m
-                  else m)
-            in
-            if use_cost_model && Cost_model.trained model then
-              List.fold_left
-                (fun acc c ->
-                  let s = Cost_model.predict model (Cost_model.features op c) in
-                  match acc with
-                  | Some (_, s') when s' <= s -> acc
-                  | _ -> Some (c, s))
-                None muts
-              |> Option.map fst
-              |> Option.value ~default:(List.hd muts)
-            else List.hd muts
-          end
+    let propose i =
+      let eps = epsilon strategy ~trial:(!trial + i) ~trials in
+      if Rng.float rng 1. < eps || parents = [] then Sketch.random rng cfg op
+      else begin
+        let parent, _ = Rng.pick rng parents in
+        let muts =
+          (* mostly single-field mutations, occasionally two fields
+             at once to escape coordinate-wise local optima. *)
+          List.init mutations_per_pick (fun _ ->
+              let m = Sketch.mutate rng cfg op parent in
+              if Rng.float rng 1. < 0.3 then Sketch.mutate rng cfg op m
+              else m)
         in
-        (match measure_candidate candidate with
-        | Some c -> offspring := c :: !offspring
-        | None -> ());
-        incr trial
+        if use_cost_model && Cost_model.trained model then
+          List.fold_left
+            (fun acc c ->
+              let s = Cost_model.predict model (Cost_model.features op c) in
+              match acc with
+              | Some (_, s') when s' <= s -> acc
+              | _ -> Some (c, s))
+            None muts
+          |> Option.map fst
+          |> Option.value ~default:(List.hd muts)
+        else List.hd muts
       end
-    done;
+    in
+    let candidates = List.init gen_size propose in
+    let results = Engine.batch engine ~rng ?passes ?skip_inputs op candidates in
+    let offspring =
+      List.mapi (fun i r -> consume ~trial:(!trial + i) r) results
+      |> List.filter_map Fun.id
+    in
+    trial := !trial + gen_size;
     population :=
-      truncate_population strategy ~early (!population @ !offspring);
+      truncate_population strategy ~early (!population @ offspring);
     Log.debug (fun m ->
         m "trial %d/%d: population %d, best %.6f ms, %d invalid so far" !trial
           trials
@@ -201,4 +199,5 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
     history = List.rev !history;
     invalid_candidates = !invalid;
     measured = !measured;
+    cache_hits = (Engine.counters engine).Engine.hits - hits0;
   }

@@ -12,7 +12,12 @@
       families;
     - {b adaptive ε-greedy}: the exploration rate starts at 0.5 and
       decays linearly to 0.05 over the first 40 % of trials (a plain
-      search uses 0.05 throughout). *)
+      search uses 0.05 throughout).
+
+    Candidates are built and costed through {!Imtp_engine.Engine}: each
+    generation is measured as one engine batch, and duplicate proposals
+    (common under mutation) are served from the engine's
+    content-addressed cache instead of being re-lowered. *)
 
 type strategy = { balanced_sampling : bool; adaptive_epsilon : bool }
 
@@ -34,6 +39,10 @@ type outcome = {
   history : record list;  (** chronological, one per measured trial. *)
   invalid_candidates : int;  (** candidates rejected by the verifier. *)
   measured : int;
+  cache_hits : int;
+      (** engine-cache hits during the run — trials whose build was
+          deduplicated instead of recompiled (duplicate proposals, and
+          warm entries when a shared engine is passed in). *)
 }
 
 val run :
@@ -42,6 +51,7 @@ val run :
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
   ?use_cost_model:bool ->
+  ?engine:Imtp_engine.Engine.t ->
   Imtp_upmem.Config.t ->
   Imtp_workload.Op.t ->
   trials:int ->
@@ -50,4 +60,7 @@ val run :
     [use_cost_model] (default true) lets the learned cost model rank
     candidate mutations before measurement; disabling it falls back to
     unguided mutation (an ablation of Fig. 5's "evolutionary search
-    guided by a cost model"). *)
+    guided by a cost model").  [engine] (default: a fresh engine for
+    [cfg]) carries the build cache; pass a shared engine to reuse
+    builds across runs — the search still measures (and records) each
+    distinct candidate once per run. *)

@@ -1,400 +1,4 @@
-module Op = Imtp_workload.Op
-module S = Imtp_schedule.Sched
-module L = Imtp_lower.Lowering
-
-type params = {
-  spatial_dpus : int;
-  reduction_dpus : int;
-  tasklets : int;
-  cache_elems : int;
-  rows_per_tasklet : int;
-  unroll_inner : bool;
-  host_threads : int;
-}
-
-let default_params =
-  {
-    spatial_dpus = 256;
-    reduction_dpus = 1;
-    tasklets = 16;
-    cache_elems = 64;
-    rows_per_tasklet = 1;
-    unroll_inner = false;
-    host_threads = 1;
-  }
-
-type family = Elementwise | Tasklet_reduce | Mat_vec | Batched | Mat_mat
-
-let family_of (op : Op.t) =
-  match
-    (List.length (Op.spatial_axes op), List.length (Op.reduction_axes op))
-  with
-  | 1, 0 -> Elementwise
-  | 0, 1 -> Tasklet_reduce
-  | 1, 1 -> Mat_vec
-  | 2, 1 ->
-      if
-        List.exists
-          (fun (t, _) -> List.length (Op.input_shape op t) >= 3)
-          op.Op.inputs
-      then Batched
-      else Mat_mat
-  | s, r ->
-      invalid_arg
-        (Printf.sprintf
-           "Sketch.family_of: unsupported iteration domain (%d spatial, %d \
-            reduction axes)"
-           s r)
-
-let uses_rfactor p = p.reduction_dpus > 1
-let ceil_div a b = (a + b - 1) / b
-
-let maybe_unroll s p loop = if p.unroll_inner then S.unroll s loop
-
-let cache_all_inputs s at =
-  List.iter
-    (fun (t, _) ->
-      let c = S.cache_read s t in
-      S.compute_at s c at)
-    (S.op s).Op.inputs
-
-let cache_output s at =
-  let c = S.cache_write s (fst (S.op s).Op.output) in
-  S.reverse_compute_at s c at
-
-(* Derive the per-DPU tiling for a 1-D axis of [n] elements spread over
-   [dpus] DPUs: the requested DPU count takes priority, the caching
-   tile shrinks to the per-DPU slice if needed, and tasklets beyond the
-   available caching blocks stay idle (exactly how PrIM's fixed 1,024 B
-   recommendation under-fills tasklets on small per-DPU slices, §7.1). *)
-let derive_1d ~n ~dpus ~tasklets ~cache_elems =
-  let per_dpu = max 1 (ceil_div n dpus) in
-  let cache_eff = max 1 (min cache_elems per_dpu) in
-  let t_eff = max 1 (min tasklets (ceil_div per_dpu cache_eff)) in
-  let chunk = max 1 (ceil_div per_dpu (t_eff * cache_eff)) in
-  (t_eff, chunk, cache_eff)
-
-(* i -> [dpu][thread][chunk][inner] *)
-let elementwise op p =
-  let s = S.create op in
-  let i = List.hd (S.order s) in
-  let n = i.S.extent in
-  let t_eff, chunk, cache_eff =
-    derive_1d ~n ~dpus:p.spatial_dpus ~tasklets:p.tasklets
-      ~cache_elems:p.cache_elems
-  in
-  match S.split s i ~factors:[ t_eff; chunk; cache_eff ] with
-  | [ i_dpu; i_th; i_chunk; i_in ] ->
-      S.bind s i_dpu S.Block_x;
-      S.bind s i_th S.Thread_x;
-      cache_all_inputs s i_chunk;
-      cache_output s i_chunk;
-      maybe_unroll s p i_in;
-      s
-  | _ -> assert false
-
-(* i(red) -> [dpu rfactor][thread][chunk][inner], tasklet partials *)
-let tasklet_reduce op p =
-  let s = S.create op in
-  let i = List.hd (S.order s) in
-  let n = i.S.extent in
-  let dpus = max 1 p.reduction_dpus in
-  let t_eff, chunk, cache_eff =
-    derive_1d ~n ~dpus ~tasklets:p.tasklets ~cache_elems:p.cache_elems
-  in
-  match S.split s i ~factors:[ t_eff; chunk; cache_eff ] with
-  | [ i_dpu; i_th; i_chunk; i_in ] ->
-      S.bind s i_dpu S.Block_x;
-      S.rfactor s i_dpu;
-      S.bind s i_th S.Thread_x;
-      cache_all_inputs s i_chunk;
-      (let c = S.cache_write s (fst (S.op s).Op.output) in
-       S.reverse_compute_at s c i_th);
-      maybe_unroll s p i_in;
-      s
-  | _ -> assert false
-
-(* i -> [dpu][thread][rows]; j -> ([dpu_r])[chunk][inner] *)
-let mat_vec op p =
-  let s = S.create op in
-  let i = List.nth (S.order s) 0 and j = List.nth (S.order s) 1 in
-  let n = i.S.extent and k = j.S.extent in
-  (* Honor the requested DPU count even when rows are scarce: cap the
-     tasklet count at the rows available per DPU (idle tasklets on the
-     real machine contribute nothing). *)
-  let rows_per_dpu = max 1 (ceil_div n p.spatial_dpus) in
-  let t_eff = max 1 (min p.tasklets rows_per_dpu) in
-  let rpt = max 1 (ceil_div rows_per_dpu t_eff) in
-  let i_loops = S.split s i ~factors:[ t_eff; rpt ] in
-  match i_loops with
-  | [ i_dpu; i_th; i_r ] -> (
-      S.bind s i_dpu S.Block_x;
-      S.bind s i_th S.Thread_x;
-      if p.reduction_dpus > 1 then begin
-        let chunkj = max 1 (ceil_div k (p.reduction_dpus * p.cache_elems)) in
-        match S.split s j ~factors:[ chunkj; p.cache_elems ] with
-        | [ j_blk; j_chunk; j_in ] ->
-            S.reorder s [ j_blk; i_th; i_r; j_chunk ];
-            S.bind s j_blk S.Block_y;
-            S.rfactor s j_blk;
-            cache_all_inputs s j_chunk;
-            cache_output s i_r;
-            maybe_unroll s p j_in;
-            s
-        | _ -> assert false
-      end
-      else begin
-        match S.split s j ~factors:[ p.cache_elems ] with
-        | [ j_chunk; j_in ] ->
-            cache_all_inputs s j_chunk;
-            cache_output s i_r;
-            maybe_unroll s p j_in;
-            s
-        | _ -> assert false
-      end)
-  | _ -> assert false
-
-(* i -> Block_x; j -> [dpu][thread][rows]; k -> ([dpu_r])[chunk][inner] *)
-let batched op p =
-  let s = S.create op in
-  let i = List.nth (S.order s) 0
-  and j = List.nth (S.order s) 1
-  and k = List.nth (S.order s) 2 in
-  let kext = k.S.extent in
-  S.bind s i S.Block_x;
-  let t_eff =
-    max 1 (min p.tasklets (ceil_div j.S.extent p.rows_per_tasklet))
-  in
-  let j_th, j_r =
-    match S.split s j ~factors:[ t_eff; p.rows_per_tasklet ] with
-    | [ j_dpu; j_th; j_r ] ->
-        S.bind s j_dpu S.Block_y;
-        S.bind s j_th S.Thread_x;
-        (j_th, j_r)
-    | _ -> assert false
-  in
-  if p.reduction_dpus > 1 then begin
-    let chunkk = max 1 (ceil_div kext (p.reduction_dpus * p.cache_elems)) in
-    match S.split s k ~factors:[ chunkk; p.cache_elems ] with
-    | [ k_blk; k_chunk; k_in ] ->
-        S.reorder s [ k_blk; j_th; j_r; k_chunk ];
-        S.bind s k_blk S.Block_z;
-        S.rfactor s k_blk;
-        cache_all_inputs s k_chunk;
-        cache_output s j_r;
-        maybe_unroll s p k_in;
-        s
-    | _ -> assert false
-  end
-  else begin
-    match S.split s k ~factors:[ p.cache_elems ] with
-    | [ k_chunk; k_in ] ->
-        cache_all_inputs s k_chunk;
-        cache_output s j_r;
-        maybe_unroll s p k_in;
-        s
-    | _ -> assert false
-  end
-
-(* GEMM: i -> [dpu][thread][rows]; j -> [dpu][tile]; k -> [chunk][inner].
-   A tiles cache at the k-chunk level (contiguous k rows); B tiles cache
-   per i-row iteration (a k-tile x j-tile block, contiguous along j);
-   the scalar C accumulator caches at the j-tile loop. *)
-let mat_mat op p =
-  let s = S.create op in
-  let i = List.nth (S.order s) 0
-  and j = List.nth (S.order s) 1
-  and k = List.nth (S.order s) 2 in
-  let n = i.S.extent and m = j.S.extent and kext = k.S.extent in
-  (* split the spatial DPU budget between i and j. *)
-  let j_blocks = max 1 (min m (min 32 (p.spatial_dpus / 16))) in
-  let i_dpus = max 1 (p.spatial_dpus / j_blocks) in
-  let rows_per_dpu = max 1 (ceil_div n i_dpus) in
-  let t_eff = max 1 (min p.tasklets rows_per_dpu) in
-  let rpt = max 1 (ceil_div rows_per_dpu t_eff) in
-  let i_th, i_r =
-    match S.split s i ~factors:[ t_eff; rpt ] with
-    | [ i_dpu; i_th; i_r ] ->
-        S.bind s i_dpu S.Block_x;
-        S.bind s i_th S.Thread_x;
-        (i_th, i_r)
-    | _ -> assert false
-  in
-  let j_dpu, j_t =
-    match S.split s j ~factors:[ max 1 (ceil_div m j_blocks) ] with
-    | [ j_dpu; j_t ] ->
-        S.bind s j_dpu S.Block_y;
-        (j_dpu, j_t)
-    | _ -> assert false
-  in
-  if p.reduction_dpus > 1 then begin
-    let chunkk = max 1 (ceil_div kext (p.reduction_dpus * p.cache_elems)) in
-    match S.split s k ~factors:[ chunkk; p.cache_elems ] with
-    | [ k_blk; k_chunk; k_in ] ->
-        S.reorder s [ j_dpu; k_blk; i_th; i_r; j_t; k_chunk ];
-        S.bind s k_blk S.Block_z;
-        S.rfactor s k_blk;
-        (let ca = S.cache_read s "A" in
-         S.compute_at s ca k_chunk);
-        (let cb = S.cache_read s "B" in
-         S.compute_at s cb i_r);
-        cache_output s j_t;
-        maybe_unroll s p k_in;
-        s
-    | _ -> assert false
-  end
-  else begin
-    match S.split s k ~factors:[ p.cache_elems ] with
-    | [ k_chunk; k_in ] ->
-        S.reorder s [ j_dpu; i_th; i_r; j_t; k_chunk ];
-        (let ca = S.cache_read s "A" in
-         S.compute_at s ca k_chunk);
-        (let cb = S.cache_read s "B" in
-         S.compute_at s cb i_r);
-        cache_output s j_t;
-        maybe_unroll s p k_in;
-        s
-    | _ -> assert false
-  end
-
-let instantiate op p =
-  match family_of op with
-  | Elementwise -> elementwise op p
-  | Tasklet_reduce -> tasklet_reduce op p
-  | Mat_vec -> mat_vec op p
-  | Batched -> batched op p
-  | Mat_mat -> mat_mat op p
-
-let lower_options p = { L.default_options with L.host_reduce_threads = p.host_threads }
-
-let describe p =
-  Printf.sprintf
-    "dpus=(%d,%d) tasklets=%d cache=%d rows=%d unroll=%b host_threads=%d"
-    p.spatial_dpus p.reduction_dpus p.tasklets p.cache_elems p.rows_per_tasklet
-    p.unroll_inner p.host_threads
-
-(* --- parameter value sets --------------------------------------------- *)
-
-let pow2s lo hi =
-  let rec go v = if v > hi then [] else v :: go (2 * v) in
-  go lo
-
-let spatial_dpu_choices cfg =
-  let maxd = Imtp_upmem.Config.nr_dpus cfg in
-  List.filter (fun d -> d <= maxd) (pow2s 16 maxd)
-
-let reduction_dpu_choices cfg (op : Op.t) =
-  match Op.reduction_axes op with
-  | [] -> [ 1 ]
-  | a :: _ ->
-      (* Pure reductions use the whole machine along the reduction
-         dimension; ops with spatial axes multiply grids, so cap it. *)
-      let cap =
-        if Op.spatial_axes op = [] then Imtp_upmem.Config.nr_dpus cfg else 128
-      in
-      List.filter (fun d -> d <= a.Op.extent) (pow2s 1 cap)
-
-let tasklet_choices = [ 1; 2; 4; 8; 12; 16; 20; 24 ]
-
-let cache_choices (op : Op.t) =
-  (* elements; 8 B .. 2 KB at 4 B/elem. *)
-  let innermost = List.nth op.Op.axes (List.length op.Op.axes - 1) in
-  List.filter (fun c -> c <= max 2 (2 * innermost.Op.extent)) (pow2s 2 512)
-
-let rows_choices = [ 1; 2; 4; 8; 16 ]
-let host_thread_choices = [ 1; 4; 16 ]
-
-let space cfg op =
-  let fam = family_of op in
-  let sd = spatial_dpu_choices cfg in
-  let rd = reduction_dpu_choices cfg op in
-  let base =
-    List.concat_map
-      (fun spatial_dpus ->
-        List.concat_map
-          (fun reduction_dpus ->
-            List.concat_map
-              (fun tasklets ->
-                List.map
-                  (fun cache_elems ->
-                    {
-                      default_params with
-                      spatial_dpus;
-                      reduction_dpus;
-                      tasklets;
-                      cache_elems;
-                    })
-                  (cache_choices op))
-              tasklet_choices)
-          rd)
-      sd
-  in
-  match fam with
-  | Elementwise ->
-      List.filter (fun p -> p.reduction_dpus = 1) base
-  | Tasklet_reduce ->
-      (* the rfactor'd reduction split is the only DPU dimension. *)
-      List.filter (fun p -> p.spatial_dpus = 16) base
-      |> List.map (fun p -> { p with spatial_dpus = 1; reduction_dpus = max 2 p.reduction_dpus })
-  | Mat_vec | Mat_mat -> base
-  | Batched ->
-      List.concat_map
-        (fun rows -> List.map (fun p -> { p with rows_per_tasklet = rows }) base)
-        rows_choices
-
-let random rng cfg op =
-  let fam = family_of op in
-  let p =
-    {
-      spatial_dpus = Rng.pick rng (spatial_dpu_choices cfg);
-      reduction_dpus = Rng.pick rng (reduction_dpu_choices cfg op);
-      tasklets = Rng.pick rng tasklet_choices;
-      cache_elems = Rng.pick rng (cache_choices op);
-      rows_per_tasklet = Rng.pick rng rows_choices;
-      unroll_inner = Rng.bool rng;
-      host_threads = Rng.pick rng host_thread_choices;
-    }
-  in
-  match fam with
-  | Elementwise -> { p with reduction_dpus = 1; rows_per_tasklet = 1 }
-  | Tasklet_reduce ->
-      {
-        p with
-        spatial_dpus = 1;
-        reduction_dpus = max 2 p.reduction_dpus;
-        rows_per_tasklet = 1;
-      }
-  | Mat_vec | Mat_mat -> { p with rows_per_tasklet = 1 }
-  | Batched -> p
-
-let mutate rng cfg op p =
-  let fam = family_of op in
-  (* Mutation stays within the parent's design space: whether the
-     schedule rfactors is a structural (sketch-level) choice, not a
-     tunable parameter — evolution cannot cross it, only fresh
-     sampling can (§5.2.3).  [`Rd] therefore re-draws the reduction
-     DPU count within the same family. *)
-  let fields =
-    match fam with
-    | Elementwise -> [ `Sd; `T; `C; `U; `H ]
-    | Tasklet_reduce -> [ `Sd; `Rd; `T; `C; `U ]
-    | Mat_vec | Mat_mat ->
-        if uses_rfactor p then [ `Sd; `Rd; `T; `C; `U; `H ]
-        else [ `Sd; `T; `C; `U; `H ]
-    | Batched ->
-        if uses_rfactor p then [ `Rd; `T; `C; `R; `U; `H ]
-        else [ `T; `C; `R; `U; `H ]
-  in
-  match Rng.pick rng fields with
-  | `Sd -> { p with spatial_dpus = Rng.pick rng (spatial_dpu_choices cfg) }
-  | `Rd ->
-      let choices =
-        List.filter (fun v -> v > 1) (reduction_dpu_choices cfg op)
-      in
-      let v = if choices = [] then p.reduction_dpus else Rng.pick rng choices in
-      { p with reduction_dpus = v }
-  | `T -> { p with tasklets = Rng.pick rng tasklet_choices }
-  | `C -> { p with cache_elems = Rng.pick rng (cache_choices op) }
-  | `R -> { p with rows_per_tasklet = Rng.pick rng rows_choices }
-  | `U -> { p with unroll_inner = not p.unroll_inner }
-  | `H -> { p with host_threads = Rng.pick rng host_thread_choices }
+(* Re-export: sketch generation moved into the engine library so the
+   cached build pipeline (params -> sched -> program -> stats) lives in
+   one place; this alias keeps [Imtp_autotune.Sketch] working. *)
+include Imtp_engine.Sketch

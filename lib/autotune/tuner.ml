@@ -1,22 +1,37 @@
+module Engine = Imtp_engine.Engine
+
 type result = {
   params : Sketch.params;
   program : Imtp_tir.Program.t;
   stats : Imtp_upmem.Stats.t;
   search : Search.outcome;
+  cache : Engine.counters;
 }
 
-let tune ?strategy ?seed ?(trials = 128) ?passes ?skip_inputs cfg op =
-  let search = Search.run ?strategy ?seed ?passes ?skip_inputs cfg op ~trials in
+let tune ?strategy ?seed ?(trials = 128) ?passes ?skip_inputs ?engine cfg op =
+  let engine = match engine with Some e -> e | None -> Engine.create cfg in
+  let search =
+    Search.run ?strategy ?seed ?passes ?skip_inputs ~engine cfg op ~trials
+  in
   match search.Search.best with
   | None -> Error "autotuning found no valid candidate"
   | Some best -> (
       let params = best.Measure.params in
-      match Measure.build ?passes ?skip_inputs cfg op params with
-      | Error m -> Error m
-      | Ok program -> (
-          match Measure.measure ?passes ?skip_inputs cfg op params with
-          | Error m -> Error m
-          | Ok final -> Ok { params; program; stats = final.Measure.stats; search }))
+      (* The winner was built during the search, so this deterministic
+         re-measurement is a cache hit: one artifact serves both the
+         program and the noise-free stats (no re-lowering). *)
+      match Engine.measure engine ?passes ?skip_inputs op params with
+      | Error e -> Error (Engine.error_to_string e)
+      | Ok m ->
+          Engine.log_summary engine;
+          Ok
+            {
+              params;
+              program = m.Engine.artifact.Engine.program;
+              stats = m.Engine.artifact.Engine.stats;
+              search;
+              cache = Engine.counters engine;
+            })
 
 let describe r =
   Printf.sprintf "%s | total %.3f ms" (Sketch.describe r.params)

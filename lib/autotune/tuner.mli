@@ -1,13 +1,16 @@
 (** Top-level autotuning entry point: run the balanced evolutionary
-    search, then deterministically re-measure the winner (without
-    measurement noise) and return the optimized program alongside its
-    latency breakdown. *)
+    search, then return the winner's engine artifact — the optimized
+    program and its deterministic (noise-free) latency breakdown —
+    without rebuilding it, since the search already compiled it into
+    the engine cache. *)
 
 type result = {
   params : Sketch.params;
   program : Imtp_tir.Program.t;
   stats : Imtp_upmem.Stats.t;
   search : Search.outcome;
+  cache : Imtp_engine.Engine.counters;
+      (** engine cache/stage telemetry at the end of the tuning run. *)
 }
 
 val tune :
@@ -16,11 +19,15 @@ val tune :
   ?trials:int ->
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
+  ?engine:Imtp_engine.Engine.t ->
   Imtp_upmem.Config.t ->
   Imtp_workload.Op.t ->
   (result, string) Result.t
-(** Defaults: IMTP strategy, 128 trials.  [Error] only when no valid
-    candidate was found at all. *)
+(** Defaults: IMTP strategy, 128 trials, a fresh engine.  [Error] only
+    when no valid candidate was found at all.  A cache summary (hit
+    rate, per-stage build times) is logged on the [imtp.engine] source
+    when tuning finishes; pass a shared [engine] to reuse builds across
+    repeated tunes of the same op. *)
 
 val describe : result -> string
 (** One line summarizing the winning configuration (Table 3 format:

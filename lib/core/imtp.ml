@@ -30,6 +30,7 @@ module Dma_elim = Imtp_passes.Dma_elim
 module Loop_tighten = Imtp_passes.Loop_tighten
 module Branch_hoist = Imtp_passes.Branch_hoist
 module Pass_metrics = Imtp_passes.Metrics
+module Engine = Imtp_engine.Engine
 module Rng = Imtp_autotune.Rng
 module Sketch = Imtp_autotune.Sketch
 module Verifier = Imtp_autotune.Verifier
@@ -55,8 +56,10 @@ let autotune ?(config = default_config) ?trials ?seed ?skip_inputs op =
   Tuner.tune ?trials ?seed ?skip_inputs config op
 
 let compile ?(config = default_config) ?options ?passes sched =
-  let prog = Lowering.lower ?options sched in
-  Passes.run ?config:passes config prog
+  match Engine.compile_sched ?options ?passes config sched with
+  | Ok prog -> prog
+  | Error (Engine.Lower_failed m) -> raise (Lowering.Lower_error m)
+  | Error e -> invalid_arg (Engine.error_to_string e)
 
 let execute ?inputs program op =
   let inputs =
@@ -64,4 +67,8 @@ let execute ?inputs program op =
   in
   Eval.run program ~inputs
 
-let estimate ?(config = default_config) program = Cost.measure config program
+let estimate ?(config = default_config) program =
+  match Engine.estimate config program with
+  | Ok stats -> stats
+  | Error (Engine.Cost_failed m) -> raise (Cost.Error m)
+  | Error e -> invalid_arg (Engine.error_to_string e)

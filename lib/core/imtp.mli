@@ -57,7 +57,8 @@ module Loop_tighten = Imtp_passes.Loop_tighten
 module Branch_hoist = Imtp_passes.Branch_hoist
 module Pass_metrics = Imtp_passes.Metrics
 
-(* Autotuner *)
+(* Build/measure engine and autotuner *)
+module Engine = Imtp_engine.Engine
 module Rng = Imtp_autotune.Rng
 module Sketch = Imtp_autotune.Sketch
 module Verifier = Imtp_autotune.Verifier

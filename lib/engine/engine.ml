@@ -1,0 +1,306 @@
+let log_src = Logs.Src.create "imtp.engine" ~doc:"IMTP build/measure engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Op = Imtp_workload.Op
+module L = Imtp_lower.Lowering
+module Pl = Imtp_passes.Pipeline
+module Cost = Imtp_tir.Cost
+module Stats = Imtp_upmem.Stats
+
+type error =
+  | Sketch_invalid of string
+  | Verifier_rejected of Verifier.rejection
+  | Lower_failed of string
+  | Cost_failed of string
+
+let error_to_string = function
+  | Sketch_invalid m -> "sketch: " ^ m
+  | Verifier_rejected r -> "verifier: " ^ r.Verifier.reason
+  | Lower_failed m -> "lower: " ^ m
+  | Cost_failed m -> "cost: " ^ m
+
+type artifact = {
+  key : string;
+  sched : Imtp_schedule.Sched.t;
+  lowered : Imtp_tir.Program.t;
+  program : Imtp_tir.Program.t;
+  stats : Imtp_upmem.Stats.t;
+}
+
+type measurement = { artifact : artifact; latency_s : float; from_cache : bool }
+
+type counters = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  built : int;
+  failed : int;
+  sketch_s : float;
+  lower_s : float;
+  passes_s : float;
+  verify_s : float;
+  cost_s : float;
+}
+
+type t = {
+  cfg : Imtp_upmem.Config.t;
+  max_entries : int;
+  artifacts : (string, (artifact, error) result) Hashtbl.t;
+  lowerings : (string, (Imtp_tir.Program.t, error) result) Hashtbl.t;
+  mutable c : counters;
+}
+
+let zero_counters =
+  {
+    lookups = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    built = 0;
+    failed = 0;
+    sketch_s = 0.;
+    lower_s = 0.;
+    passes_s = 0.;
+    verify_s = 0.;
+    cost_s = 0.;
+  }
+
+let create ?(max_entries = 4096) cfg =
+  {
+    cfg;
+    max_entries;
+    artifacts = Hashtbl.create 256;
+    lowerings = Hashtbl.create 64;
+    c = zero_counters;
+  }
+
+let config t = t.cfg
+let counters t = t.c
+
+let hit_rate c =
+  if c.lookups = 0 then 0. else float_of_int c.hits /. float_of_int c.lookups
+
+let log_summary t =
+  let c = t.c in
+  Log.info (fun m ->
+      m
+        "cache: %d/%d hits (%.1f%%), %d built, %d failed, %d evictions; \
+         stage times: sketch %.1f ms, lower %.1f ms, passes %.1f ms, verify \
+         %.1f ms, cost %.1f ms"
+        c.hits c.lookups
+        (100. *. hit_rate c)
+        c.built c.failed c.evictions (c.sketch_s *. 1e3) (c.lower_s *. 1e3)
+        (c.passes_s *. 1e3) (c.verify_s *. 1e3) (c.cost_s *. 1e3))
+
+let noise_amplitude = 0.02
+
+(* ------------------------------------------------------------------ *)
+(* Canonical structural hashing.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec elem_key = function
+  | Op.Ref t -> "R" ^ t
+  | Op.Const v -> "K" ^ Imtp_tensor.Value.to_string v
+  | Op.Bin (b, x, y) ->
+      let o = match b with Op.Add -> "+" | Op.Sub -> "-" | Op.Mul -> "*" in
+      Printf.sprintf "(%s%s%s)" (elem_key x) o (elem_key y)
+
+let axis_key (a : Op.axis) =
+  Printf.sprintf "%s:%d:%c" a.Op.aname a.Op.extent
+    (match a.Op.kind with Op.Spatial -> 's' | Op.Reduction -> 'r')
+
+let tensor_key (name, axes) = name ^ "[" ^ String.concat "," axes ^ "]"
+
+let op_key (op : Op.t) =
+  String.concat ";"
+    [
+      op.Op.opname;
+      Imtp_tensor.Dtype.to_string op.Op.dtype;
+      String.concat "," (List.map axis_key op.Op.axes);
+      String.concat "," (List.map tensor_key op.Op.inputs);
+      tensor_key op.Op.output;
+      elem_key op.Op.body;
+    ]
+
+let params_key (p : Sketch.params) =
+  Printf.sprintf "sd%d;rd%d;t%d;c%d;rows%d;u%b;ht%d" p.Sketch.spatial_dpus
+    p.Sketch.reduction_dpus p.Sketch.tasklets p.Sketch.cache_elems
+    p.Sketch.rows_per_tasklet p.Sketch.unroll_inner p.Sketch.host_threads
+
+let options_key (o : L.options) =
+  Printf.sprintf "bulk%b;par%b;hrt%d;skip%s" o.L.bulk_transfer
+    o.L.parallel_transfer o.L.host_reduce_threads
+    (String.concat "," (List.sort String.compare o.L.skip_input_transfer))
+
+let digest_parts parts = Digest.to_hex (Digest.string (String.concat "|" parts))
+
+let candidate_options ?(skip_inputs = []) params =
+  { (Sketch.lower_options params) with L.skip_input_transfer = skip_inputs }
+
+let fingerprint ?(passes = Pl.all_on) ?skip_inputs ?(verify = true) op params =
+  digest_parts
+    [
+      op_key op;
+      params_key params;
+      Pl.config_name passes;
+      options_key (candidate_options ?skip_inputs params);
+      (if verify then "v" else "nv");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The staged pipeline.  Each stage exists once; stage timings are     *)
+(* accumulated into the engine's counters when one is at hand.         *)
+(* ------------------------------------------------------------------ *)
+
+let timed t add f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (match t with Some t -> t.c <- add t.c (Sys.time () -. t0) | None -> ());
+  r
+
+let add_sketch c dt = { c with sketch_s = c.sketch_s +. dt }
+let add_lower c dt = { c with lower_s = c.lower_s +. dt }
+let add_passes c dt = { c with passes_s = c.passes_s +. dt }
+let add_verify c dt = { c with verify_s = c.verify_s +. dt }
+let add_cost c dt = { c with cost_s = c.cost_s +. dt }
+
+let stage_sketch ?t op params =
+  timed t add_sketch (fun () ->
+      match Sketch.instantiate op params with
+      | sched -> Ok sched
+      | exception Invalid_argument m -> Error (Sketch_invalid m))
+
+let stage_lower ?t ~options sched =
+  timed t add_lower (fun () ->
+      match L.lower ~options sched with
+      | prog -> Ok prog
+      | exception L.Lower_error m -> Error (Lower_failed m))
+
+let stage_passes ?t ~passes cfg prog =
+  timed t add_passes (fun () -> Pl.run ~config:passes cfg prog)
+
+let stage_verify_sched ?t cfg sched =
+  timed t add_verify (fun () ->
+      match Verifier.check_sched cfg sched with
+      | Ok () -> Ok ()
+      | Error r -> Error (Verifier_rejected r))
+
+let stage_verify_program ?t cfg prog =
+  timed t add_verify (fun () ->
+      match Verifier.check cfg prog with
+      | Ok () -> Ok ()
+      | Error r -> Error (Verifier_rejected r))
+
+let stage_cost ?t cfg prog =
+  timed t add_cost (fun () ->
+      match Cost.measure cfg prog with
+      | stats -> Ok stats
+      | exception Cost.Error m -> Error (Cost_failed m))
+
+let compile_sched ?(options = L.default_options) ?(passes = Pl.all_on) cfg sched
+    =
+  match stage_lower ~options sched with
+  | Error _ as e -> e
+  | Ok prog -> Ok (stage_passes ~passes cfg prog)
+
+let estimate cfg prog = stage_cost cfg prog
+
+let optimize t ?(passes = Pl.all_on) prog =
+  stage_passes ~t ~passes t.cfg prog
+
+(* ------------------------------------------------------------------ *)
+(* The memo table.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let remember t table key result =
+  if Hashtbl.length t.artifacts + Hashtbl.length t.lowerings >= t.max_entries
+  then begin
+    Hashtbl.reset t.artifacts;
+    Hashtbl.reset t.lowerings;
+    t.c <- { t.c with evictions = t.c.evictions + 1 }
+  end;
+  Hashtbl.replace table key result;
+  (match result with
+  | Ok _ -> t.c <- { t.c with built = t.c.built + 1 }
+  | Error _ -> t.c <- { t.c with failed = t.c.failed + 1 });
+  result
+
+let lookup t table key =
+  t.c <- { t.c with lookups = t.c.lookups + 1 };
+  match Hashtbl.find_opt table key with
+  | Some r ->
+      t.c <- { t.c with hits = t.c.hits + 1 };
+      Some r
+  | None ->
+      t.c <- { t.c with misses = t.c.misses + 1 };
+      None
+
+let ( let* ) = Result.bind
+
+let build_uncached t ~passes ~options ~verify ~key op params =
+  let* sched = stage_sketch ~t op params in
+  let* () = if verify then stage_verify_sched ~t t.cfg sched else Ok () in
+  let* lowered = stage_lower ~t ~options sched in
+  let program = stage_passes ~t ~passes t.cfg lowered in
+  let* () = if verify then stage_verify_program ~t t.cfg program else Ok () in
+  let* stats = stage_cost ~t t.cfg program in
+  Ok { key; sched; lowered; program; stats }
+
+let build_flagged t ?(passes = Pl.all_on) ?skip_inputs ?(verify = true) op
+    params =
+  let options = candidate_options ?skip_inputs params in
+  let key = fingerprint ~passes ?skip_inputs ~verify op params in
+  match lookup t t.artifacts key with
+  | Some r -> (r, true)
+  | None ->
+      (remember t t.artifacts key
+         (build_uncached t ~passes ~options ~verify ~key op params),
+       false)
+
+let build t ?passes ?skip_inputs ?verify op params =
+  fst (build_flagged t ?passes ?skip_inputs ?verify op params)
+
+let find t ?passes ?skip_inputs ?verify op params =
+  Hashtbl.find_opt t.artifacts (fingerprint ?passes ?skip_inputs ?verify op params)
+
+let measure t ?rng ?passes ?skip_inputs ?verify op params =
+  match build_flagged t ?passes ?skip_inputs ?verify op params with
+  | Error e, _ -> Error e
+  | Ok artifact, from_cache ->
+      let base = Stats.total_s artifact.stats in
+      let latency_s =
+        match rng with
+        | None -> base
+        | Some r ->
+            base *. (1. +. (noise_amplitude *. ((2. *. Rng.float r 1.) -. 1.)))
+      in
+      Ok { artifact; latency_s; from_cache }
+
+let batch t ?rng ?passes ?skip_inputs ?verify op candidates =
+  let c0 = t.c in
+  let results =
+    List.map
+      (fun p -> (p, measure t ?rng ?passes ?skip_inputs ?verify op p))
+      candidates
+  in
+  let c1 = t.c in
+  Log.debug (fun m ->
+      m
+        "batch of %d: %d hits, %d misses (run total %d/%d, %.1f%%); stage \
+         times +sketch %.2f ms +lower %.2f ms +passes %.2f ms +verify %.2f \
+         ms +cost %.2f ms"
+        (List.length candidates)
+        (c1.hits - c0.hits) (c1.misses - c0.misses) c1.hits c1.lookups
+        (100. *. hit_rate c1)
+        ((c1.sketch_s -. c0.sketch_s) *. 1e3)
+        ((c1.lower_s -. c0.lower_s) *. 1e3)
+        ((c1.passes_s -. c0.passes_s) *. 1e3)
+        ((c1.verify_s -. c0.verify_s) *. 1e3)
+        ((c1.cost_s -. c0.cost_s) *. 1e3));
+  results
+
+let lower_keyed t ~key thunk =
+  match lookup t t.lowerings key with
+  | Some r -> r
+  | None -> remember t t.lowerings key (timed (Some t) add_lower thunk)

@@ -1,0 +1,190 @@
+(** The build/measure engine: one cached, batched code path from a
+    schedule candidate to its latency statistics.
+
+    Every consumer of the compilation pipeline — the measurement
+    harness, the evolutionary search, the tuner, the differential
+    fuzzer and the CLI — goes through this module, so the staged
+    pipeline
+
+    {v params -> sched -> lowered program -> pass-optimized program -> stats v}
+
+    exists exactly once.  Results are memoized in a content-addressed
+    table keyed by a canonical structural hash over the operator, the
+    sketch parameters, the pass configuration and the lowering options,
+    so repeated candidates (common under mutation-based evolutionary
+    search) are served from cache instead of being re-lowered and
+    re-costed.  Failures are typed (and cached too, so a re-proposed
+    invalid candidate is rejected without recompilation). *)
+
+(** Why a candidate failed to build, stage by stage. *)
+type error =
+  | Sketch_invalid of string
+      (** {!Sketch.instantiate} rejected the parameters. *)
+  | Verifier_rejected of Verifier.rejection
+      (** the UPMEM code verifier rejected the schedule or program. *)
+  | Lower_failed of string  (** lowering refused the schedule. *)
+  | Cost_failed of string  (** the timing model could not evaluate. *)
+
+val error_to_string : error -> string
+(** Stable one-line rendering, prefixed by the failing stage
+    (["sketch: ..."], ["verifier: ..."], ["lower: ..."], ["cost: ..."]). *)
+
+type artifact = {
+  key : string;  (** content hash this artifact is cached under. *)
+  sched : Imtp_schedule.Sched.t;  (** instantiated schedule. *)
+  lowered : Imtp_tir.Program.t;  (** raw lowering, before passes. *)
+  program : Imtp_tir.Program.t;  (** after the PIM-aware passes. *)
+  stats : Imtp_upmem.Stats.t;  (** deterministic latency breakdown. *)
+}
+(** Everything the staged pipeline produces for one candidate. *)
+
+type measurement = {
+  artifact : artifact;
+  latency_s : float;
+      (** the tuning objective: [Stats.total_s artifact.stats], with
+          multiplicative measurement noise when an [rng] was given. *)
+  from_cache : bool;  (** whether the artifact was served from cache. *)
+}
+
+type counters = {
+  lookups : int;  (** cache probes (build/measure/keyed lookups). *)
+  hits : int;
+  misses : int;
+  evictions : int;  (** table resets after exceeding [max_entries]. *)
+  built : int;  (** artifacts actually constructed. *)
+  failed : int;  (** typed errors constructed (and cached). *)
+  sketch_s : float;  (** cumulative per-stage build time, seconds. *)
+  lower_s : float;
+  passes_s : float;
+  verify_s : float;
+  cost_s : float;
+}
+
+type t
+(** An engine instance: one machine configuration plus its memo table
+    and counters.  Create a fresh engine per independent search run for
+    run-local deduplication, or share one across runs to reuse builds. *)
+
+val create : ?max_entries:int -> Imtp_upmem.Config.t -> t
+(** [max_entries] (default 4096) bounds the memo table; when exceeded
+    the table is reset (counted in [evictions]) rather than grown. *)
+
+val config : t -> Imtp_upmem.Config.t
+val counters : t -> counters
+
+val hit_rate : counters -> float
+(** [hits / lookups], 0 when no lookups. *)
+
+val log_summary : t -> unit
+(** Emit the cache hit rate and per-stage build times on the
+    [imtp.engine] {!Logs} source (info level). *)
+
+val noise_amplitude : float
+(** Relative measurement noise (±2 %) applied when an [rng] is given. *)
+
+(** {2 Canonical structural hashing} *)
+
+val op_key : Imtp_workload.Op.t -> string
+(** Canonical serialization of an operator definition (name, dtype,
+    axes, tensor bindings, element expression). *)
+
+val options_key : Imtp_lower.Lowering.options -> string
+(** Canonical serialization of lowering options; the resident-input
+    list is sorted so its order never splits the cache. *)
+
+val digest_parts : string list -> string
+(** Hex digest of the concatenated parts — the content address used by
+    the memo table.  Exposed so callers with non-sketch entry points
+    (the fuzz oracle) can derive compatible keys. *)
+
+val fingerprint :
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  ?verify:bool ->
+  Imtp_workload.Op.t ->
+  Sketch.params ->
+  string
+(** The cache key of a sketch candidate: a digest over the operator,
+    the parameters, the pass configuration, the lowering options
+    derived from the parameters, and the verify toggle.  Stable across
+    engine instances and process runs. *)
+
+(** {2 The staged pipeline} *)
+
+val compile_sched :
+  ?options:Imtp_lower.Lowering.options ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  Imtp_upmem.Config.t ->
+  Imtp_schedule.Sched.t ->
+  (Imtp_tir.Program.t, error) result
+(** Uncached schedule-level entry: lower, then run the passes.  No
+    verification — this is the facade ([Imtp.compile]) path. *)
+
+val estimate :
+  Imtp_upmem.Config.t -> Imtp_tir.Program.t -> (Imtp_upmem.Stats.t, error) result
+(** Uncached cost-model entry ([Cost_failed] instead of an exception). *)
+
+val optimize :
+  t -> ?passes:Imtp_passes.Pipeline.config -> Imtp_tir.Program.t -> Imtp_tir.Program.t
+(** Run the pass pipeline under this engine (counted in [passes_s]). *)
+
+val build :
+  t ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  ?verify:bool ->
+  Imtp_workload.Op.t ->
+  Sketch.params ->
+  (artifact, error) result
+(** Instantiate, (pre-)verify, lower, optimize, (post-)verify and cost
+    one candidate — or return the cached outcome.  [verify] (default
+    [true]) may be disabled for experiments that deliberately sweep
+    beyond hardware limits. *)
+
+val find :
+  t ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  ?verify:bool ->
+  Imtp_workload.Op.t ->
+  Sketch.params ->
+  (artifact, error) result option
+(** Pure cache inspection: no build, no counter updates. *)
+
+val measure :
+  t ->
+  ?rng:Rng.t ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  ?verify:bool ->
+  Imtp_workload.Op.t ->
+  Sketch.params ->
+  (measurement, error) result
+(** {!build} plus the measurement objective.  [rng] draws fresh ±2 %
+    multiplicative noise per call — also on cache hits, modelling
+    run-to-run variation of a real re-measurement — while the cached
+    [stats] stay bit-identical. *)
+
+val batch :
+  t ->
+  ?rng:Rng.t ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  ?verify:bool ->
+  Imtp_workload.Op.t ->
+  Sketch.params list ->
+  (Sketch.params * (measurement, error) result) list
+(** Measure a whole generation in order, then report the batch's cache
+    hits/misses and per-stage build times through {!Logs} (debug level
+    on the [imtp.engine] source). *)
+
+val lower_keyed :
+  t ->
+  key:string ->
+  (unit -> (Imtp_tir.Program.t, error) result) ->
+  (Imtp_tir.Program.t, error) result
+(** Cached raw lowering under a caller-provided content key (see
+    {!digest_parts}) — the entry point for consumers whose schedules do
+    not come from sketch parameters, e.g. the fuzz oracle's replayed
+    step lists.  The thunk runs only on a miss; its outcome (success or
+    typed error) is cached either way. *)

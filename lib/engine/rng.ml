@@ -1,0 +1,12 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x494d5450 |]
+let int t bound = Random.State.int t bound
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+let split t = Random.State.make [| Random.State.bits t |]

@@ -19,6 +19,8 @@ type outcome = {
   configs_checked : int;
   coverage : coverage;
   failures : (int * Oracle.case * Oracle.failure) list;
+  cache_hits : int;
+  cache_lookups : int;
 }
 
 let no_coverage =
@@ -83,6 +85,8 @@ let case_of_seed ~seed ~index =
   go 0
 
 let run ?(progress = fun _ -> ()) ?(shrink = true) ~seed ~cases () =
+  let module Engine = Imtp_engine.Engine in
+  let c0 = Engine.counters Oracle.engine in
   let cases = max 0 cases in
   let rejected = ref 0 in
   let configs_checked = ref 0 in
@@ -121,12 +125,16 @@ let run ?(progress = fun _ -> ()) ?(shrink = true) ~seed ~cases () =
     attempt_loop 0;
     progress index
   done;
+  let c1 = Engine.counters Oracle.engine in
+  Engine.log_summary Oracle.engine;
   {
     cases;
     rejected = !rejected;
     configs_checked = !configs_checked;
     coverage = !coverage;
     failures = List.rev !failures;
+    cache_hits = c1.Engine.hits - c0.Engine.hits;
+    cache_lookups = c1.Engine.lookups - c0.Engine.lookups;
   }
 
 let report_failure index (case : Oracle.case) failure =
@@ -166,6 +174,8 @@ let summary ~seed outcome =
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "fuzz campaign: seed=%d cases=%d rejected_draws=%d pass_configs_checked=%d\n"
     seed outcome.cases outcome.rejected outcome.configs_checked;
+  pf "engine cache: %d/%d lowering lookups served from cache\n"
+    outcome.cache_hits outcome.cache_lookups;
   pf "coverage: %s\n" (coverage_to_string outcome.coverage);
   (match outcome.failures with
   | [] -> pf "no failures.\n"

@@ -28,6 +28,9 @@ type outcome = {
   coverage : coverage;
   failures : (int * Oracle.case * Oracle.failure) list;
       (** (case index, minimized case, failure), oldest first. *)
+  cache_hits : int;
+      (** lowerings served from {!Oracle.engine}'s cache this campaign. *)
+  cache_lookups : int;  (** cache probes this campaign. *)
 }
 
 val case_of_seed : seed:int -> index:int -> Oracle.case option

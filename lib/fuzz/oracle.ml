@@ -5,6 +5,7 @@ module Pl = Imtp_passes.Pipeline
 module T = Imtp_tensor
 module Eval = Imtp_tir.Eval
 module Cost = Imtp_tir.Cost
+module Engine = Imtp_engine.Engine
 
 type case = {
   workload : Gen_workload.t;
@@ -31,6 +32,11 @@ type verdict =
 
 let machine = Imtp_upmem.Config.default
 
+(* The oracle's engine: raw lowerings are cached under a key derived
+   from the case content, so a campaign's draw-then-check pattern (and
+   the shrinker's repeated re-checks) lowers each candidate once. *)
+let engine = Engine.create ~max_entries:8192 machine
+
 let configs case =
   Pl.ablations
   @
@@ -38,12 +44,25 @@ let configs case =
   | Some (name, c) when not (List.mem_assoc name Pl.ablations) -> [ (name, c) ]
   | Some _ | None -> []
 
-let lower case =
+let case_key case =
   let op = Gen_workload.op case.workload in
-  let sched, _ = Gen_sched.replay op case.steps in
-  match L.lower ~options:case.options sched with
-  | prog -> Ok prog
-  | exception L.Lower_error m -> Error m
+  Engine.digest_parts
+    (Engine.op_key op
+     :: Engine.options_key case.options
+     :: List.map Gen_sched.step_to_string case.steps)
+
+let lower case =
+  let result =
+    Engine.lower_keyed engine ~key:(case_key case) (fun () ->
+        let op = Gen_workload.op case.workload in
+        let sched, _ = Gen_sched.replay op case.steps in
+        match L.lower ~options:case.options sched with
+        | prog -> Ok prog
+        | exception L.Lower_error m -> Error (Engine.Lower_failed m))
+  in
+  match result with
+  | Ok prog -> Ok prog
+  | Error e -> Error (Engine.error_to_string e)
 
 (* First index where two value lists diverge. *)
 let first_diff got want =
@@ -59,7 +78,7 @@ let first_diff got want =
 
 let check_config op inputs want raw (name, config) =
   match
-    let prog = Pl.run ~config machine raw in
+    let prog = Engine.optimize engine ~passes:config raw in
     let outs, counters = Eval.run_counted prog ~inputs in
     let got =
       T.Tensor.to_value_list (List.assoc (fst op.Op.output) outs)

@@ -1,0 +1,254 @@
+(* Engine tests: canonical structural hashing, the content-addressed
+   memo table, batched measurement, and the typed error taxonomy. *)
+
+module E = Imtp_engine.Engine
+module Sk = Imtp_engine.Sketch
+module V = Imtp_engine.Verifier
+module Rng = Imtp_engine.Rng
+module Pl = Imtp_passes.Pipeline
+module Ops = Imtp_workload.Ops
+module U = Imtp_upmem
+
+let cfg = U.Config.default
+
+let small_params =
+  { Sk.default_params with Sk.spatial_dpus = 16; tasklets = 4; cache_elems = 16 }
+
+(* --- canonical structural hashing --------------------------------- *)
+
+let test_fingerprint_stable () =
+  let op = Ops.mtv 64 128 in
+  let a = E.fingerprint op small_params in
+  let b = E.fingerprint op small_params in
+  Alcotest.(check string) "same inputs, same key" a b;
+  (* a structurally-equal but separately-constructed op hashes the same *)
+  let c = E.fingerprint (Ops.mtv 64 128) small_params in
+  Alcotest.(check string) "fresh op value, same key" a c;
+  (* the key does not depend on which engine instance computes builds *)
+  let e1 = E.create cfg and e2 = E.create cfg in
+  match (E.build e1 op small_params, E.build e2 op small_params) with
+  | Ok x, Ok y ->
+      Alcotest.(check string) "same key across engines" x.E.key y.E.key;
+      Alcotest.(check string) "build key is the fingerprint" a x.E.key
+  | _ -> Alcotest.fail "build failed"
+
+let test_fingerprint_distinguishes () =
+  let op = Ops.mtv 64 128 in
+  let base = E.fingerprint op small_params in
+  let check_distinct label key =
+    Alcotest.(check bool) label true (key <> base)
+  in
+  check_distinct "pass config in key" (E.fingerprint ~passes:Pl.all_off op small_params);
+  check_distinct "dma-only config in key"
+    (E.fingerprint ~passes:{ Pl.all_off with Pl.dma_elim = true } op small_params);
+  check_distinct "skip_inputs in key" (E.fingerprint ~skip_inputs:[ "A" ] op small_params);
+  check_distinct "verify toggle in key" (E.fingerprint ~verify:false op small_params);
+  check_distinct "params in key"
+    (E.fingerprint op { small_params with Sk.tasklets = 8 });
+  check_distinct "op shape in key" (E.fingerprint (Ops.mtv 64 256) small_params);
+  (* skip_inputs are order-canonicalized, so permutations share a key *)
+  Alcotest.(check string) "skip_inputs order irrelevant"
+    (E.fingerprint ~skip_inputs:[ "A"; "B" ] op small_params)
+    (E.fingerprint ~skip_inputs:[ "B"; "A" ] op small_params)
+
+(* --- the memo table ------------------------------------------------ *)
+
+let test_cache_hit_identical_stats () =
+  let op = Ops.mtv 64 128 in
+  let e = E.create cfg in
+  let m1 = Result.get_ok (E.measure e op small_params) in
+  let m2 = Result.get_ok (E.measure e op small_params) in
+  Alcotest.(check bool) "first build is a miss" false m1.E.from_cache;
+  Alcotest.(check bool) "second build is a hit" true m2.E.from_cache;
+  (* bit-identical artifact: the cache returns the same value, it does
+     not recompute. *)
+  Alcotest.(check bool) "stats bit-identical" true
+    (m1.E.artifact.E.stats = m2.E.artifact.E.stats);
+  Alcotest.(check bool) "program identical" true
+    (m1.E.artifact.E.program = m2.E.artifact.E.program);
+  let c = E.counters e in
+  Alcotest.(check int) "one hit" 1 c.E.hits;
+  Alcotest.(check int) "one artifact built" 1 c.E.built
+
+let test_errors_cached () =
+  (* 512-element caches x 3 buffers x 24 tasklets = 144 KB > 64 KB WRAM. *)
+  let p =
+    { Sk.default_params with Sk.spatial_dpus = 4; tasklets = 24; cache_elems = 512 }
+  in
+  let op = Ops.va 1_000_000 in
+  let e = E.create cfg in
+  (match E.build e op p with
+  | Error (E.Verifier_rejected r) ->
+      Alcotest.(check string) "typed wram rejection" "wram" r.V.constraint_name
+  | Error err -> Alcotest.failf "wrong error: %s" (E.error_to_string err)
+  | Ok _ -> Alcotest.fail "WRAM overflow accepted");
+  (* the rejection is cached: re-proposing costs a lookup, not a build *)
+  let before = E.counters e in
+  (match E.build e op p with
+  | Error (E.Verifier_rejected _) -> ()
+  | _ -> Alcotest.fail "cached outcome differs");
+  let after = E.counters e in
+  Alcotest.(check int) "second probe hits" (before.E.hits + 1) after.E.hits;
+  Alcotest.(check int) "no new failure built" before.E.failed after.E.failed
+
+let test_find_is_pure () =
+  let op = Ops.mtv 64 128 in
+  let e = E.create cfg in
+  Alcotest.(check bool) "empty cache" true (E.find e op small_params = None);
+  let c0 = E.counters e in
+  Alcotest.(check int) "find counts no lookups" 0 c0.E.lookups;
+  ignore (E.build e op small_params);
+  match E.find e op small_params with
+  | Some (Ok a) ->
+      Alcotest.(check string) "found under fingerprint"
+        (E.fingerprint op small_params) a.E.key
+  | _ -> Alcotest.fail "built artifact not findable"
+
+let test_error_to_string_prefixes () =
+  Alcotest.(check string) "lower" "lower: boom" (E.error_to_string (E.Lower_failed "boom"));
+  Alcotest.(check string) "cost" "cost: boom" (E.error_to_string (E.Cost_failed "boom"));
+  Alcotest.(check string) "sketch" "sketch: boom"
+    (E.error_to_string (E.Sketch_invalid "boom"));
+  Alcotest.(check bool) "verifier prefix" true
+    (String.length
+       (E.error_to_string
+          (E.Verifier_rejected { V.reason = "r"; constraint_name = "wram" }))
+    > 0)
+
+(* --- batched measurement ------------------------------------------- *)
+
+let test_batch_matches_sequential () =
+  let op = Ops.mtv 64 128 in
+  let candidates =
+    [
+      small_params;
+      { small_params with Sk.tasklets = 8 };
+      small_params (* duplicate: must be a cache hit, same stats *);
+      { small_params with Sk.cache_elems = 32 };
+    ]
+  in
+  let batch_e = E.create cfg in
+  let batched =
+    E.batch batch_e ~rng:(Rng.create ~seed:7) op candidates
+  in
+  let seq_e = E.create cfg in
+  let rng = Rng.create ~seed:7 in
+  let sequential =
+    List.map (fun p -> (p, E.measure seq_e ~rng op p)) candidates
+  in
+  Alcotest.(check int) "same length" (List.length sequential) (List.length batched);
+  List.iter2
+    (fun (pb, rb) (ps, rs) ->
+      Alcotest.(check bool) "same params order" true (pb = ps);
+      match (rb, rs) with
+      | Ok b, Ok s ->
+          Alcotest.(check (float 0.)) "same noisy latency" s.E.latency_s b.E.latency_s;
+          Alcotest.(check bool) "same stats" true
+            (b.E.artifact.E.stats = s.E.artifact.E.stats)
+      | Error b, Error s ->
+          Alcotest.(check string) "same error" (E.error_to_string s) (E.error_to_string b)
+      | _ -> Alcotest.fail "batch and sequential outcomes disagree")
+    batched sequential;
+  (* the duplicate candidate was served from cache in both modes *)
+  Alcotest.(check int) "batch cache hit" 1 (E.counters batch_e).E.hits;
+  Alcotest.(check int) "sequential cache hit" 1 (E.counters seq_e).E.hits
+
+let test_measure_noise_fresh_on_hits () =
+  let op = Ops.mtv 64 128 in
+  let e = E.create cfg in
+  let rng = Rng.create ~seed:11 in
+  let m1 = Result.get_ok (E.measure e ~rng op small_params) in
+  let m2 = Result.get_ok (E.measure e ~rng op small_params) in
+  Alcotest.(check bool) "second from cache" true m2.E.from_cache;
+  (* noise is drawn per measurement even on hits, stats stay identical *)
+  Alcotest.(check bool) "stats identical" true
+    (m1.E.artifact.E.stats = m2.E.artifact.E.stats);
+  let base = U.Stats.total_s m1.E.artifact.E.stats in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "noise bounded" true
+        (Float.abs (l -. base) /. base <= E.noise_amplitude +. 1e-9))
+    [ m1.E.latency_s; m2.E.latency_s ]
+
+(* --- integration with search and tuner ----------------------------- *)
+
+let test_search_reports_cache_hits () =
+  let module Se = Imtp_autotune.Search in
+  let op = Ops.mtv 128 256 in
+  let o = Se.run ~seed:9 cfg op ~trials:32 in
+  (* evolutionary mutation re-proposes candidates; the engine dedups
+     them and the outcome reports it. *)
+  Alcotest.(check bool) "nonzero cache hits" true (o.Se.cache_hits > 0);
+  Alcotest.(check bool) "hits bounded by trials" true (o.Se.cache_hits < 32)
+
+let test_shared_engine_across_tunes () =
+  let module Tu = Imtp_autotune.Tuner in
+  let op = Ops.mtv 128 256 in
+  let engine = E.create cfg in
+  let r1 = Result.get_ok (Tu.tune ~seed:21 ~trials:16 ~engine cfg op) in
+  let built_once = (E.counters engine).E.built in
+  let r2 = Result.get_ok (Tu.tune ~seed:21 ~trials:16 ~engine cfg op) in
+  (* identical seed on a warm shared engine: every candidate is served
+     from cache, nothing new is built, and the result is unchanged. *)
+  Alcotest.(check int) "no new builds" built_once (E.counters engine).E.built;
+  Alcotest.(check bool) "nonzero hit rate" true
+    (E.hit_rate (E.counters engine) > 0.);
+  Alcotest.(check bool) "same winner" true (r1.Tu.params = r2.Tu.params);
+  Alcotest.(check bool) "same stats" true (r1.Tu.stats = r2.Tu.stats)
+
+let test_tuner_winner_not_rebuilt () =
+  let module Tu = Imtp_autotune.Tuner in
+  let op = Ops.va 50_000 in
+  let engine = E.create cfg in
+  let r = Result.get_ok (Tu.tune ~seed:5 ~trials:16 ~engine cfg op) in
+  (* the winner's artifact must already be in cache from the search;
+     re-measuring it now is a pure hit with the exact stats returned. *)
+  match E.find engine op r.Tu.params with
+  | Some (Ok a) ->
+      Alcotest.(check bool) "tuner returned the cached artifact" true
+        (a.E.stats = r.Tu.stats && a.E.program = r.Tu.program)
+  | _ -> Alcotest.fail "winner missing from engine cache"
+
+let test_eviction_resets_table () =
+  let op = Ops.mtv 64 128 in
+  let e = E.create ~max_entries:2 cfg in
+  let p i = { small_params with Sk.cache_elems = 8 * (i + 1) } in
+  List.iter (fun i -> ignore (E.build e op (p i))) [ 0; 1; 2; 3 ];
+  let c = E.counters e in
+  Alcotest.(check bool) "evicted at least once" true (c.E.evictions >= 1);
+  (* still correct after eviction: rebuilt artifact equals a fresh one *)
+  let a = Result.get_ok (E.build e op (p 0)) in
+  let fresh = Result.get_ok (E.build (E.create cfg) op (p 0)) in
+  Alcotest.(check bool) "rebuild identical" true (a.E.stats = fresh.E.stats)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "hashing",
+        [
+          Alcotest.test_case "stable" `Quick test_fingerprint_stable;
+          Alcotest.test_case "distinguishes" `Quick test_fingerprint_distinguishes;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit returns identical stats" `Quick
+            test_cache_hit_identical_stats;
+          Alcotest.test_case "errors cached" `Quick test_errors_cached;
+          Alcotest.test_case "find is pure" `Quick test_find_is_pure;
+          Alcotest.test_case "error rendering" `Quick test_error_to_string_prefixes;
+          Alcotest.test_case "eviction" `Quick test_eviction_resets_table;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_batch_matches_sequential;
+          Alcotest.test_case "fresh noise on hits" `Quick
+            test_measure_noise_fresh_on_hits;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "search reports hits" `Quick test_search_reports_cache_hits;
+          Alcotest.test_case "shared engine across tunes" `Quick
+            test_shared_engine_across_tunes;
+          Alcotest.test_case "winner not rebuilt" `Quick test_tuner_winner_not_rebuilt;
+        ] );
+    ]
