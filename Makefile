@@ -3,7 +3,7 @@
 FUZZ_SEED ?= $(shell date +%Y%m%d)
 FUZZ_CASES ?= 10000
 
-.PHONY: all test check fuzz clean
+.PHONY: all test check doc fuzz clean
 
 all:
 	dune build @all
@@ -11,12 +11,24 @@ all:
 test:
 	dune runtest
 
-# Full gate: build, unit tests, and a fixed-seed 50-case fuzz smoke
-# through the engine path (the `@check` alias in test/dune).
+# Full gate: build, unit tests, a fixed-seed 50-case fuzz smoke
+# through the engine path (the `@check` alias in test/dune), and the
+# API docs (skipped gracefully when odoc is not installed).
 check:
 	dune build
 	dune runtest
 	dune build @check
+	$(MAKE) doc
+
+# API documentation (odoc comments on every public .mli).  Gated on
+# odoc being installed so `make check` works in minimal containers.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc; \
+	  echo "docs: _build/default/_doc/_html/index.html"; \
+	else \
+	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
+	fi
 
 # Long fuzzing campaign with a date-derived seed (override with
 # FUZZ_SEED=n / FUZZ_CASES=n).  The seed is printed first so a failing

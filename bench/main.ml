@@ -103,21 +103,29 @@ let run_bechamel () =
   in
   List.iter benchmark tests
 
+(* Each experiment runs under a [bench.<name>] observability span; with
+   IMTP_TRACE=FILE set, the spans (and the engine/search metrics they
+   enclose) stream to a JSONL trace readable by `imtp report`. *)
+let run_experiment name f =
+  Imtp.Obs.span ~name:("bench." ^ name) f
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let trace = Sys.getenv_opt "IMTP_TRACE" in
+  Imtp.Obs.with_sink trace @@ fun () ->
   match args with
   | [] ->
       Printf.printf
         "IMTP benchmark harness: reproducing every table and figure of the \
          paper's evaluation.\n";
-      List.iter (fun (_, f) -> f ()) experiments;
+      List.iter (fun (name, f) -> run_experiment name f) experiments;
       run_bechamel ()
   | [ "--bechamel" ] -> run_bechamel ()
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with
-          | Some f -> f ()
+          | Some f -> run_experiment name f
           | None ->
               Printf.eprintf
                 "unknown experiment %s (available: %s, --bechamel)\n" name

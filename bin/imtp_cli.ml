@@ -5,7 +5,11 @@
      lower   <op> <sizes..>   print the lowered host+kernel TIR
      run     <op> <sizes..>   compile, execute, validate, and time
      tune    <op> <sizes..>   autotune and report the best schedule
-     baseline <op> <sizes..>  measure PrIM / PrIM(E) / PrIM+search / SimplePIM *)
+     baseline <op> <sizes..>  measure PrIM / PrIM(E) / PrIM+search / SimplePIM
+     report  <trace>          summarize an observability trace (--trace)
+
+   run/tune/replay/fuzz accept --trace FILE to stream tracing spans and
+   a final metrics snapshot as JSONL; `imtp report FILE` renders it. *)
 
 open Cmdliner
 
@@ -59,6 +63,18 @@ let verbose_arg =
 let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write an observability trace to $(docv): one JSONL line per \
+           tracing span, plus a final metrics snapshot (counters, gauges, \
+           histograms).  Inspect it with 'imtp report $(docv)'.")
+
+let with_trace trace f = Imtp.Obs.with_sink trace f
 
 let machine dpus = Imtp.Config.with_dpus cfg dpus
 
@@ -129,7 +145,8 @@ let codegen_cmd =
 let run_cmd =
   let doc = "Compile with a default schedule, execute on the functional \
              simulator, validate against the reference, and report timing." in
-  let run name sizes dpus =
+  let run name sizes dpus trace =
+    with_trace trace @@ fun () ->
     let op = build_op name sizes in
     let config = machine dpus in
     let engine = Imtp.Engine.create config in
@@ -140,7 +157,10 @@ let run_cmd =
     | Ok art ->
         let prog = art.Imtp.Engine.program in
         let inputs = Imtp.Ops.random_inputs op in
-        let outs = Imtp.execute ~inputs prog op in
+        let outs =
+          Imtp.Obs.span ~name:"cli.execute" (fun () ->
+              Imtp.execute ~inputs prog op)
+        in
         let got = List.assoc (fst op.Imtp.Op.output) outs in
         let want = Imtp.Op.reference op inputs in
         let ok =
@@ -150,7 +170,8 @@ let run_cmd =
         Format.printf "timing: %a@." Imtp.Stats.pp art.Imtp.Engine.stats;
         if not ok then exit 1
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ op_arg $ sizes_arg $ dpus_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ op_arg $ sizes_arg $ dpus_arg $ trace_arg)
 
 (* --- tune ------------------------------------------------------------ *)
 
@@ -162,8 +183,9 @@ let log_arg =
 
 let tune_cmd =
   let doc = "Autotune an operation and report the winning schedule." in
-  let run name sizes trials seed dpus log verbose =
+  let run name sizes trials seed dpus log verbose trace =
     setup_logging verbose;
+    with_trace trace @@ fun () ->
     let op = build_op name sizes in
     let config = machine dpus in
     match Imtp.Tuner.tune ~trials ~seed config op with
@@ -173,16 +195,19 @@ let tune_cmd =
     | Ok r ->
         Format.printf "best:   %s@." (Imtp.Tuner.describe r);
         Format.printf "timing: %a@." Imtp.Stats.pp r.Imtp.Tuner.stats;
+        let s = r.Imtp.Tuner.search in
         Format.printf "search: %d measured, %d invalid candidates filtered@."
-          r.Imtp.Tuner.search.Imtp.Search.measured
-          r.Imtp.Tuner.search.Imtp.Search.invalid_candidates;
+          s.Imtp.Search.measured s.Imtp.Search.invalid_candidates;
+        Format.printf "search: %.2f s wall clock (%.0f trials/s)@."
+          s.Imtp.Search.elapsed_s
+          (float_of_int trials /. Float.max 1e-9 s.Imtp.Search.elapsed_s);
         let c = r.Imtp.Tuner.cache in
         Format.printf
           "engine: %d/%d lookups served from cache (%.0f%% hit rate), %d \
            search candidates deduplicated@."
           c.Imtp.Engine.hits c.Imtp.Engine.lookups
           (100. *. Imtp.Engine.hit_rate c)
-          r.Imtp.Tuner.search.Imtp.Search.cache_hits;
+          s.Imtp.Search.cache_hits;
         Format.printf "schedule primitives:@.";
         List.iter
           (fun line -> Format.printf "  %s@." line)
@@ -197,7 +222,7 @@ let tune_cmd =
     (Cmd.info "tune" ~doc)
     Term.(
       const run $ op_arg $ sizes_arg $ trials_arg $ seed_arg $ dpus_arg
-      $ log_arg $ verbose_arg)
+      $ log_arg $ verbose_arg $ trace_arg)
 
 (* --- replay ---------------------------------------------------------- *)
 
@@ -214,13 +239,20 @@ let replay_cmd =
       non_empty & pos_right 0 int []
       & info [] ~docv:"SIZES" ~doc:"Dimension extents of the logged operation.")
   in
-  let run file sizes =
+  let run file sizes trace =
+    with_trace trace @@ fun () ->
     match Imtp.Tuning_log.load file with
     | Error m ->
         Format.eprintf "error: %s@." m;
         exit 1
-    | Ok (op_name, entries) -> (
+    | Ok (hdr, entries) -> (
+        let op_name = hdr.Imtp.Tuning_log.op_name in
         Format.printf "log: op=%s, %d entries@." op_name (List.length entries);
+        (match hdr.Imtp.Tuning_log.duration_s with
+        | Some d when d > 0. ->
+            Format.printf "tuned in: %.2f s (%.0f trials/s)@." d
+              (float_of_int (List.length entries) /. d)
+        | Some _ | None -> ());
         match Imtp.Tuning_log.best entries with
         | None ->
             Format.eprintf "error: empty log@.";
@@ -240,7 +272,7 @@ let replay_cmd =
                 Format.printf "re-measured:  %.3f ms@."
                   (m.Imtp.Engine.latency_s *. 1e3)))
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ szs)
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ szs $ trace_arg)
 
 (* --- fuzz ------------------------------------------------------------ *)
 
@@ -273,8 +305,9 @@ let fuzz_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
   in
-  let run seed cases case no_shrink verbose =
+  let run seed cases case no_shrink verbose trace =
     setup_logging verbose;
+    with_trace trace @@ fun () ->
     match case with
     | Some index -> (
         match Imtp.Fuzz.case_of_seed ~seed ~index with
@@ -312,7 +345,45 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ fuzz_seed_arg $ cases_arg $ case_arg $ no_shrink_arg
-      $ verbose_arg)
+      $ verbose_arg $ trace_arg)
+
+(* --- report ---------------------------------------------------------- *)
+
+let report_cmd =
+  let doc =
+    "Summarize an observability trace written with --trace: per-span latency \
+     percentiles, counters, gauges, histogram quantiles, and the engine \
+     cache hit rate.  With --folded, emit flamegraph-friendly folded stacks \
+     instead."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL trace file written by 'run'/'tune'/'replay'/'fuzz' --trace.")
+  in
+  let folded_arg =
+    Arg.(
+      value & flag
+      & info [ "folded" ]
+          ~doc:
+            "Emit folded stacks — one 'path;to;span <self-time-µs>' line per \
+             call path — ready for flamegraph.pl or speedscope.")
+  in
+  let run file folded =
+    match Imtp.Obs.load_jsonl file with
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        exit 1
+    | Ok events ->
+        if folded then
+          List.iter
+            (fun (path, us) -> Format.printf "%s %d@." path us)
+            (Imtp.Obs.folded events)
+        else Format.printf "%a" Imtp.Obs.pp_events events
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file_arg $ folded_arg)
 
 (* --- baseline -------------------------------------------------------- *)
 
@@ -335,4 +406,17 @@ let baseline_cmd =
 let () =
   let doc = "search-based code generation for in-memory tensor programs" in
   let info = Cmd.info "imtp" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ info_cmd; lower_cmd; codegen_cmd; run_cmd; tune_cmd; replay_cmd; baseline_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            info_cmd;
+            lower_cmd;
+            codegen_cmd;
+            run_cmd;
+            tune_cmd;
+            replay_cmd;
+            baseline_cmd;
+            fuzz_cmd;
+            report_cmd;
+          ]))

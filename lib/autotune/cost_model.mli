@@ -9,9 +9,15 @@
     (expensive) measurement step. *)
 
 type t
+(** A mutable model, refit on every {!observe}. *)
 
 val create : unit -> t
+(** An untrained model ({!predict} returns 0 until trained). *)
+
 val features : Imtp_workload.Op.t -> Sketch.params -> float array
+(** The feature vector for one candidate: log-scaled schedule
+    parameters and workload shape terms. *)
+
 val observe : t -> float array -> float -> unit
 (** [observe m x latency_s] adds a training sample. *)
 
@@ -19,4 +25,7 @@ val predict : t -> float array -> float
 (** Predicted log-latency; 0 until at least 8 samples are seen. *)
 
 val trained : t -> bool
+(** Whether enough samples were seen for {!predict} to be informative. *)
+
 val sample_count : t -> int
+(** Number of training samples observed so far. *)

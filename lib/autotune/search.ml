@@ -2,6 +2,7 @@ let log_src = Logs.Src.create "imtp.search" ~doc:"IMTP evolutionary search"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 module Engine = Imtp_engine.Engine
+module Obs = Imtp_obs.Obs
 
 type strategy = { balanced_sampling : bool; adaptive_epsilon : bool }
 
@@ -21,6 +22,7 @@ type outcome = {
   invalid_candidates : int;
   measured : int;
   cache_hits : int;
+  elapsed_s : float;
 }
 
 let population_size = 16
@@ -74,6 +76,15 @@ let parent_pool strategy ~early population =
 
 let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
     ?(use_cost_model = true) ?engine cfg op ~trials =
+  Obs.span ~name:"search.run"
+    ~attrs:
+      [
+        ("op", Obs.Str op.Imtp_workload.Op.opname);
+        ("trials", Obs.Int trials);
+        ("seed", Obs.Int seed);
+      ]
+  @@ fun () ->
+  let t0 = Obs.now_s () in
   let engine =
     match engine with Some e -> e | None -> Engine.create cfg
   in
@@ -100,10 +111,13 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
     in
     (match !best with
     | Some b when b.Measure.latency_s <= latency_s -> ()
-    | Some _ | None -> best := Some r);
+    | Some _ | None ->
+        best := Some r;
+        Obs.set_gauge "search.best_latency_s" latency_s);
     let best_so_far =
       match !best with Some b -> b.Measure.latency_s | None -> infinity
     in
+    Obs.observe "search.trial_latency_s" latency_s;
     history := { trial; params; latency_s; best_so_far } :: !history
   in
   (* One proposal consumes one trial; invalid candidates (typed engine
@@ -136,15 +150,19 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
   in
   (* Initial population: random sampling (uniform across design
      spaces, hence unaffected by the balanced sampler). *)
-  while !trial < min trials population_size do
-    (match random_valid () with
-    | Some c -> population := c :: !population
-    | None -> ());
-    incr trial
-  done;
+  Obs.span ~name:"search.init" (fun () ->
+      while !trial < min trials population_size do
+        (match random_valid () with
+        | Some c -> population := c :: !population
+        | None -> ());
+        incr trial
+      done);
   (* Generations: propose a whole generation against the fixed parent
      pool, then measure it in one engine batch. *)
   while !trial < trials do
+    Obs.span ~name:"search.generation"
+      ~attrs:[ ("trial", Obs.Int !trial) ]
+    @@ fun () ->
     let early =
       float_of_int !trial < exploration_fraction *. float_of_int trials
     in
@@ -185,6 +203,12 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
     trial := !trial + gen_size;
     population :=
       truncate_population strategy ~early (!population @ offspring);
+    Obs.add_attr "size" (Obs.Int gen_size);
+    Obs.add_attr "accepted" (Obs.Int (List.length offspring));
+    Obs.add_attr "population" (Obs.Int (List.length !population));
+    (match !best with
+    | Some b -> Obs.add_attr "best_s" (Obs.Float b.Measure.latency_s)
+    | None -> ());
     Log.debug (fun m ->
         m "trial %d/%d: population %d, best %.6f ms, %d invalid so far" !trial
           trials
@@ -194,10 +218,19 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
           | None -> Float.nan)
           !invalid)
   done;
+  let elapsed_s = Obs.now_s () -. t0 in
+  Obs.incr ~by:!trial "search.trials";
+  Obs.incr ~by:!measured "search.measured";
+  Obs.incr ~by:!invalid "search.invalid";
+  let cache_hits = (Engine.counters engine).Engine.hits - hits0 in
+  Obs.incr ~by:cache_hits "search.cache_hits";
+  if elapsed_s > 0. then
+    Obs.set_gauge "search.trials_per_s" (float_of_int !trial /. elapsed_s);
   {
     best = !best;
     history = List.rev !history;
     invalid_candidates = !invalid;
     measured = !measured;
-    cache_hits = (Engine.counters engine).Engine.hits - hits0;
+    cache_hits;
+    elapsed_s;
   }

@@ -28,22 +28,33 @@ val imtp_default : strategy
 (** Both techniques. *)
 
 type record = {
-  trial : int;
-  params : Sketch.params;
-  latency_s : float;
-  best_so_far : float;
+  trial : int;  (** 0-based trial index the measurement was taken at. *)
+  params : Sketch.params;  (** the measured candidate. *)
+  latency_s : float;  (** its (noisy) measured latency. *)
+  best_so_far : float;  (** running best at this trial, inclusive. *)
 }
+(** One measured trial, as recorded in the search history (and in
+    {!Tuning_log} files). *)
 
 type outcome = {
   best : Measure.result option;  (** best measured candidate, if any. *)
   history : record list;  (** chronological, one per measured trial. *)
   invalid_candidates : int;  (** candidates rejected by the verifier. *)
-  measured : int;
+  measured : int;  (** distinct candidates actually measured. *)
   cache_hits : int;
       (** engine-cache hits during the run — trials whose build was
           deduplicated instead of recompiled (duplicate proposals, and
           warm entries when a shared engine is passed in). *)
+  elapsed_s : float;
+      (** wall-clock duration of the whole run — recorded in tuning-log
+          headers so replayed logs can report trials/sec. *)
 }
+(** Everything a search run produces.  The run also emits telemetry
+    through {!Imtp_obs.Obs}: a [search.run] span enclosing [search.init]
+    and per-generation [search.generation] spans (with population /
+    acceptance attributes), the [search.*] counters, and the
+    [search.best_latency_s] / [search.trials_per_s] gauges — see
+    DESIGN.md's "Observability" section for the full taxonomy. *)
 
 val run :
   ?strategy:strategy ->

@@ -1,4 +1,5 @@
 module Engine = Imtp_engine.Engine
+module Obs = Imtp_obs.Obs
 
 type result = {
   params : Sketch.params;
@@ -9,6 +10,14 @@ type result = {
 }
 
 let tune ?strategy ?seed ?(trials = 128) ?passes ?skip_inputs ?engine cfg op =
+  Obs.span ~name:"tuner.tune"
+    ~attrs:
+      [
+        ("op", Obs.Str op.Imtp_workload.Op.opname);
+        ("trials", Obs.Int trials);
+      ]
+  @@ fun () ->
+  Obs.incr "tuner.tunes";
   let engine = match engine with Some e -> e | None -> Engine.create cfg in
   let search =
     Search.run ?strategy ?seed ?passes ?skip_inputs ~engine cfg op ~trials

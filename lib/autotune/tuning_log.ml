@@ -1,4 +1,5 @@
 type entry = { trial : int; params : Sketch.params; latency_s : float }
+type header = { op_name : string; duration_s : float option }
 
 let params_to_string (p : Sketch.params) =
   Printf.sprintf "sd=%d rd=%d t=%d c=%d rows=%d unroll=%d ht=%d"
@@ -73,7 +74,8 @@ let save path ~op_name (o : Search.outcome) =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc "# imtp-tuning-log op=%s\n" op_name;
+      Printf.fprintf oc "# imtp-tuning-log op=%s duration_s=%.6f\n" op_name
+        o.Search.elapsed_s;
       List.iter
         (fun (r : Search.record) ->
           output_string oc
@@ -93,11 +95,23 @@ let load path =
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () ->
-          let header = try input_line ic with End_of_file -> "" in
+          let header_line = try input_line ic with End_of_file -> "" in
+          (* Header tokens after the "# imtp-tuning-log" tag are k=v
+             pairs; [duration_s] is optional so logs written before it
+             existed still load. *)
+          let kvs =
+            List.filter_map
+              (fun tok ->
+                match String.split_on_char '=' tok with
+                | [ k; v ] -> Some (k, v)
+                | _ -> None)
+              (String.split_on_char ' ' (String.trim header_line))
+          in
           let op_name =
-            match String.split_on_char '=' header with
-            | [ _; name ] -> String.trim name
-            | _ -> ""
+            Option.value ~default:"" (List.assoc_opt "op" kvs)
+          in
+          let duration_s =
+            Option.bind (List.assoc_opt "duration_s" kvs) float_of_string_opt
           in
           if op_name = "" then Error "missing or malformed header"
           else begin
@@ -113,7 +127,7 @@ let load path =
              with End_of_file -> ());
             match !err with
             | Some m -> Error m
-            | None -> Ok (op_name, List.rev !entries)
+            | None -> Ok ({ op_name; duration_s }, List.rev !entries)
           end)
 
 let best entries =

@@ -4,10 +4,20 @@
     without re-running the search. *)
 
 type entry = {
-  trial : int;
-  params : Sketch.params;
-  latency_s : float;
+  trial : int;  (** trial index within the run. *)
+  params : Sketch.params;  (** measured candidate. *)
+  latency_s : float;  (** measured (noisy) latency, seconds. *)
 }
+(** One measured trial, as serialized to a log line. *)
+
+type header = {
+  op_name : string;  (** operation the log was recorded for. *)
+  duration_s : float option;
+      (** wall-clock duration of the tuning run, when the log was
+          written by a version that records it — lets reports derive
+          trials/sec for replayed logs. *)
+}
+(** Parsed log header (the leading [# imtp-tuning-log ...] line). *)
 
 val params_to_string : Sketch.params -> string
 (** Compact one-line form, [k=v] pairs. *)
@@ -16,15 +26,21 @@ val params_of_string : string -> (Sketch.params, string) Result.t
 (** Inverse of {!params_to_string}; unknown keys are errors. *)
 
 val entry_to_string : entry -> string
+(** One log line: [trial=N latency=L] followed by the parameters. *)
+
 val entry_of_string : string -> (entry, string) Result.t
+(** Inverse of {!entry_to_string}; malformed lines are [Error]. *)
 
 val save : string -> op_name:string -> Search.outcome -> unit
-(** Write a log file: a header naming the operation, then one line per
-    measured trial. *)
+(** Write a log file: a header naming the operation and recording the
+    run's wall-clock duration ({!Search.outcome.elapsed_s}), then one
+    line per measured trial. *)
 
-val load : string -> (string * entry list, string) Result.t
-(** Returns the header op name and the entries, preserving order.
-    @raise nothing — I/O or parse failures are [Error]. *)
+val load : string -> (header * entry list, string) Result.t
+(** Returns the parsed header and the entries, preserving order.  I/O
+    or parse failures are [Error]; this function never raises.  Logs
+    written before [duration_s] existed load with
+    [header.duration_s = None]. *)
 
 val best : entry list -> entry option
-(** Lowest-latency entry. *)
+(** Lowest-latency entry ([None] on an empty list). *)

@@ -30,6 +30,7 @@ module Dma_elim = Imtp_passes.Dma_elim
 module Loop_tighten = Imtp_passes.Loop_tighten
 module Branch_hoist = Imtp_passes.Branch_hoist
 module Pass_metrics = Imtp_passes.Metrics
+module Obs = Imtp_obs.Obs
 module Engine = Imtp_engine.Engine
 module Rng = Imtp_autotune.Rng
 module Sketch = Imtp_autotune.Sketch

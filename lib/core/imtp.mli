@@ -57,6 +57,9 @@ module Loop_tighten = Imtp_passes.Loop_tighten
 module Branch_hoist = Imtp_passes.Branch_hoist
 module Pass_metrics = Imtp_passes.Metrics
 
+(* Observability: tracing spans + metrics registry *)
+module Obs = Imtp_obs.Obs
+
 (* Build/measure engine and autotuner *)
 module Engine = Imtp_engine.Engine
 module Rng = Imtp_autotune.Rng

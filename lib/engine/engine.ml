@@ -1,6 +1,7 @@
 let log_src = Logs.Src.create "imtp.engine" ~doc:"IMTP build/measure engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Obs = Imtp_obs.Obs
 module Op = Imtp_workload.Op
 module L = Imtp_lower.Lowering
 module Pl = Imtp_passes.Pipeline
@@ -153,11 +154,18 @@ let fingerprint ?(passes = Pl.all_on) ?skip_inputs ?(verify = true) op params =
 (* accumulated into the engine's counters when one is at hand.         *)
 (* ------------------------------------------------------------------ *)
 
-let timed t add f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (match t with Some t -> t.c <- add t.c (Sys.time () -. t0) | None -> ());
-  r
+(* Each stage is timed twice on purpose: CPU time (Sys.time) feeds the
+   engine's counters, exactly as before, while the Obs span records
+   wall clock and the Obs histogram aggregates the per-stage latency
+   distribution under the stable names `engine.stage.<stage>_s`. *)
+let timed t ~stage add f =
+  Obs.span ~name:("engine." ^ stage) (fun () ->
+      let t0 = Sys.time () in
+      let r = f () in
+      let dt = Sys.time () -. t0 in
+      (match t with Some t -> t.c <- add t.c dt | None -> ());
+      Obs.observe ("engine.stage." ^ stage ^ "_s") dt;
+      r)
 
 let add_sketch c dt = { c with sketch_s = c.sketch_s +. dt }
 let add_lower c dt = { c with lower_s = c.lower_s +. dt }
@@ -166,34 +174,34 @@ let add_verify c dt = { c with verify_s = c.verify_s +. dt }
 let add_cost c dt = { c with cost_s = c.cost_s +. dt }
 
 let stage_sketch ?t op params =
-  timed t add_sketch (fun () ->
+  timed t ~stage:"sketch" add_sketch (fun () ->
       match Sketch.instantiate op params with
       | sched -> Ok sched
       | exception Invalid_argument m -> Error (Sketch_invalid m))
 
 let stage_lower ?t ~options sched =
-  timed t add_lower (fun () ->
+  timed t ~stage:"lower" add_lower (fun () ->
       match L.lower ~options sched with
       | prog -> Ok prog
       | exception L.Lower_error m -> Error (Lower_failed m))
 
 let stage_passes ?t ~passes cfg prog =
-  timed t add_passes (fun () -> Pl.run ~config:passes cfg prog)
+  timed t ~stage:"passes" add_passes (fun () -> Pl.run ~config:passes cfg prog)
 
 let stage_verify_sched ?t cfg sched =
-  timed t add_verify (fun () ->
+  timed t ~stage:"verify" add_verify (fun () ->
       match Verifier.check_sched cfg sched with
       | Ok () -> Ok ()
       | Error r -> Error (Verifier_rejected r))
 
 let stage_verify_program ?t cfg prog =
-  timed t add_verify (fun () ->
+  timed t ~stage:"verify" add_verify (fun () ->
       match Verifier.check cfg prog with
       | Ok () -> Ok ()
       | Error r -> Error (Verifier_rejected r))
 
 let stage_cost ?t cfg prog =
-  timed t add_cost (fun () ->
+  timed t ~stage:"cost" add_cost (fun () ->
       match Cost.measure cfg prog with
       | stats -> Ok stats
       | exception Cost.Error m -> Error (Cost_failed m))
@@ -218,22 +226,30 @@ let remember t table key result =
   then begin
     Hashtbl.reset t.artifacts;
     Hashtbl.reset t.lowerings;
-    t.c <- { t.c with evictions = t.c.evictions + 1 }
+    t.c <- { t.c with evictions = t.c.evictions + 1 };
+    Obs.incr "engine.cache.evictions"
   end;
   Hashtbl.replace table key result;
   (match result with
-  | Ok _ -> t.c <- { t.c with built = t.c.built + 1 }
-  | Error _ -> t.c <- { t.c with failed = t.c.failed + 1 });
+  | Ok _ ->
+      t.c <- { t.c with built = t.c.built + 1 };
+      Obs.incr "engine.built"
+  | Error _ ->
+      t.c <- { t.c with failed = t.c.failed + 1 };
+      Obs.incr "engine.failed");
   result
 
 let lookup t table key =
   t.c <- { t.c with lookups = t.c.lookups + 1 };
+  Obs.incr "engine.cache.lookups";
   match Hashtbl.find_opt table key with
   | Some r ->
       t.c <- { t.c with hits = t.c.hits + 1 };
+      Obs.incr "engine.cache.hits";
       Some r
   | None ->
       t.c <- { t.c with misses = t.c.misses + 1 };
+      Obs.incr "engine.cache.misses";
       None
 
 let ( let* ) = Result.bind
@@ -245,18 +261,28 @@ let build_uncached t ~passes ~options ~verify ~key op params =
   let program = stage_passes ~t ~passes t.cfg lowered in
   let* () = if verify then stage_verify_program ~t t.cfg program else Ok () in
   let* stats = stage_cost ~t t.cfg program in
+  Obs.incr ~by:stats.Stats.bytes_h2d "engine.bytes_h2d";
+  Obs.incr ~by:stats.Stats.bytes_d2h "engine.bytes_d2h";
   Ok { key; sched; lowered; program; stats }
 
 let build_flagged t ?(passes = Pl.all_on) ?skip_inputs ?(verify = true) op
     params =
-  let options = candidate_options ?skip_inputs params in
-  let key = fingerprint ~passes ?skip_inputs ~verify op params in
-  match lookup t t.artifacts key with
-  | Some r -> (r, true)
-  | None ->
-      (remember t t.artifacts key
-         (build_uncached t ~passes ~options ~verify ~key op params),
-       false)
+  Obs.span ~name:"engine.build"
+    ~attrs:[ ("op", Obs.Str op.Op.opname) ]
+    (fun () ->
+      let options = candidate_options ?skip_inputs params in
+      let key = fingerprint ~passes ?skip_inputs ~verify op params in
+      let result, hit =
+        match lookup t t.artifacts key with
+        | Some r -> (r, true)
+        | None ->
+            (remember t t.artifacts key
+               (build_uncached t ~passes ~options ~verify ~key op params),
+             false)
+      in
+      Obs.add_attr "hit" (Obs.Bool hit);
+      Obs.add_attr "ok" (Obs.Bool (Result.is_ok result));
+      (result, hit))
 
 let build t ?passes ?skip_inputs ?verify op params =
   fst (build_flagged t ?passes ?skip_inputs ?verify op params)
@@ -280,9 +306,21 @@ let measure t ?rng ?passes ?skip_inputs ?verify op params =
 let batch t ?rng ?passes ?skip_inputs ?verify op candidates =
   let c0 = t.c in
   let results =
-    List.map
-      (fun p -> (p, measure t ?rng ?passes ?skip_inputs ?verify op p))
-      candidates
+    Obs.span ~name:"engine.batch"
+      ~attrs:
+        [
+          ("op", Obs.Str op.Op.opname);
+          ("size", Obs.Int (List.length candidates));
+        ]
+      (fun () ->
+        let results =
+          List.map
+            (fun p -> (p, measure t ?rng ?passes ?skip_inputs ?verify op p))
+            candidates
+        in
+        Obs.add_attr "hits" (Obs.Int (t.c.hits - c0.hits));
+        Obs.add_attr "misses" (Obs.Int (t.c.misses - c0.misses));
+        results)
   in
   let c1 = t.c in
   Log.debug (fun m ->
@@ -303,4 +341,5 @@ let batch t ?rng ?passes ?skip_inputs ?verify op candidates =
 let lower_keyed t ~key thunk =
   match lookup t t.lowerings key with
   | Some r -> r
-  | None -> remember t t.lowerings key (timed (Some t) add_lower thunk)
+  | None ->
+      remember t t.lowerings key (timed (Some t) ~stage:"lower" add_lower thunk)

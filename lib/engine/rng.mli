@@ -2,8 +2,11 @@
     [Random.State] so every search run is reproducible from its seed. *)
 
 type t
+(** A mutable random source; draws advance its state. *)
 
 val create : seed:int -> t
+(** A fresh source — equal seeds give equal draw sequences. *)
+
 val int : t -> int -> int
 (** Uniform in [0, bound). *)
 
@@ -11,6 +14,10 @@ val pick : t -> 'a list -> 'a
 (** Uniform choice.  @raise Invalid_argument on the empty list. *)
 
 val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
 val bool : t -> bool
+(** Fair coin flip. *)
+
 val split : t -> t
 (** Derive an independent child source. *)

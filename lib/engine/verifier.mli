@@ -12,6 +12,9 @@ type rejection = {
 
 val check :
   Imtp_upmem.Config.t -> Imtp_tir.Program.t -> (unit, rejection) result
+(** Full post-lowering verification of a program against the machine
+    configuration's resource limits; the first violated constraint is
+    returned as the {!rejection}. *)
 
 val kernel_wram_bytes : Imtp_tir.Program.kernel -> int
 (** Total WRAM footprint of one kernel: per-tasklet allocations are

@@ -1,6 +1,7 @@
 module Rng = Imtp_autotune.Rng
 module S = Imtp_schedule.Sched
 module Printer = Imtp_tir.Printer
+module Obs = Imtp_obs.Obs
 
 type coverage = {
   split : int;
@@ -86,6 +87,10 @@ let case_of_seed ~seed ~index =
 
 let run ?(progress = fun _ -> ()) ?(shrink = true) ~seed ~cases () =
   let module Engine = Imtp_engine.Engine in
+  Obs.span ~name:"fuzz.campaign"
+    ~attrs:[ ("seed", Obs.Int seed); ("cases", Obs.Int cases) ]
+  @@ fun () ->
+  let t0 = Obs.now_s () in
   let c0 = Engine.counters Oracle.engine in
   let cases = max 0 cases in
   let rejected = ref 0 in
@@ -101,14 +106,19 @@ let run ?(progress = fun _ -> ()) ?(shrink = true) ~seed ~cases () =
       match Oracle.check case with
       | Oracle.Rejected _ when attempt + 1 < max_redraws ->
           incr rejected;
+          Obs.incr "fuzz.rejected_draws";
           attempt_loop (attempt + 1)
-      | Oracle.Rejected _ -> incr rejected
+      | Oracle.Rejected _ ->
+          incr rejected;
+          Obs.incr "fuzz.rejected_draws"
       | Oracle.Passed { configs_checked = n } ->
           configs_checked := !configs_checked + n;
+          Obs.incr ~by:n "fuzz.configs_checked";
           let op = Gen_workload.op case.Oracle.workload in
           let _, surviving = Gen_sched.replay op case.Oracle.steps in
           coverage := add_coverage !coverage surviving
       | Oracle.Failed _ ->
+          Obs.incr "fuzz.failures";
           let min_case = if shrink then Shrink.minimize case else case in
           let failure =
             match Oracle.check min_case with
@@ -122,9 +132,14 @@ let run ?(progress = fun _ -> ()) ?(shrink = true) ~seed ~cases () =
           in
           failures := (index, min_case, failure) :: !failures
     in
-    attempt_loop 0;
+    Obs.span ~name:"fuzz.case" ~attrs:[ ("index", Obs.Int index) ] (fun () ->
+        attempt_loop 0);
+    Obs.incr "fuzz.cases";
     progress index
   done;
+  let elapsed_s = Obs.now_s () -. t0 in
+  if elapsed_s > 0. then
+    Obs.set_gauge "fuzz.cases_per_s" (float_of_int cases /. elapsed_s);
   let c1 = Engine.counters Oracle.engine in
   Engine.log_summary Oracle.engine;
   {

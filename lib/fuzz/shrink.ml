@@ -14,9 +14,11 @@ let dim_candidates d =
     (List.filter (fun c -> c >= 1 && c < d) [ 1; 2; 3; d / 2; d - 1 ])
 
 let minimize_with ~still_fails (case : Oracle.case) =
+  Imtp_obs.Obs.span ~name:"fuzz.shrink" @@ fun () ->
   let tries = ref 0 in
   let fails c =
     incr tries;
+    Imtp_obs.Obs.incr "fuzz.shrink_steps";
     !tries <= budget && still_fails c
   in
   (* One pass of step-dropping: try removing each step in turn,

@@ -252,8 +252,10 @@ let test_tuning_log_roundtrip () =
   Tl.save path ~op_name:"mtv" o;
   (match Tl.load path with
   | Error m -> Alcotest.fail m
-  | Ok (name, entries) ->
-      Alcotest.(check string) "op name" "mtv" name;
+  | Ok (hdr, entries) ->
+      Alcotest.(check string) "op name" "mtv" hdr.Tl.op_name;
+      Alcotest.(check bool) "duration recorded" true
+        (match hdr.Tl.duration_s with Some d -> d >= 0. | None -> false);
       Alcotest.(check int) "entry count" (List.length o.Se.history)
         (List.length entries);
       (match (Tl.best entries, o.Se.best) with
