@@ -2,8 +2,13 @@
 
 FUZZ_SEED ?= $(shell date +%Y%m%d)
 FUZZ_CASES ?= 10000
+# Worker domains for parallel candidate evaluation.  Outcomes are
+# determined by FUZZ_SEED alone — the same seed reproduces the same
+# failures at any job count — so -j only changes wall-clock time.
+JOBS ?= $(shell nproc 2>/dev/null || echo 1)
+BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: all test check doc fuzz clean
+.PHONY: all test check doc bench fuzz clean
 
 all:
 	dune build @all
@@ -11,9 +16,10 @@ all:
 test:
 	dune runtest
 
-# Full gate: build, unit tests, a fixed-seed 50-case fuzz smoke
-# through the engine path (the `@check` alias in test/dune), and the
-# API docs (skipped gracefully when odoc is not installed).
+# Full gate: build, unit tests, a fixed-seed 50-case fuzz smoke at
+# -j 2 through the engine path (the `@check` alias in test/dune,
+# exercising the parallel campaign driver), and the API docs (skipped
+# gracefully when odoc is not installed).
 check:
 	dune build
 	dune runtest
@@ -30,12 +36,18 @@ doc:
 	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
 	fi
 
+# Batch-throughput benchmark: cold-engine Engine.batch over 200
+# distinct GEMM candidates at -j 1/2/4 plus the warm cache-hit path,
+# written to BENCH_<date>.json (and a table on stdout).
+bench:
+	dune exec bench/main.exe -- --batch-scaling --out BENCH_$(BENCH_DATE).json
+
 # Long fuzzing campaign with a date-derived seed (override with
-# FUZZ_SEED=n / FUZZ_CASES=n).  The seed is printed first so a failing
-# campaign can be reproduced exactly.
+# FUZZ_SEED=n / FUZZ_CASES=n / JOBS=n).  The seed is printed first so
+# a failing campaign can be reproduced exactly — with any JOBS value.
 fuzz:
-	@echo "fuzz seed: $(FUZZ_SEED)  cases: $(FUZZ_CASES)"
-	dune exec bin/imtp_cli.exe -- fuzz --seed $(FUZZ_SEED) --cases $(FUZZ_CASES)
+	@echo "fuzz seed: $(FUZZ_SEED)  cases: $(FUZZ_CASES)  jobs: $(JOBS)"
+	dune exec bin/imtp_cli.exe -- fuzz --seed $(FUZZ_SEED) --cases $(FUZZ_CASES) --jobs $(JOBS)
 
 clean:
 	dune clean

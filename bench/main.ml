@@ -4,6 +4,8 @@
      dune exec bench/main.exe                 # run every experiment
      dune exec bench/main.exe -- fig9 fig13   # run selected experiments
      dune exec bench/main.exe -- --bechamel   # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --batch-scaling [--out FILE]
+                                              # Engine.batch at -j 1/2/4
 
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md's experiment index); the Bechamel suite
@@ -103,6 +105,128 @@ let run_bechamel () =
   in
   List.iter benchmark tests
 
+(* --- Batch-scaling benchmark: Engine.batch at -j 1/2/4 -------------- *)
+
+(* Cold-engine throughput of one generation-sized batch over distinct
+   GEMM candidates, at increasing job counts, plus a warm re-batch for
+   the cache-hit path.  Also asserts the determinism contract on real
+   data: every parallel run must match the -j 1 run result for result
+   (params order, latencies, stats, from_cache, errors).  Writes a
+   BENCH_<date>.json report when [--out] is given. *)
+let batch_scaling ~out () =
+  let cfg = Util.cfg in
+  let op = Imtp.Ops.gemm 64 64 64 in
+  let wanted = 200 in
+  (* Distinct, build-valid candidates: probe with a scratch engine so
+     the timed engines below all start cold. *)
+  let scratch = Imtp.Engine.create cfg in
+  let rng = Imtp.Rng.create ~seed:42 in
+  let seen = Hashtbl.create 256 in
+  let candidates = ref [] in
+  let attempts = ref 0 in
+  while List.length !candidates < wanted && !attempts < wanted * 100 do
+    incr attempts;
+    let p = Imtp.Sketch.random rng cfg op in
+    let key = Imtp.Engine.fingerprint op p in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      match Imtp.Engine.build scratch op p with
+      | Ok _ -> candidates := p :: !candidates
+      | Error _ -> ()
+    end
+  done;
+  let candidates = List.rev !candidates in
+  let n = List.length candidates in
+  let noise_seed = 7 in
+  let time_batch jobs =
+    let engine = Imtp.Engine.create cfg in
+    let rng = Imtp.Rng.create ~seed:noise_seed in
+    let t0 = Unix.gettimeofday () in
+    let results = Imtp.Engine.batch engine ~jobs ~rng op candidates in
+    let cold_s = Unix.gettimeofday () -. t0 in
+    let rng = Imtp.Rng.create ~seed:noise_seed in
+    let t0 = Unix.gettimeofday () in
+    let (_ : (Imtp.Sketch.params * _) list) =
+      Imtp.Engine.batch engine ~jobs ~rng op candidates
+    in
+    let warm_s = Unix.gettimeofday () -. t0 in
+    (results, cold_s, warm_s, Imtp.Engine.counters engine)
+  in
+  let same_results a b =
+    List.for_all2
+      (fun (p, r) (p', r') ->
+        p = p'
+        &&
+        match (r, r') with
+        | Ok m, Ok m' ->
+            m.Imtp.Engine.latency_s = m'.Imtp.Engine.latency_s
+            && m.Imtp.Engine.from_cache = m'.Imtp.Engine.from_cache
+            && m.Imtp.Engine.artifact.Imtp.Engine.stats
+               = m'.Imtp.Engine.artifact.Imtp.Engine.stats
+        | Error e, Error e' -> e = e'
+        | _ -> false)
+      a b
+  in
+  Util.heading
+    (Printf.sprintf
+       "Engine.batch scaling: %d distinct gemm candidates, cold engine per -j"
+       n);
+  Printf.printf "host: %d recommended domains, IMTP_JOBS default %d\n"
+    (Domain.recommended_domain_count ())
+    (Imtp.Pool.default_jobs ());
+  let baseline, base_cold, _, _ = time_batch 1 in
+  let rows =
+    List.map
+      (fun jobs ->
+        let results, cold_s, warm_s, c = time_batch jobs in
+        let identical = same_results baseline results in
+        Printf.printf
+          "  -j %d: cold %.3f s (%.1f cand/s, %.2fx vs -j1), warm %.4f s, \
+           hit rate %.1f%%, identical=%b\n"
+          jobs cold_s
+          (float_of_int n /. cold_s)
+          (base_cold /. cold_s) warm_s
+          (100. *. Imtp.Engine.hit_rate c)
+          identical;
+        (jobs, cold_s, warm_s, c, identical))
+      [ 1; 2; 4 ]
+  in
+  match out with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      Printf.ksprintf (Buffer.add_string buf)
+        "  \"benchmark\": \"engine.batch scaling\",\n\
+        \  \"date\": %.0f,\n\
+        \  \"host_recommended_domains\": %d,\n\
+        \  \"note\": \"speedup_vs_j1 reflects the recording host; with \
+         1 recommended domain, parallel runs only add coordination \
+         overhead and speedups below 1x are expected\",\n\
+        \  \"op\": \"gemm 64x64x64\",\n\
+        \  \"distinct_candidates\": %d,\n\
+        \  \"runs\": [\n"
+        (Unix.time ())
+        (Domain.recommended_domain_count ())
+        n;
+      List.iteri
+        (fun i (jobs, cold_s, warm_s, c, identical) ->
+          Printf.ksprintf (Buffer.add_string buf)
+            "    { \"jobs\": %d, \"cold_s\": %.6f, \"cold_cand_per_s\": \
+             %.1f, \"speedup_vs_j1\": %.3f, \"warm_s\": %.6f, \
+             \"cache_hit_rate\": %.4f, \"identical_to_j1\": %b }%s\n"
+            jobs cold_s
+            (float_of_int n /. cold_s)
+            (base_cold /. cold_s) warm_s (Imtp.Engine.hit_rate c) identical
+            (if i = List.length rows - 1 then "" else ",")
+        )
+        rows;
+      Buffer.add_string buf "  ]\n}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
 (* Each experiment runs under a [bench.<name>] observability span; with
    IMTP_TRACE=FILE set, the spans (and the engine/search metrics they
    enclose) stream to a JSONL trace readable by `imtp report`. *)
@@ -121,6 +245,8 @@ let () =
       List.iter (fun (name, f) -> run_experiment name f) experiments;
       run_bechamel ()
   | [ "--bechamel" ] -> run_bechamel ()
+  | [ "--batch-scaling" ] -> batch_scaling ~out:None ()
+  | [ "--batch-scaling"; "--out"; path ] -> batch_scaling ~out:(Some path) ()
   | names ->
       List.iter
         (fun name ->

@@ -64,6 +64,23 @@ let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel candidate evaluation.  Defaults to \
+           $(b,IMTP_JOBS) from the environment, else the machine's \
+           recommended domain count; $(docv)=1 disables parallelism \
+           entirely (no domains are spun up).  Results are bit-identical \
+           at any value — only wall-clock time changes.")
+
+(* The CLI resolves -j once into the process-wide default, so every
+   layer below (tuner batches, fuzz cases) picks it up without
+   threading a parameter through each call. *)
+let apply_jobs jobs = Option.iter Imtp.Pool.set_default_jobs jobs
+
 let trace_arg =
   Arg.(
     value
@@ -145,7 +162,8 @@ let codegen_cmd =
 let run_cmd =
   let doc = "Compile with a default schedule, execute on the functional \
              simulator, validate against the reference, and report timing." in
-  let run name sizes dpus trace =
+  let run name sizes dpus jobs trace =
+    apply_jobs jobs;
     with_trace trace @@ fun () ->
     let op = build_op name sizes in
     let config = machine dpus in
@@ -171,7 +189,7 @@ let run_cmd =
         if not ok then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ op_arg $ sizes_arg $ dpus_arg $ trace_arg)
+    Term.(const run $ op_arg $ sizes_arg $ dpus_arg $ jobs_arg $ trace_arg)
 
 (* --- tune ------------------------------------------------------------ *)
 
@@ -183,8 +201,9 @@ let log_arg =
 
 let tune_cmd =
   let doc = "Autotune an operation and report the winning schedule." in
-  let run name sizes trials seed dpus log verbose trace =
+  let run name sizes trials seed dpus jobs log verbose trace =
     setup_logging verbose;
+    apply_jobs jobs;
     with_trace trace @@ fun () ->
     let op = build_op name sizes in
     let config = machine dpus in
@@ -222,7 +241,7 @@ let tune_cmd =
     (Cmd.info "tune" ~doc)
     Term.(
       const run $ op_arg $ sizes_arg $ trials_arg $ seed_arg $ dpus_arg
-      $ log_arg $ verbose_arg $ trace_arg)
+      $ jobs_arg $ log_arg $ verbose_arg $ trace_arg)
 
 (* --- replay ---------------------------------------------------------- *)
 
@@ -305,8 +324,9 @@ let fuzz_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
   in
-  let run seed cases case no_shrink verbose trace =
+  let run seed cases case no_shrink jobs verbose trace =
     setup_logging verbose;
+    apply_jobs jobs;
     with_trace trace @@ fun () ->
     match case with
     | Some index -> (
@@ -331,7 +351,8 @@ let fuzz_cmd =
                 print_string (Imtp.Fuzz.report_failure index c f);
                 exit 1))
     | None ->
-        Format.printf "fuzzing: seed=%d cases=%d@." seed cases;
+        Format.printf "fuzzing: seed=%d cases=%d jobs=%d@." seed cases
+          (Imtp.Pool.default_jobs ());
         let progress i =
           if (i + 1) mod 100 = 0 then
             Format.printf "  ... %d/%d cases@.%!" (i + 1) cases
@@ -345,7 +366,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ fuzz_seed_arg $ cases_arg $ case_arg $ no_shrink_arg
-      $ verbose_arg $ trace_arg)
+      $ jobs_arg $ verbose_arg $ trace_arg)
 
 (* --- report ---------------------------------------------------------- *)
 

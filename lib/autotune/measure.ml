@@ -10,10 +10,14 @@ let noise_amplitude = Engine.noise_amplitude
 
 (* One engine per machine configuration, interned so independent
    Measure calls (benchmarks, grid searches) share builds.  Config.t is
-   a plain record, so structural hashing is well-defined. *)
+   a plain record, so structural hashing is well-defined.  The intern
+   table gets its own mutex: Measure may be called from pool worker
+   domains, and the engines themselves are already domain-safe. *)
 let engines : (Imtp_upmem.Config.t, Engine.t) Hashtbl.t = Hashtbl.create 4
+let engines_lock = Mutex.create ()
 
 let engine_for cfg =
+  Mutex.protect engines_lock @@ fun () ->
   match Hashtbl.find_opt engines cfg with
   | Some e -> e
   | None ->

@@ -74,14 +74,18 @@ let parent_pool strategy ~early population =
   end
   else take top_k sorted
 
-let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
+let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
     ?(use_cost_model = true) ?engine cfg op ~trials =
+  let jobs =
+    match jobs with Some j -> j | None -> Imtp_engine.Pool.default_jobs ()
+  in
   Obs.span ~name:"search.run"
     ~attrs:
       [
         ("op", Obs.Str op.Imtp_workload.Op.opname);
         ("trials", Obs.Int trials);
         ("seed", Obs.Int seed);
+        ("jobs", Obs.Int jobs);
       ]
   @@ fun () ->
   let t0 = Obs.now_s () in
@@ -195,7 +199,9 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?passes ?skip_inputs
       end
     in
     let candidates = List.init gen_size propose in
-    let results = Engine.batch engine ~rng ?passes ?skip_inputs op candidates in
+    let results =
+      Engine.batch engine ~jobs ~rng ?passes ?skip_inputs op candidates
+    in
     let offspring =
       List.mapi (fun i r -> consume ~trial:(!trial + i) r) results
       |> List.filter_map Fun.id

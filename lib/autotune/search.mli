@@ -59,6 +59,7 @@ type outcome = {
 val run :
   ?strategy:strategy ->
   ?seed:int ->
+  ?jobs:int ->
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
   ?use_cost_model:bool ->
@@ -67,11 +68,14 @@ val run :
   Imtp_workload.Op.t ->
   trials:int ->
   outcome
-(** Run [trials] measurements.  Deterministic for a given seed.
-    [use_cost_model] (default true) lets the learned cost model rank
-    candidate mutations before measurement; disabling it falls back to
-    unguided mutation (an ablation of Fig. 5's "evolutionary search
-    guided by a cost model").  [engine] (default: a fresh engine for
-    [cfg]) carries the build cache; pass a shared engine to reuse
-    builds across runs — the search still measures (and records) each
-    distinct candidate once per run. *)
+(** Run [trials] measurements.  Deterministic for a given seed at any
+    [jobs] value: generation batches go through {!Imtp_engine.Engine.batch},
+    whose results are independent of how many domains measure them.
+    [jobs] (default {!Imtp_engine.Pool.default_jobs}) bounds the worker
+    domains per generation batch.  [use_cost_model] (default true) lets
+    the learned cost model rank candidate mutations before measurement;
+    disabling it falls back to unguided mutation (an ablation of
+    Fig. 5's "evolutionary search guided by a cost model").  [engine]
+    (default: a fresh engine for [cfg]) carries the build cache; pass a
+    shared engine to reuse builds across runs — the search still
+    measures (and records) each distinct candidate once per run. *)

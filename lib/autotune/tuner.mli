@@ -16,6 +16,7 @@ type result = {
 val tune :
   ?strategy:Search.strategy ->
   ?seed:int ->
+  ?jobs:int ->
   ?trials:int ->
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
@@ -23,7 +24,9 @@ val tune :
   Imtp_upmem.Config.t ->
   Imtp_workload.Op.t ->
   (result, string) Result.t
-(** Defaults: IMTP strategy, 128 trials, a fresh engine.  [Error] only
+(** Defaults: IMTP strategy, 128 trials, a fresh engine, and
+    [Imtp_engine.Pool.default_jobs] worker domains per generation batch
+    ([jobs] — results are identical at any value).  [Error] only
     when no valid candidate was found at all.  A cache summary (hit
     rate, per-stage build times) is logged on the [imtp.engine] source
     when tuning finishes; pass a shared [engine] to reuse builds across

@@ -32,6 +32,7 @@ module Branch_hoist = Imtp_passes.Branch_hoist
 module Pass_metrics = Imtp_passes.Metrics
 module Obs = Imtp_obs.Obs
 module Engine = Imtp_engine.Engine
+module Pool = Imtp_engine.Pool
 module Rng = Imtp_autotune.Rng
 module Sketch = Imtp_autotune.Sketch
 module Verifier = Imtp_autotune.Verifier

@@ -62,6 +62,7 @@ module Obs = Imtp_obs.Obs
 
 (* Build/measure engine and autotuner *)
 module Engine = Imtp_engine.Engine
+module Pool = Imtp_engine.Pool
 module Rng = Imtp_autotune.Rng
 module Sketch = Imtp_autotune.Sketch
 module Verifier = Imtp_autotune.Verifier

@@ -47,6 +47,11 @@ type counters = {
 type t = {
   cfg : Imtp_upmem.Config.t;
   max_entries : int;
+  lock : Mutex.t;
+      (* Guards [artifacts], [lowerings] and [c].  Stage work (sketch,
+         lower, passes, verify, cost) always runs outside the lock, so
+         parallel builds only contend on table lookups and counter
+         bumps. *)
   artifacts : (string, (artifact, error) result) Hashtbl.t;
   lowerings : (string, (Imtp_tir.Program.t, error) result) Hashtbl.t;
   mutable c : counters;
@@ -71,19 +76,25 @@ let create ?(max_entries = 4096) cfg =
   {
     cfg;
     max_entries;
+    lock = Mutex.create ();
     artifacts = Hashtbl.create 256;
     lowerings = Hashtbl.create 64;
     c = zero_counters;
   }
 
 let config t = t.cfg
-let counters t = t.c
+let locked t f = Mutex.protect t.lock f
+
+(* A consistent snapshot: the counters record is immutable, so taking
+   the lock for the read means no torn view even while worker domains
+   are updating it. *)
+let counters t = locked t (fun () -> t.c)
 
 let hit_rate c =
   if c.lookups = 0 then 0. else float_of_int c.hits /. float_of_int c.lookups
 
 let log_summary t =
-  let c = t.c in
+  let c = counters t in
   Log.info (fun m ->
       m
         "cache: %d/%d hits (%.1f%%), %d built, %d failed, %d evictions; \
@@ -163,7 +174,9 @@ let timed t ~stage add f =
       let t0 = Sys.time () in
       let r = f () in
       let dt = Sys.time () -. t0 in
-      (match t with Some t -> t.c <- add t.c dt | None -> ());
+      (match t with
+      | Some t -> locked t (fun () -> t.c <- add t.c dt)
+      | None -> ());
       Obs.observe ("engine.stage." ^ stage ^ "_s") dt;
       r)
 
@@ -222,35 +235,39 @@ let optimize t ?(passes = Pl.all_on) prog =
 (* ------------------------------------------------------------------ *)
 
 let remember t table key result =
-  if Hashtbl.length t.artifacts + Hashtbl.length t.lowerings >= t.max_entries
-  then begin
-    Hashtbl.reset t.artifacts;
-    Hashtbl.reset t.lowerings;
-    t.c <- { t.c with evictions = t.c.evictions + 1 };
-    Obs.incr "engine.cache.evictions"
-  end;
-  Hashtbl.replace table key result;
-  (match result with
-  | Ok _ ->
-      t.c <- { t.c with built = t.c.built + 1 };
-      Obs.incr "engine.built"
-  | Error _ ->
-      t.c <- { t.c with failed = t.c.failed + 1 };
-      Obs.incr "engine.failed");
-  result
+  locked t (fun () ->
+      if
+        Hashtbl.length t.artifacts + Hashtbl.length t.lowerings
+        >= t.max_entries
+      then begin
+        Hashtbl.reset t.artifacts;
+        Hashtbl.reset t.lowerings;
+        t.c <- { t.c with evictions = t.c.evictions + 1 };
+        Obs.incr "engine.cache.evictions"
+      end;
+      Hashtbl.replace table key result;
+      (match result with
+      | Ok _ ->
+          t.c <- { t.c with built = t.c.built + 1 };
+          Obs.incr "engine.built"
+      | Error _ ->
+          t.c <- { t.c with failed = t.c.failed + 1 };
+          Obs.incr "engine.failed");
+      result)
 
 let lookup t table key =
-  t.c <- { t.c with lookups = t.c.lookups + 1 };
-  Obs.incr "engine.cache.lookups";
-  match Hashtbl.find_opt table key with
-  | Some r ->
-      t.c <- { t.c with hits = t.c.hits + 1 };
-      Obs.incr "engine.cache.hits";
-      Some r
-  | None ->
-      t.c <- { t.c with misses = t.c.misses + 1 };
-      Obs.incr "engine.cache.misses";
-      None
+  locked t (fun () ->
+      t.c <- { t.c with lookups = t.c.lookups + 1 };
+      Obs.incr "engine.cache.lookups";
+      match Hashtbl.find_opt table key with
+      | Some r ->
+          t.c <- { t.c with hits = t.c.hits + 1 };
+          Obs.incr "engine.cache.hits";
+          Some r
+      | None ->
+          t.c <- { t.c with misses = t.c.misses + 1 };
+          Obs.incr "engine.cache.misses";
+          None)
 
 let ( let* ) = Result.bind
 
@@ -303,26 +320,134 @@ let measure t ?rng ?passes ?skip_inputs ?verify op params =
       in
       Ok { artifact; latency_s; from_cache }
 
-let batch t ?rng ?passes ?skip_inputs ?verify op candidates =
-  let c0 = t.c in
+(* How each batch slot will be satisfied, decided up front in list
+   order so the hit/miss ledger and [from_cache] flags are the same no
+   matter how many domains then race on the builds:
+   - [Cached r]: the key was already in the table when the batch
+     started; its result is captured at classification time so a
+     mid-batch eviction can't change the answer.
+   - [Build]: first occurrence of an uncached key; this slot does the
+     work.
+   - [Dup i]: later occurrence of slot [i]'s key; reported as a cache
+     hit (as the sequential walk would) and filled from slot [i]'s
+     result rather than the table, again to be eviction-proof. *)
+type plan = Cached of (artifact, error) result | Build | Dup of int
+
+let batch t ?jobs ?rng ?passes ?skip_inputs ?verify op candidates =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let passes = Option.value passes ~default:Pl.all_on in
+  let verify = Option.value verify ~default:true in
+  let n = List.length candidates in
+  (* One draw per batch: the caller's rng advances identically whatever
+     [jobs] is, and candidate [i]'s noise comes from its own stream. *)
+  let base = Option.map Rng.bits rng in
+  let c0 = counters t in
   let results =
     Obs.span ~name:"engine.batch"
       ~attrs:
         [
           ("op", Obs.Str op.Op.opname);
-          ("size", Obs.Int (List.length candidates));
+          ("size", Obs.Int n);
+          ("jobs", Obs.Int jobs);
         ]
       (fun () ->
+        let parent = Obs.current_span_id () in
+        let cands = Array.of_list candidates in
+        let keys =
+          Array.map (fun p -> fingerprint ~passes ?skip_inputs ~verify op p) cands
+        in
+        let plan =
+          locked t (fun () ->
+              let first = Hashtbl.create (max 16 n) in
+              Array.mapi
+                (fun i key ->
+                  t.c <- { t.c with lookups = t.c.lookups + 1 };
+                  match Hashtbl.find_opt t.artifacts key with
+                  | Some r ->
+                      t.c <- { t.c with hits = t.c.hits + 1 };
+                      Cached r
+                  | None -> (
+                      match Hashtbl.find_opt first key with
+                      | Some i0 ->
+                          t.c <- { t.c with hits = t.c.hits + 1 };
+                          Dup i0
+                      | None ->
+                          Hashtbl.add first key i;
+                          t.c <- { t.c with misses = t.c.misses + 1 };
+                          Build))
+                keys)
+        in
+        let hits =
+          Array.fold_left
+            (fun a -> function Cached _ | Dup _ -> a + 1 | Build -> a)
+            0 plan
+        in
+        let builds = n - hits in
+        if n > 0 then Obs.incr ~by:n "engine.cache.lookups";
+        if hits > 0 then Obs.incr ~by:hits "engine.cache.hits";
+        if builds > 0 then Obs.incr ~by:builds "engine.cache.misses";
+        let built : (artifact, error) result option array = Array.make n None in
+        let run i =
+          match plan.(i) with
+          | Cached _ | Dup _ -> ()
+          | Build ->
+              Obs.with_ambient_parent parent (fun () ->
+                  Obs.span ~name:"engine.build"
+                    ~attrs:[ ("op", Obs.Str op.Op.opname) ]
+                    (fun () ->
+                      let p = cands.(i) in
+                      let options = candidate_options ?skip_inputs p in
+                      let r =
+                        build_uncached t ~passes ~options ~verify ~key:keys.(i)
+                          op p
+                      in
+                      let r = remember t t.artifacts keys.(i) r in
+                      Obs.add_attr "hit" (Obs.Bool false);
+                      Obs.add_attr "ok" (Obs.Bool (Result.is_ok r));
+                      built.(i) <- Some r))
+        in
+        let (_ : unit array), util = Pool.map_stats ~jobs run n in
+        let result_of i =
+          match plan.(i) with
+          | Cached r -> (r, true)
+          | Build -> (Option.get built.(i), false)
+          | Dup i0 -> (Option.get built.(i0), true)
+        in
         let results =
-          List.map
-            (fun p -> (p, measure t ?rng ?passes ?skip_inputs ?verify op p))
+          List.mapi
+            (fun i p ->
+              let m =
+                match result_of i with
+                | Error e, _ -> Error e
+                | Ok artifact, from_cache ->
+                    let base_l = Stats.total_s artifact.stats in
+                    let latency_s =
+                      match base with
+                      | None -> base_l
+                      | Some b ->
+                          let r = Rng.stream ~base:b ~index:i in
+                          base_l
+                          *. (1.
+                             +. noise_amplitude *. ((2. *. Rng.float r 1.) -. 1.)
+                             )
+                    in
+                    Ok { artifact; latency_s; from_cache }
+              in
+              (p, m))
             candidates
         in
-        Obs.add_attr "hits" (Obs.Int (t.c.hits - c0.hits));
-        Obs.add_attr "misses" (Obs.Int (t.c.misses - c0.misses));
+        Obs.add_attr "hits" (Obs.Int hits);
+        Obs.add_attr "misses" (Obs.Int builds);
+        Obs.add_attr "domains_used" (Obs.Int (Array.length util));
+        Obs.add_attr "utilization"
+          (Obs.Str
+             (String.concat ","
+                (Array.to_list util
+                |> List.map (fun (tasks, busy) ->
+                       Printf.sprintf "%d:%.4fs" tasks busy))));
         results)
   in
-  let c1 = t.c in
+  let c1 = counters t in
   Log.debug (fun m ->
       m
         "batch of %d: %d hits, %d misses (run total %d/%d, %.1f%%); stage \

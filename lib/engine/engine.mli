@@ -14,7 +14,28 @@
     so repeated candidates (common under mutation-based evolutionary
     search) are served from cache instead of being re-lowered and
     re-costed.  Failures are typed (and cached too, so a re-proposed
-    invalid candidate is rejected without recompilation). *)
+    invalid candidate is rejected without recompilation).
+
+    {2 Thread safety and parallel batches}
+
+    An engine is domain-safe: one mutex guards the memo tables and the
+    counters, and all stage work runs outside it, so {!batch} can
+    dispatch candidates across a {!Pool} of worker domains
+    ([?jobs], default {!Pool.default_jobs}).  Parallelism never changes
+    answers: a batch classifies every slot up front (cache hit,
+    first build of a key, or duplicate of an earlier slot), draws one
+    value from the caller's [rng] and gives candidate [i] the
+    derived stream [Rng.stream ~base ~index:i], so results, order,
+    latencies, [from_cache] flags and the integer counters are
+    identical at any job count — [~jobs:1] runs the same classified
+    path inline on the calling domain with no domains spun up.  The
+    only caveat: a duplicate slot reads its builder's result directly,
+    so if an eviction fires {e mid-batch} (a batch of distinct new keys
+    larger than the remaining [max_entries] headroom) the sequential
+    walk could in principle rebuild where the parallel one reuses —
+    same values either way, it is only the [from_cache]/counter ledger
+    that is defined by the classified contract rather than the table's
+    transient state. *)
 
 (** Why a candidate failed to build, stage by stage. *)
 type error =
@@ -70,7 +91,10 @@ val create : ?max_entries:int -> Imtp_upmem.Config.t -> t
     the table is reset (counted in [evictions]) rather than grown. *)
 
 val config : t -> Imtp_upmem.Config.t
+
 val counters : t -> counters
+(** A consistent snapshot, taken under the engine lock — safe to diff
+    against a later snapshot even while worker domains are updating. *)
 
 val hit_rate : counters -> float
 (** [hits / lookups], 0 when no lookups. *)
@@ -167,6 +191,7 @@ val measure :
 
 val batch :
   t ->
+  ?jobs:int ->
   ?rng:Rng.t ->
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
@@ -174,9 +199,16 @@ val batch :
   Imtp_workload.Op.t ->
   Sketch.params list ->
   (Sketch.params * (measurement, error) result) list
-(** Measure a whole generation in order, then report the batch's cache
-    hits/misses and per-stage build times through {!Logs} (debug level
-    on the [imtp.engine] source). *)
+(** Measure a whole generation, dispatching uncached builds across up
+    to [jobs] domains (default {!Pool.default_jobs}; [~jobs:1] stays on
+    the calling domain), then report the batch's cache hits/misses and
+    per-stage build times through {!Logs} (debug level on the
+    [imtp.engine] source).  Results keep candidate order and are
+    bit-identical at any job count; with an [rng], exactly one value is
+    drawn from it per call and candidate [i]'s ±2 % noise comes from
+    [Rng.stream ~base ~index:i] (see the determinism contract above).
+    The [engine.batch] span records [jobs], [domains_used] and a
+    per-domain [utilization] breakdown. *)
 
 val lower_keyed :
   t ->

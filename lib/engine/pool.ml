@@ -1,0 +1,204 @@
+(* A persistent domain pool for embarrassingly-parallel candidate
+   work.  One process-global pool is grown lazily to the largest job
+   count ever requested; each [map] gates how many workers may
+   participate, so [~jobs:2] uses exactly two domains even when the
+   pool holds more.  Tasks are claimed from an atomic counter (work
+   stealing at task granularity), the submitting domain participates
+   as the first worker, and idle workers block on a condition variable
+   — no spinning. *)
+
+module Obs = Imtp_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Job sizing                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let max_jobs = 64
+let clamp n = max 1 (min max_jobs n)
+let recommended () = clamp (Domain.recommended_domain_count ())
+
+let env_jobs () =
+  match Sys.getenv_opt "IMTP_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (clamp n)
+      | Some _ | None -> None)
+
+let override : int option Atomic.t = Atomic.make None
+let set_default_jobs n = Atomic.set override (Some (clamp n))
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> ( match env_jobs () with Some n -> n | None -> recommended ())
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  gen : int;  (** generation number; a worker runs each job once. *)
+  run : int -> unit;  (** task body; must not raise. *)
+  total : int;
+  next : int Atomic.t;  (** next unclaimed task index. *)
+  tickets : int Atomic.t;  (** worker participation slots left. *)
+  mutable completed : int;  (** tasks finished (under the pool mutex). *)
+  mutable stats : (int * float) list;
+      (** per-participant (tasks, busy seconds), newest first. *)
+}
+
+type pool = {
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable gen : int;
+  mutable domains : unit Domain.t list;
+  mutable shutting_down : bool;
+}
+
+(* Pulled tasks until the queue is dry, then report the participant's
+   tally; the last participant to report completes the job. *)
+let participate pool j =
+  let t0 = Obs.now_s () in
+  let count = ref 0 in
+  let rec loop () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.total then begin
+      j.run i;
+      incr count;
+      loop ()
+    end
+  in
+  loop ();
+  let busy = Obs.now_s () -. t0 in
+  Mutex.lock pool.m;
+  if !count > 0 then j.stats <- (!count, busy) :: j.stats;
+  j.completed <- j.completed + !count;
+  if j.completed >= j.total then Condition.broadcast pool.work_done;
+  Mutex.unlock pool.m
+
+let rec worker pool last_gen =
+  Mutex.lock pool.m;
+  let rec await () =
+    if pool.shutting_down then None
+    else
+      match pool.job with
+      | Some j when j.gen <> last_gen -> Some j
+      | Some _ | None ->
+          Condition.wait pool.work_ready pool.m;
+          await ()
+  in
+  let j = await () in
+  Mutex.unlock pool.m;
+  match j with
+  | None -> ()
+  | Some j ->
+      if Atomic.fetch_and_add j.tickets (-1) > 0 then participate pool j;
+      worker pool j.gen
+
+let the_pool =
+  lazy
+    (let pool =
+       {
+         m = Mutex.create ();
+         work_ready = Condition.create ();
+         work_done = Condition.create ();
+         job = None;
+         gen = 0;
+         domains = [];
+         shutting_down = false;
+       }
+     in
+     at_exit (fun () ->
+         Mutex.lock pool.m;
+         pool.shutting_down <- true;
+         Condition.broadcast pool.work_ready;
+         Mutex.unlock pool.m;
+         List.iter Domain.join pool.domains);
+     pool)
+
+(* Serializes submissions: one job in flight at a time.  Held while
+   spawning workers too, so [domains] needs no separate guard. *)
+let submit_m = Mutex.create ()
+
+let ensure_workers pool n =
+  while List.length pool.domains < n do
+    pool.domains <- Domain.spawn (fun () -> worker pool 0) :: pool.domains
+  done
+
+(* A task that itself maps (nested parallelism) falls back to inline
+   execution: the pool's workers are already busy with the outer job,
+   and a second in-flight job would deadlock the submission path. *)
+let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let with_in_task f =
+  let r = Domain.DLS.get in_task in
+  let saved = !r in
+  r := true;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let unwrap = function Some v -> v | None -> assert false
+
+let inline_map f n =
+  let results = Array.make n None in
+  let t0 = Obs.now_s () in
+  for i = 0 to n - 1 do
+    results.(i) <- Some (f i)
+  done;
+  (Array.map unwrap results, [| (n, Obs.now_s () -. t0) |])
+
+let map_stats ~jobs f n =
+  if n = 0 then ([||], [||])
+  else
+    let jobs = clamp (min jobs n) in
+    if jobs = 1 || !(Domain.DLS.get in_task) then inline_map f n
+    else
+      Mutex.protect submit_m @@ fun () ->
+      let pool = Lazy.force the_pool in
+      ensure_workers pool (jobs - 1);
+      let results = Array.make n None in
+      let first_error = ref None in
+      let body i =
+        match f i with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock pool.m;
+            (match !first_error with
+            | Some (i0, _, _) when i0 < i -> ()
+            | Some _ | None -> first_error := Some (i, e, bt));
+            Mutex.unlock pool.m
+      in
+      let run i = with_in_task (fun () -> body i) in
+      Mutex.lock pool.m;
+      pool.gen <- pool.gen + 1;
+      let j =
+        {
+          gen = pool.gen;
+          run;
+          total = n;
+          next = Atomic.make 0;
+          tickets = Atomic.make (jobs - 1);
+          completed = 0;
+          stats = [];
+        }
+      in
+      pool.job <- Some j;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.m;
+      participate pool j;
+      Mutex.lock pool.m;
+      while j.completed < j.total do
+        Condition.wait pool.work_done pool.m
+      done;
+      pool.job <- None;
+      let stats = List.rev j.stats in
+      Mutex.unlock pool.m;
+      (match !first_error with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      (Array.map unwrap results, Array.of_list stats)
+
+let map ~jobs f n = fst (map_stats ~jobs f n)

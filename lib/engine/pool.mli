@@ -1,0 +1,36 @@
+(** A persistent [Domain]-based worker pool for parallel candidate
+    evaluation.
+
+    One process-global pool is created lazily on the first parallel
+    {!map} and grown to the largest job count ever requested; worker
+    domains park on a condition variable between jobs, and an [at_exit]
+    hook shuts them down so the process never hangs on live domains.
+    Each call gates participation to [jobs] domains (the submitting
+    domain counts as one), so [~jobs:2] uses exactly two even when the
+    pool holds more.  Submissions are serialized — one job in flight at
+    a time — and a task that itself calls {!map} runs the nested map
+    inline on its own domain rather than deadlocking the pool. *)
+
+val default_jobs : unit -> int
+(** The effective job count when a caller doesn't pass one explicitly:
+    the {!set_default_jobs} override if set, else a positive integer
+    [IMTP_JOBS] from the environment, else
+    [Domain.recommended_domain_count ()]; always clamped to [1, 64]. *)
+
+val set_default_jobs : int -> unit
+(** Override {!default_jobs} for the rest of the process (the CLI's
+    [-j]/[--jobs] flag).  Clamped to [1, 64]. *)
+
+val map : jobs:int -> (int -> 'a) -> int -> 'a array
+(** [map ~jobs f n] computes [[| f 0; ...; f (n-1) |]] with up to
+    [jobs] domains claiming task indices from a shared atomic counter.
+    [~jobs:1] (or a nested call from inside a pool task) runs the plain
+    sequential loop on the calling domain — no domains are spun up.
+    If any [f i] raises, the exception from the smallest such index is
+    re-raised after all claimed tasks finish; [f] must be domain-safe
+    when [jobs > 1]. *)
+
+val map_stats : jobs:int -> (int -> 'a) -> int -> 'a array * (int * float) array
+(** Like {!map}, also returning one [(tasks_run, busy_seconds)] entry
+    per domain that ran at least one task — the raw material for
+    utilization telemetry. *)

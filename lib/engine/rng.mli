@@ -21,3 +21,15 @@ val bool : t -> bool
 
 val split : t -> t
 (** Derive an independent child source. *)
+
+val bits : t -> int
+(** Draw 30 uniformly random bits, advancing the state — the seed
+    material for {!stream}. *)
+
+val stream : base:int -> index:int -> t
+(** The [index]-th substream of a base seed: a deterministic function
+    of [(base, index)] alone, independent of how many other streams
+    were derived.  {!Engine.batch} draws one {!bits} value per batch
+    and gives candidate [i] the stream [~base ~index:i], so
+    per-candidate measurement noise is identical whether the batch runs
+    on one domain or many. *)

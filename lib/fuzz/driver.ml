@@ -85,38 +85,47 @@ let case_of_seed ~seed ~index =
   in
   go 0
 
-let run ?(progress = fun _ -> ()) ?(shrink = true) ~seed ~cases () =
+let run ?jobs ?(progress = fun _ -> ()) ?(shrink = true) ~seed ~cases () =
   let module Engine = Imtp_engine.Engine in
+  let module Pool = Imtp_engine.Pool in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   Obs.span ~name:"fuzz.campaign"
-    ~attrs:[ ("seed", Obs.Int seed); ("cases", Obs.Int cases) ]
+    ~attrs:
+      [
+        ("seed", Obs.Int seed);
+        ("cases", Obs.Int cases);
+        ("jobs", Obs.Int jobs);
+      ]
   @@ fun () ->
   let t0 = Obs.now_s () in
   let c0 = Engine.counters Oracle.engine in
   let cases = max 0 cases in
-  let rejected = ref 0 in
-  let configs_checked = ref 0 in
-  let coverage = ref no_coverage in
-  let failures = ref [] in
-  for index = 0 to cases - 1 do
-    (* Redraw on rejection; if every redraw is rejected the last draw
-       still counts as one (rejected) checked case so campaigns always
-       finish. *)
-    let rec attempt_loop attempt =
+  let parent = Obs.current_span_id () in
+  let progress_lock = Mutex.create () in
+  (* Each case is fully determined by (seed, index) — redraws included —
+     so cases check independently on worker domains and the fold below
+     reassembles them in index order.  Redraw on rejection; if every
+     redraw is rejected the last draw still counts as one (rejected)
+     checked case so campaigns always finish.  Shrinking a failure runs
+     entirely on the domain that found it. *)
+  let check_case index =
+    Obs.with_ambient_parent parent @@ fun () ->
+    Obs.span ~name:"fuzz.case" ~attrs:[ ("index", Obs.Int index) ]
+    @@ fun () ->
+    let rec attempt_loop attempt rejects =
       let case = draw ~seed ~index ~attempt in
       match Oracle.check case with
       | Oracle.Rejected _ when attempt + 1 < max_redraws ->
-          incr rejected;
           Obs.incr "fuzz.rejected_draws";
-          attempt_loop (attempt + 1)
+          attempt_loop (attempt + 1) (rejects + 1)
       | Oracle.Rejected _ ->
-          incr rejected;
-          Obs.incr "fuzz.rejected_draws"
+          Obs.incr "fuzz.rejected_draws";
+          (rejects + 1, `Gave_up)
       | Oracle.Passed { configs_checked = n } ->
-          configs_checked := !configs_checked + n;
           Obs.incr ~by:n "fuzz.configs_checked";
           let op = Gen_workload.op case.Oracle.workload in
           let _, surviving = Gen_sched.replay op case.Oracle.steps in
-          coverage := add_coverage !coverage surviving
+          (rejects, `Passed (n, surviving))
       | Oracle.Failed _ ->
           Obs.incr "fuzz.failures";
           let min_case = if shrink then Shrink.minimize case else case in
@@ -130,13 +139,29 @@ let run ?(progress = fun _ -> ()) ?(shrink = true) ~seed ~cases () =
                 | Oracle.Failed f -> f
                 | _ -> assert false)
           in
-          failures := (index, min_case, failure) :: !failures
+          (rejects, `Failed (min_case, failure))
     in
-    Obs.span ~name:"fuzz.case" ~attrs:[ ("index", Obs.Int index) ] (fun () ->
-        attempt_loop 0);
+    let r = attempt_loop 0 0 in
     Obs.incr "fuzz.cases";
-    progress index
-  done;
+    Mutex.protect progress_lock (fun () -> progress index);
+    r
+  in
+  let results = Pool.map ~jobs check_case cases in
+  let rejected = ref 0 in
+  let configs_checked = ref 0 in
+  let coverage = ref no_coverage in
+  let failures = ref [] in
+  Array.iteri
+    (fun index (rejects, out) ->
+      rejected := !rejected + rejects;
+      match out with
+      | `Gave_up -> ()
+      | `Passed (n, surviving) ->
+          configs_checked := !configs_checked + n;
+          coverage := add_coverage !coverage surviving
+      | `Failed (min_case, failure) ->
+          failures := (index, min_case, failure) :: !failures)
+    results;
   let elapsed_s = Obs.now_s () -. t0 in
   if elapsed_s > 0. then
     Obs.set_gauge "fuzz.cases_per_s" (float_of_int cases /. elapsed_s);

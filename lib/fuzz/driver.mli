@@ -39,11 +39,23 @@ val case_of_seed : seed:int -> index:int -> Oracle.case option
     rejected. *)
 
 val run :
-  ?progress:(int -> unit) -> ?shrink:bool -> seed:int -> cases:int -> unit ->
+  ?jobs:int ->
+  ?progress:(int -> unit) ->
+  ?shrink:bool ->
+  seed:int ->
+  cases:int ->
+  unit ->
   outcome
-(** Run a campaign of [cases] checked cases.  [progress] is called with
-    each finished case index.  Failing cases are minimized with
-    {!Shrink.minimize} unless [shrink] is [false]. *)
+(** Run a campaign of [cases] checked cases, distributed over up to
+    [jobs] worker domains (default {!Imtp_engine.Pool.default_jobs});
+    every case is fully determined by [(seed, index)], so failures,
+    coverage and counts are identical at any job count — only
+    [cache_hits]/[cache_lookups], which report the shared oracle
+    engine's counter deltas, can in principle vary if concurrent cases
+    race on one key.  [progress] is called with each finished case
+    index (serialized, but not necessarily in index order when
+    [jobs > 1]).  Failing cases are minimized with {!Shrink.minimize}
+    unless [shrink] is [false]. *)
 
 val report_failure : int -> Oracle.case -> Oracle.failure -> string
 (** A self-contained reproducer: case seed and index, workload,

@@ -233,12 +233,16 @@ end
 (* Clock                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let epoch = ref Float.nan
+(* [float option] rather than a NaN sentinel: compare-and-set on [None]
+   (an immediate) is well-defined, whereas physical equality of boxed
+   floats is not. *)
+let epoch : float option Atomic.t = Atomic.make None
 
 let now_s () =
   let t = Unix.gettimeofday () in
-  if Float.is_nan !epoch then epoch := t;
-  t -. !epoch
+  if Atomic.get epoch = None then
+    ignore (Atomic.compare_and_set epoch None (Some t));
+  match Atomic.get epoch with Some e -> t -. e | None -> 0.
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -261,28 +265,59 @@ type open_span = {
   mutable o_attrs : (string * value) list;  (* reversed *)
 }
 
-let next_id = ref 0
-let stack : open_span list ref = ref []
+let next_id = Atomic.make 0
 
-(* Bounded ring of finished spans. *)
+(* Every domain has its own stack of open spans (domain-local storage),
+   so span nesting is tracked per domain without synchronization.  A
+   worker domain running a task on behalf of an enclosing span (e.g. an
+   engine batch dispatching builds across a pool) inherits that span as
+   its "ambient parent": the task's outermost spans are parented to it,
+   keeping traces from parallel batches well-nested. *)
+let stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let ambient_key : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let stack () = Domain.DLS.get stack_key
+let ambient () = Domain.DLS.get ambient_key
+
+(* One lock guards everything cross-domain: the span ring, the trace
+   sink, and the metrics registry.  Sections under the lock are short
+   (no user code, no I/O beyond one sink line), so contention stays
+   negligible next to the instrumented work. *)
+let state_lock = Mutex.create ()
+let locked f = Mutex.protect state_lock f
+
+let current_span_id () =
+  match !(stack ()) with o :: _ -> Some o.o_id | [] -> !(ambient ())
+
+let with_ambient_parent parent f =
+  let r = ambient () in
+  let saved = !r in
+  r := parent;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+(* Bounded ring of finished spans (under [state_lock]). *)
 let ring_capacity = ref 8192
 let ring : span option array ref = ref (Array.make !ring_capacity None)
 let ring_next = ref 0
 let ring_count = ref 0
 
 let set_ring_capacity c =
-  let c = max 1 c in
-  ring_capacity := c;
-  ring := Array.make c None;
-  ring_next := 0;
-  ring_count := 0
+  locked (fun () ->
+      let c = max 1 c in
+      ring_capacity := c;
+      ring := Array.make c None;
+      ring_next := 0;
+      ring_count := 0)
 
 let ring_push s =
   !ring.(!ring_next) <- Some s;
   ring_next := (!ring_next + 1) mod !ring_capacity;
   if !ring_count < !ring_capacity then incr ring_count
 
-let ring_spans () =
+let ring_spans_locked () =
   let cap = !ring_capacity in
   let first = (!ring_next - !ring_count + cap) mod cap in
   List.init !ring_count (fun i ->
@@ -291,11 +326,13 @@ let ring_spans () =
       | None -> assert false)
 
 (* Sink plumbing is defined below but spans need to write to it; a
-   forward reference keeps the file in reading order. *)
+   forward reference keeps the file in reading order.  Written and
+   called under [state_lock]. *)
 let sink_write : (span -> unit) ref = ref (fun _ -> ())
 
 let finish_span o =
   let dur = now_s () -. o.o_start in
+  let stack = stack () in
   (match !stack with
   | top :: rest when top == o -> stack := rest
   | _ ->
@@ -316,13 +353,16 @@ let finish_span o =
       attrs = List.rev o.o_attrs;
     }
   in
-  ring_push s;
-  !sink_write s
+  locked (fun () ->
+      ring_push s;
+      !sink_write s)
 
 let span ?(attrs = []) ~name f =
-  let id = !next_id in
-  incr next_id;
-  let parent = match !stack with [] -> None | o :: _ -> Some o.o_id in
+  let id = Atomic.fetch_and_add next_id 1 in
+  let stack = stack () in
+  let parent =
+    match !stack with o :: _ -> Some o.o_id | [] -> !(ambient ())
+  in
   let o =
     {
       o_id = id;
@@ -342,7 +382,7 @@ let span ?(attrs = []) ~name f =
       raise e
 
 let add_attr k v =
-  match !stack with
+  match !(stack ()) with
   | [] -> ()
   | o :: _ -> o.o_attrs <- (k, v) :: o.o_attrs
 
@@ -394,46 +434,51 @@ type hist_state = {
 let histograms : (string, hist_state) Hashtbl.t = Hashtbl.create 16
 
 let incr_counter ?(by = 1) name =
-  match Hashtbl.find_opt counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add counters name (ref by)
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add counters name (ref by))
 
 let incr = incr_counter
 
 let counter_value name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
 
 let set_gauge name v =
-  match Hashtbl.find_opt gauges name with
-  | Some r -> r := v
-  | None -> Hashtbl.add gauges name (ref v)
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.add gauges name (ref v))
 
 let gauge_value name =
-  Option.map (fun r -> !r) (Hashtbl.find_opt gauges name)
+  locked (fun () ->
+      Option.map (fun r -> !r) (Hashtbl.find_opt gauges name))
 
 let observe name v =
-  let h =
-    match Hashtbl.find_opt histograms name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            h_count = 0;
-            h_sum = 0.;
-            h_min = infinity;
-            h_max = neg_infinity;
-            h_buckets = Array.make bucket_count 0;
-          }
-        in
-        Hashtbl.add histograms name h;
-        h
-  in
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  let i = bucket_index v in
-  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  locked (fun () ->
+      let h =
+        match Hashtbl.find_opt histograms name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                h_count = 0;
+                h_sum = 0.;
+                h_min = infinity;
+                h_max = neg_infinity;
+                h_buckets = Array.make bucket_count 0;
+              }
+            in
+            Hashtbl.add histograms name h;
+            h
+      in
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let i = bucket_index v in
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1)
 
 type hist = {
   count : int;
@@ -617,7 +662,8 @@ let event_of_json j =
       Ok (Histogram (name, { count; sum; vmin; vmax; buckets }))
   | t -> Error (Printf.sprintf "unknown event type %s" t)
 
-let metric_events () =
+(* Assumes [state_lock] is held (callers: [snapshot], [close_sink]). *)
+let metric_events_locked () =
   let sorted tbl mk =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -628,7 +674,8 @@ let metric_events () =
   @ sorted histograms (fun (name, h) -> Histogram (name, hist_of_state h))
 
 let snapshot () =
-  List.map (fun s -> Span s) (ring_spans ()) @ metric_events ()
+  locked (fun () ->
+      List.map (fun s -> Span s) (ring_spans_locked ()) @ metric_events_locked ())
 
 let to_jsonl events =
   String.concat ""
@@ -668,22 +715,24 @@ let load_jsonl path =
 let sink : out_channel option ref = ref None
 
 let close_sink () =
-  match !sink with
-  | None -> ()
-  | Some oc ->
-      sink := None;
-      sink_write := (fun _ -> ());
-      List.iter
-        (fun e -> output_string oc (Json.to_string (event_to_json e) ^ "\n"))
-        (metric_events ());
-      close_out oc
+  locked (fun () ->
+      match !sink with
+      | None -> ()
+      | Some oc ->
+          sink := None;
+          sink_write := (fun _ -> ());
+          List.iter
+            (fun e -> output_string oc (Json.to_string (event_to_json e) ^ "\n"))
+            (metric_events_locked ());
+          close_out oc)
 
 let set_sink path =
   close_sink ();
-  let oc = open_out path in
-  sink := Some oc;
-  sink_write :=
-    fun s -> output_string oc (Json.to_string (event_to_json (Span s)) ^ "\n")
+  locked (fun () ->
+      let oc = open_out path in
+      sink := Some oc;
+      sink_write :=
+        fun s -> output_string oc (Json.to_string (event_to_json (Span s)) ^ "\n"))
 
 let with_sink path f =
   match path with
@@ -812,10 +861,12 @@ let folded events =
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  stack := [];
-  ring := Array.make !ring_capacity None;
-  ring_next := 0;
-  ring_count := 0;
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset histograms
+  stack () := [];
+  ambient () := None;
+  locked (fun () ->
+      ring := Array.make !ring_capacity None;
+      ring_next := 0;
+      ring_count := 0;
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset histograms)

@@ -20,12 +20,24 @@
     stable contract documented in DESIGN.md ("Observability"); tooling
     may rely on them across versions.
 
-    Everything here is deliberately simple: single-threaded, no
-    external dependencies beyond [unix], and instrumentation never
-    changes the instrumented computation — building an artifact under
-    an active trace yields the same key, schedule, programs (up to the
-    run-unique variable identifiers) and stats as building it with
-    observability reset (property-tested in [test/test_obs.ml]). *)
+    Everything here is deliberately simple: no external dependencies
+    beyond [unix], and instrumentation never changes the instrumented
+    computation — building an artifact under an active trace yields
+    the same key, schedule, programs (up to the run-unique variable
+    identifiers) and stats as building it with observability reset
+    (property-tested in [test/test_obs.ml]).
+
+    {b Thread safety.}  The module is safe to use from multiple
+    domains concurrently: span identifiers are allocated atomically,
+    each domain tracks its own stack of open spans (so {!span} nesting
+    and {!add_attr} are race-free per domain), and the finished-span
+    ring, the trace sink and the metrics registry are guarded by one
+    internal mutex.  Spans opened on a worker domain are parented to
+    the domain's innermost open span, or — when the worker runs a task
+    on behalf of a span open elsewhere (see {!with_ambient_parent}) —
+    to that ambient span, so traces from parallel batches remain
+    well-nested.  Metric updates ({!incr}, {!observe}, {!set_gauge})
+    are atomic with respect to each other and to {!snapshot}. *)
 
 (** {1 Attribute values} *)
 
@@ -74,13 +86,29 @@ type span = {
 
 val span : ?attrs:(string * value) list -> name:string -> (unit -> 'a) -> 'a
 (** [span ~name f] times [f ()] as a span named [name], parented to
-    the innermost span currently open on this (single) thread.  The
-    span is recorded — ring buffer, and sink if one is set — whether
-    [f] returns or raises. *)
+    the innermost span currently open on the calling domain (falling
+    back to the domain's ambient parent, see {!with_ambient_parent}).
+    The span is recorded — ring buffer, and sink if one is set —
+    whether [f] returns or raises. *)
 
 val add_attr : string -> value -> unit
-(** Attach an attribute to the innermost open span (no-op outside any
-    span) — for values only known mid-flight, e.g. a cache-hit flag. *)
+(** Attach an attribute to the calling domain's innermost open span
+    (no-op outside any span) — for values only known mid-flight, e.g.
+    a cache-hit flag. *)
+
+val current_span_id : unit -> int option
+(** The id of the calling domain's innermost open span (or its ambient
+    parent when none is open) — capture this before dispatching work to
+    another domain and re-establish it there with
+    {!with_ambient_parent}. *)
+
+val with_ambient_parent : int option -> (unit -> 'a) -> 'a
+(** [with_ambient_parent parent f] runs [f] with the calling domain's
+    ambient parent set to [parent]: spans opened by [f] outside any
+    other open span are parented to it instead of being roots.  This is
+    how a worker-pool task keeps its spans nested under the span that
+    dispatched the batch.  The previous ambient parent is restored when
+    [f] returns or raises. *)
 
 val now_s : unit -> float
 (** Seconds since the process' first observation (wall clock) — the

@@ -1,10 +1,11 @@
 type t = { name : string; id : int }
 
-let counter = ref 0
+(* Atomic so candidates lowered on parallel worker domains still get
+   process-unique ids; a plain ref could hand the same id to two
+   variables of one program under a racy read-modify-write. *)
+let counter = Atomic.make 0
 
-let fresh name =
-  incr counter;
-  { name; id = !counter }
+let fresh name = { name; id = Atomic.fetch_and_add counter 1 + 1 }
 
 let name t = t.name
 let equal a b = a.id = b.id

@@ -117,6 +117,44 @@ let test_error_to_string_prefixes () =
 
 (* --- batched measurement ------------------------------------------- *)
 
+(* Run one batch on a fresh engine; return the results, the final
+   counters, and the next value the caller's rng would produce (to
+   check the rng advanced identically at any job count). *)
+let run_batch ~jobs ~noise_seed op candidates =
+  let e = E.create cfg in
+  let rng = Rng.create ~seed:noise_seed in
+  let results = E.batch e ~jobs ~rng op candidates in
+  (results, E.counters e, Rng.bits rng)
+
+let same_measurement a b =
+  match (a, b) with
+  | Ok m, Ok m' ->
+      Int64.equal
+        (Int64.bits_of_float m.E.latency_s)
+        (Int64.bits_of_float m'.E.latency_s)
+      && m.E.from_cache = m'.E.from_cache
+      && m.E.artifact.E.stats = m'.E.artifact.E.stats
+  | Error e, Error e' -> e = e'
+  | (Ok _ | Error _), _ -> false
+
+let same_int_counters a b =
+  a.E.lookups = b.E.lookups && a.E.hits = b.E.hits && a.E.misses = b.E.misses
+  && a.E.evictions = b.E.evictions
+  && a.E.built = b.E.built && a.E.failed = b.E.failed
+
+let check_jobs_equivalent ~noise_seed op candidates =
+  let r1, c1, next1 = run_batch ~jobs:1 ~noise_seed op candidates in
+  let r4, c4, next4 = run_batch ~jobs:4 ~noise_seed op candidates in
+  List.length r1 = List.length r4
+  && List.for_all2
+       (fun (p, a) (p', b) -> p = p' && same_measurement a b)
+       r1 r4
+  && same_int_counters c1 c4 && next1 = next4
+
+(* jobs:1 (inline, no domains) and jobs:4 (a domain pool) are one
+   contract: same results in candidate order, bit-identical noisy
+   latencies, same from_cache flags, same integer counters, and the
+   caller's rng advanced by exactly one draw either way. *)
 let test_batch_matches_sequential () =
   let op = Ops.mtv 64 128 in
   let candidates =
@@ -127,31 +165,77 @@ let test_batch_matches_sequential () =
       { small_params with Sk.cache_elems = 32 };
     ]
   in
-  let batch_e = E.create cfg in
-  let batched =
-    E.batch batch_e ~rng:(Rng.create ~seed:7) op candidates
-  in
-  let seq_e = E.create cfg in
-  let rng = Rng.create ~seed:7 in
-  let sequential =
-    List.map (fun p -> (p, E.measure seq_e ~rng op p)) candidates
-  in
-  Alcotest.(check int) "same length" (List.length sequential) (List.length batched);
+  let r1, c1, next1 = run_batch ~jobs:1 ~noise_seed:7 op candidates in
+  let r4, c4, next4 = run_batch ~jobs:4 ~noise_seed:7 op candidates in
+  Alcotest.(check int) "same length" (List.length r1) (List.length r4);
   List.iter2
-    (fun (pb, rb) (ps, rs) ->
-      Alcotest.(check bool) "same params order" true (pb = ps);
-      match (rb, rs) with
-      | Ok b, Ok s ->
-          Alcotest.(check (float 0.)) "same noisy latency" s.E.latency_s b.E.latency_s;
+    (fun (p1, a) (p4, b) ->
+      Alcotest.(check bool) "same params order" true (p1 = p4);
+      match (a, b) with
+      | Ok s, Ok m ->
+          Alcotest.(check (float 0.)) "same noisy latency" s.E.latency_s
+            m.E.latency_s;
+          Alcotest.(check bool) "same from_cache" s.E.from_cache m.E.from_cache;
           Alcotest.(check bool) "same stats" true
-            (b.E.artifact.E.stats = s.E.artifact.E.stats)
-      | Error b, Error s ->
-          Alcotest.(check string) "same error" (E.error_to_string s) (E.error_to_string b)
-      | _ -> Alcotest.fail "batch and sequential outcomes disagree")
-    batched sequential;
-  (* the duplicate candidate was served from cache in both modes *)
-  Alcotest.(check int) "batch cache hit" 1 (E.counters batch_e).E.hits;
-  Alcotest.(check int) "sequential cache hit" 1 (E.counters seq_e).E.hits
+            (s.E.artifact.E.stats = m.E.artifact.E.stats)
+      | Error a, Error b ->
+          Alcotest.(check string) "same error" (E.error_to_string a)
+            (E.error_to_string b)
+      | _ -> Alcotest.fail "jobs:1 and jobs:4 outcomes disagree")
+    r1 r4;
+  (* the duplicate candidate was served from cache at both job counts *)
+  Alcotest.(check int) "jobs:1 cache hit" 1 c1.E.hits;
+  Alcotest.(check int) "jobs:4 cache hit" 1 c4.E.hits;
+  Alcotest.(check int) "same lookups" c1.E.lookups c4.E.lookups;
+  Alcotest.(check int) "same built" c1.E.built c4.E.built;
+  Alcotest.(check bool) "rng advanced identically" true (next1 = next4)
+
+(* A batch on a warm shared engine is served entirely from cache, even
+   when the warm-up itself ran across domains. *)
+let test_parallel_warmup_serves_hits () =
+  let op = Ops.mtv 64 128 in
+  let e = E.create cfg in
+  let candidates =
+    List.init 8 (fun i -> { small_params with Sk.cache_elems = 8 * (i + 1) })
+  in
+  let first = E.batch e ~jobs:4 op candidates in
+  let built = (E.counters e).E.built and failed = (E.counters e).E.failed in
+  let second = E.batch e ~jobs:4 op candidates in
+  Alcotest.(check int) "no new builds" built (E.counters e).E.built;
+  Alcotest.(check int) "no new failures" failed (E.counters e).E.failed;
+  List.iter2
+    (fun (_, a) (_, b) ->
+      match (a, b) with
+      | Ok m, Ok m' ->
+          Alcotest.(check bool) "warm re-batch hits" true m'.E.from_cache;
+          Alcotest.(check bool) "identical stats" true
+            (m.E.artifact.E.stats = m'.E.artifact.E.stats)
+      | Error a, Error b ->
+          Alcotest.(check string) "same cached error" (E.error_to_string a)
+            (E.error_to_string b)
+      | _ -> Alcotest.fail "warm re-batch changed an outcome")
+    first second
+
+(* Property: for random operators, candidate lists (with forced
+   duplicates) and seeds, a parallel batch is indistinguishable from a
+   sequential one. *)
+let prop_batch_jobs_equivalent =
+  QCheck2.Test.make ~name:"batch ~jobs:4 equals ~jobs:1" ~count:25
+    QCheck2.Gen.(
+      tup4 (int_range 0 2) (int_range 0 10_000) (int_range 0 10_000)
+        (int_range 1 10))
+    (fun (which_op, cand_seed, noise_seed, n) ->
+      let op =
+        match which_op with
+        | 0 -> Ops.mtv 64 128
+        | 1 -> Ops.va 4096
+        | _ -> Ops.gemm 16 16 16
+      in
+      let rng = Rng.create ~seed:cand_seed in
+      let base = List.init n (fun _ -> Sk.random rng cfg op) in
+      (* append a prefix of itself so every list has duplicate keys *)
+      let candidates = base @ List.filteri (fun i _ -> i < (n + 1) / 2) base in
+      check_jobs_equivalent ~noise_seed op candidates)
 
 let test_measure_noise_fresh_on_hits () =
   let op = Ops.mtv 64 128 in
@@ -243,6 +327,9 @@ let () =
           Alcotest.test_case "matches sequential" `Quick test_batch_matches_sequential;
           Alcotest.test_case "fresh noise on hits" `Quick
             test_measure_noise_fresh_on_hits;
+          Alcotest.test_case "parallel warm-up serves hits" `Quick
+            test_parallel_warmup_serves_hits;
+          QCheck_alcotest.to_alcotest prop_batch_jobs_equivalent;
         ] );
       ( "integration",
         [
