@@ -8,7 +8,7 @@ FUZZ_CASES ?= 10000
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: all test check doc bench fuzz clean
+.PHONY: all test check doc bench bench-exec fuzz clean
 
 all:
 	dune build @all
@@ -38,9 +38,15 @@ doc:
 
 # Batch-throughput benchmark: cold-engine Engine.batch over 200
 # distinct GEMM candidates at -j 1/2/4 plus the warm cache-hit path,
-# written to BENCH_<date>.json (and a table on stdout).
+# then interpreter-vs-compiled executor throughput on GEMV/MMTV.
+# Both reports land in BENCH_<date>.json (and tables on stdout).
 bench:
 	dune exec bench/main.exe -- --batch-scaling --out BENCH_$(BENCH_DATE).json
+	dune exec bench/main.exe -- --exec-throughput --out BENCH_$(BENCH_DATE).json
+
+# Just the executor-throughput comparison.
+bench-exec:
+	dune exec bench/main.exe -- --exec-throughput --out BENCH_$(BENCH_DATE).json
 
 # Long fuzzing campaign with a date-derived seed (override with
 # FUZZ_SEED=n / FUZZ_CASES=n / JOBS=n).  The seed is printed first so

@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- --bechamel   # Bechamel micro-benchmarks
      dune exec bench/main.exe -- --batch-scaling [--out FILE]
                                               # Engine.batch at -j 1/2/4
+     dune exec bench/main.exe -- --exec-throughput [--out FILE]
+                                              # interpreter vs compiled executor
 
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md's experiment index); the Bechamel suite
@@ -227,6 +229,113 @@ let batch_scaling ~out () =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
+(* --- Executor throughput: interpreter vs compiled closures ---------- *)
+
+(* Functional-execution throughput of the hot measurement path, on the
+   paper's GEMV/MMTV shapes: elements/sec through the tree-walking
+   interpreter vs the closure-compiled executor (compiled once, run
+   repeatedly, as Engine.execute consumers do).  Also re-checks the
+   determinism contract on the benchmark shapes before timing.
+   Appends a JSON report to [--out] when given. *)
+let exec_throughput ~out () =
+  let cfg = Util.cfg in
+  let params =
+    {
+      Imtp.Sketch.default_params with
+      Imtp.Sketch.spatial_dpus = 256;
+      tasklets = 12;
+      cache_elems = 16;
+    }
+  in
+  let build op =
+    let lowered =
+      Imtp.Lowering.lower
+        ~options:(Imtp.Sketch.lower_options params)
+        (Imtp.Sketch.instantiate op params)
+    in
+    Imtp.Passes.run cfg lowered
+  in
+  (* Warm up once, then count runs over a fixed wall-clock budget. *)
+  let time_runs f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    let runs = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.3 do
+      f ();
+      incr runs
+    done;
+    (!runs, Unix.gettimeofday () -. t0)
+  in
+  Util.heading "Executor throughput: interpreter vs compiled closures";
+  let rows =
+    List.map
+      (fun (name, op) ->
+        let prog = build op in
+        let inputs = Imtp.Ops.random_inputs ~seed:5 op in
+        let outs_i, counters_i = Imtp.Eval.run_counted prog ~inputs in
+        let compiled = Imtp.Exec.compile prog in
+        let outs_c, counters_c = Imtp.Exec.run_compiled compiled ~inputs in
+        assert (counters_i = counters_c);
+        List.iter2
+          (fun (n1, t1) (n2, t2) ->
+            assert (n1 = n2 && Imtp.Tensor.equal t1 t2))
+          outs_i outs_c;
+        let elems =
+          Imtp.Tensor.size (List.assoc (fst op.Imtp.Op.output) outs_i)
+        in
+        let t0 = Unix.gettimeofday () in
+        let (_ : Imtp.Exec.compiled) = Imtp.Exec.compile prog in
+        let compile_s = Unix.gettimeofday () -. t0 in
+        let iruns, i_s =
+          time_runs (fun () -> ignore (Imtp.Eval.run_counted prog ~inputs))
+        in
+        let cruns, c_s =
+          time_runs (fun () -> ignore (Imtp.Exec.run_compiled compiled ~inputs))
+        in
+        let i_eps = float_of_int (iruns * elems) /. i_s in
+        let c_eps = float_of_int (cruns * elems) /. c_s in
+        Printf.printf
+          "  %-14s %7d out elems: interp %11.0f elems/s, compiled %11.0f \
+           elems/s (%.1fx, compile %.1f ms)\n\
+           %!"
+          name elems i_eps c_eps (c_eps /. i_eps) (compile_s *. 1e3);
+        (name, elems, iruns, i_s, i_eps, cruns, c_s, c_eps, compile_s))
+      [
+        ("gemv 512x512", Imtp.Ops.gemv ~c:3 512 512);
+        ("mmtv 8x64x64", Imtp.Ops.mmtv 8 64 64);
+      ]
+  in
+  match out with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      Printf.ksprintf (Buffer.add_string buf)
+        "  \"benchmark\": \"executor throughput\",\n\
+        \  \"date\": %.0f,\n\
+        \  \"backend_default\": %S,\n\
+        \  \"workloads\": [\n"
+        (Unix.time ())
+        (Imtp.Exec.backend_name ());
+      List.iteri
+        (fun i (name, elems, iruns, i_s, i_eps, cruns, c_s, c_eps, compile_s) ->
+          Printf.ksprintf (Buffer.add_string buf)
+            "    { \"op\": %S, \"output_elems\": %d, \"interp_runs\": %d, \
+             \"interp_s\": %.4f, \"interp_elems_per_s\": %.0f, \
+             \"compiled_runs\": %d, \"compiled_s\": %.4f, \
+             \"compiled_elems_per_s\": %.0f, \"compile_once_s\": %.6f, \
+             \"speedup\": %.2f }%s\n"
+            name elems iruns i_s i_eps cruns c_s c_eps compile_s
+            (c_eps /. i_eps)
+            (if i = List.length rows - 1 then "" else ",")
+        )
+        rows;
+      Buffer.add_string buf "  ]\n}\n";
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "appended to %s\n" path
+
 (* Each experiment runs under a [bench.<name>] observability span; with
    IMTP_TRACE=FILE set, the spans (and the engine/search metrics they
    enclose) stream to a JSONL trace readable by `imtp report`. *)
@@ -247,6 +356,8 @@ let () =
   | [ "--bechamel" ] -> run_bechamel ()
   | [ "--batch-scaling" ] -> batch_scaling ~out:None ()
   | [ "--batch-scaling"; "--out"; path ] -> batch_scaling ~out:(Some path) ()
+  | [ "--exec-throughput" ] -> exec_throughput ~out:None ()
+  | [ "--exec-throughput"; "--out"; path ] -> exec_throughput ~out:(Some path) ()
   | names ->
       List.iter
         (fun name ->

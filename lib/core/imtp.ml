@@ -19,6 +19,7 @@ module Codegen_c = Imtp_tir.Codegen_c
 module Analysis = Imtp_tir.Analysis
 module Simplify = Imtp_tir.Simplify
 module Eval = Imtp_tir.Eval
+module Exec = Imtp_tir.Exec
 module Cost = Imtp_tir.Cost
 module Op = Imtp_workload.Op
 module Ops = Imtp_workload.Ops
@@ -67,7 +68,7 @@ let execute ?inputs program op =
   let inputs =
     match inputs with Some i -> i | None -> Ops.random_inputs op
   in
-  Eval.run program ~inputs
+  fst (Engine.execute program ~inputs)
 
 let estimate ?(config = default_config) program =
   match Engine.estimate config program with

@@ -43,6 +43,7 @@ module Codegen_c = Imtp_tir.Codegen_c
 module Analysis = Imtp_tir.Analysis
 module Simplify = Imtp_tir.Simplify
 module Eval = Imtp_tir.Eval
+module Exec = Imtp_tir.Exec
 module Cost = Imtp_tir.Cost
 
 (* Workloads, schedules, lowering, passes *)
@@ -113,8 +114,10 @@ val execute :
   Program.t ->
   Op.t ->
   (string * Tensor.t) list
-(** Run a compiled program on the simulator's functional interpreter.
-    Missing inputs are generated deterministically ({!Ops.random_inputs}).
+(** Run a compiled program on the functional executor — the closure
+    compiler {!Exec} by default, the tree-walking interpreter under
+    [IMTP_EXEC=interp]; both are bit-identical by contract.  Missing
+    inputs are generated deterministically ({!Ops.random_inputs}).
     Returns all host buffers, including the output. *)
 
 val estimate : ?config:Config.t -> Program.t -> Stats.t

@@ -320,6 +320,14 @@ let measure t ?rng ?passes ?skip_inputs ?verify op params =
       in
       Ok { artifact; latency_s; from_cache }
 
+(* Functional execution of a built program.  All hot-path executions
+   (CLI runs, graph nodes, the core [Imtp.execute]) funnel through
+   here so the trace records which executor backend served them. *)
+let execute prog ~inputs =
+  Obs.span ~name:"engine.execute"
+    ~attrs:[ ("executor", Obs.Str (Imtp_tir.Exec.backend_name ())) ]
+    (fun () -> Imtp_tir.Exec.run_counted prog ~inputs)
+
 (* How each batch slot will be satisfied, decided up front in list
    order so the hit/miss ledger and [from_cache] flags are the same no
    matter how many domains then race on the builds:

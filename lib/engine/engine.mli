@@ -189,6 +189,15 @@ val measure :
     run-to-run variation of a real re-measurement — while the cached
     [stats] stay bit-identical. *)
 
+val execute :
+  Imtp_tir.Program.t ->
+  inputs:(string * Imtp_tensor.Tensor.t) list ->
+  (string * Imtp_tensor.Tensor.t) list * Imtp_tir.Eval.counters
+(** Run a built program on its functional executor ({!Imtp_tir.Exec},
+    compiled by default, the interpreter under [IMTP_EXEC=interp]),
+    inside an [engine.execute] span whose [executor] attribute records
+    which backend served the run. *)
+
 val batch :
   t ->
   ?jobs:int ->

@@ -4,6 +4,7 @@ module L = Imtp_lower.Lowering
 module Pl = Imtp_passes.Pipeline
 module T = Imtp_tensor
 module Eval = Imtp_tir.Eval
+module Exec = Imtp_tir.Exec
 module Cost = Imtp_tir.Cost
 module Engine = Imtp_engine.Engine
 
@@ -24,6 +25,7 @@ type failure =
       analytic : int;
     }
   | Crash of { config : string; message : string }
+  | Executor_mismatch of { config : string; detail : string }
 
 type verdict =
   | Passed of { configs_checked : int }
@@ -76,18 +78,104 @@ let first_diff got want =
   in
   go 0 got want
 
+(* One run through an executor, with Eval.Error reified so the two
+   executors' outcomes can be compared. *)
+let outcome runner prog ~inputs =
+  match runner prog ~inputs with
+  | r -> Ok r
+  | exception Eval.Error m -> Error m
+
+let counter_fields (c : Eval.counters) =
+  [
+    ("kernel_stores", c.Eval.kernel_stores);
+    ("kernel_loads", c.Eval.kernel_loads);
+    ("dma_elems", c.Eval.dma_elems);
+    ("dma_ops", c.Eval.dma_ops);
+    ("xfer_elems_h2d", c.Eval.xfer_elems_h2d);
+    ("xfer_elems_d2h", c.Eval.xfer_elems_d2h);
+  ]
+
+(* First divergence between a compiled and an interpreted run: every
+   host buffer (not just the workload output), all six counters, and
+   error-message parity. *)
+let diff_outcomes compiled interpreted =
+  match (compiled, interpreted) with
+  | Error m1, Error m2 ->
+      if String.equal m1 m2 then None
+      else
+        Some
+          (Printf.sprintf "compiled raised %S, interpreter raised %S" m1 m2)
+  | Ok _, Error m ->
+      Some (Printf.sprintf "compiled succeeded, interpreter raised %S" m)
+  | Error m, Ok _ ->
+      Some (Printf.sprintf "compiled raised %S, interpreter succeeded" m)
+  | Ok (o1, c1), Ok (o2, c2) -> (
+      let rec outs a b =
+        match (a, b) with
+        | [], [] -> None
+        | (n1, t1) :: a', (n2, t2) :: b' ->
+            if not (String.equal n1 n2) then
+              Some (Printf.sprintf "buffer order: %s vs %s" n1 n2)
+            else if not (T.Tensor.equal t1 t2) then
+              let d =
+                first_diff
+                  (T.Tensor.to_value_list t1)
+                  (T.Tensor.to_value_list t2)
+              in
+              Some
+                (match d with
+                | Some (i, g, w) ->
+                    Printf.sprintf "buffer %s[%d]: compiled %s, interpreter %s"
+                      n1 i (T.Value.to_string g) (T.Value.to_string w)
+                | None -> Printf.sprintf "buffer %s differs in shape/dtype" n1)
+            else outs a' b'
+        | _ -> Some "host buffer count differs"
+      in
+      match outs o1 o2 with
+      | Some d -> Some d
+      | None ->
+          List.fold_left2
+            (fun acc (f, x) (_, y) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if x <> y then
+                    Some
+                      (Printf.sprintf "counter %s: compiled %d, interpreter %d"
+                         f x y)
+                  else None)
+            None (counter_fields c1) (counter_fields c2))
+
+(* Run [prog] through the selected executor.  Under the compiled
+   backend this is a second differential axis: the staged executor must
+   be bit-compatible with the interpreter on outputs, counters and
+   raised errors, for every program the fuzzer can construct. *)
+let executed_outcome prog ~inputs =
+  match Exec.backend () with
+  | Exec.Interp -> `Run (outcome Eval.run_counted prog ~inputs)
+  | Exec.Compiled -> (
+      let compiled = outcome Exec.run_counted prog ~inputs in
+      let interpreted = outcome Eval.run_counted prog ~inputs in
+      match diff_outcomes compiled interpreted with
+      | Some detail -> `Mismatch detail
+      | None -> `Run compiled)
+
 let check_config op inputs want raw (name, config) =
   match
     let prog = Engine.optimize engine ~passes:config raw in
-    let outs, counters = Eval.run_counted prog ~inputs in
-    let got =
-      T.Tensor.to_value_list (List.assoc (fst op.Op.output) outs)
-    in
-    (prog, counters, got)
+    match executed_outcome prog ~inputs with
+    | `Mismatch detail -> `Mismatch (name, detail)
+    | `Run (Error m) -> raise (Eval.Error m)
+    | `Run (Ok (outs, counters)) ->
+        let got =
+          T.Tensor.to_value_list (List.assoc (fst op.Op.output) outs)
+        in
+        `Checked (prog, counters, got)
   with
   | exception Eval.Error m -> Some (Crash { config = name; message = m })
   | exception Cost.Error m -> Some (Crash { config = name; message = m })
-  | prog, counters, got -> (
+  | `Mismatch (config, detail) -> Some (Executor_mismatch { config; detail })
+  | `Checked (prog, counters, got) -> (
       match first_diff got want with
       | Some (index, g, w) ->
           Some
@@ -151,3 +239,7 @@ let failure_to_string = function
         config field executed analytic
   | Crash { config; message } ->
       Printf.sprintf "crash under pass config '%s': %s" config message
+  | Executor_mismatch { config; detail } ->
+      Printf.sprintf
+        "compiled executor diverges from interpreter under pass config '%s': %s"
+        config detail

@@ -13,6 +13,12 @@
     - the interpreter's dynamic DMA counters exactly against the
       analytic enumeration {!Imtp_tir.Cost.dma_counts}.
 
+    When the compiled executor backend is active (the default — see
+    {!Imtp_tir.Exec}), every case additionally runs through both the
+    compiled executor and the interpreter and demands bit-identical
+    outputs, counters and errors, reporting any divergence as
+    {!Executor_mismatch}.
+
     Schedules the lowering rejects are reported as {!Rejected} — they
     are discarded draws, not failures. *)
 
@@ -38,6 +44,10 @@ type failure =
       analytic : int;
     }
   | Crash of { config : string; message : string }
+  | Executor_mismatch of { config : string; detail : string }
+      (** The compiled executor ({!Imtp_tir.Exec}) diverged from the
+          interpreter on outputs, counters or raised errors.  Checked
+          on every case whenever the compiled backend is active. *)
 
 type verdict =
   | Passed of { configs_checked : int }

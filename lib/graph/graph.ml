@@ -134,7 +134,7 @@ module Compiled = struct
                     (Printf.sprintf "Graph.run: tensor %s not yet computed" src))
             cn.cn.bindings
         in
-        let outs = Imtp_tir.Eval.run cn.program ~inputs:node_inputs in
+        let outs = Imtp_tir.Exec.run cn.program ~inputs:node_inputs in
         let raw = List.assoc (fst cn.cn.op.Op.output) outs in
         (* reshape the flat output buffer to the op's logical shape. *)
         let shape =

@@ -20,3 +20,14 @@ let wrap_i8 n =
   if m >= 0x80 then m - 0x100 else m
 
 let round_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let int_of_f32 f =
+  (* Pinned float->int conversion: NaN maps to 0, everything else
+     truncates toward zero and saturates to the signed 32-bit range.
+     OCaml's [int_of_float] is unspecified on NaN and out-of-range
+     inputs, so the interpreter and the compiled executor both route
+     through this helper to stay bit-identical. *)
+  if Float.is_nan f then 0
+  else if f >= 2147483647. then 2147483647
+  else if f <= -2147483648. then -2147483648
+  else int_of_float f

@@ -29,3 +29,13 @@ val wrap_i8 : int -> int
 val round_f32 : float -> float
 (** [round_f32 x] rounds a double to the nearest representable float32,
     so interpreter results match a true float32 machine. *)
+
+val int_of_f32 : float -> int
+(** Pinned float->integer conversion used by every [Cast] to an integer
+    dtype and by implicit float->int stores: truncation toward zero,
+    saturating to the signed 32-bit range, with NaN mapping to 0 (the
+    behaviour of a saturating hardware convert such as AArch64
+    [fcvtzs], which is also what the emitted C compiles to there).
+    OCaml's own [int_of_float] is unspecified on NaN/out-of-range
+    inputs; this helper makes the semantics deterministic so the
+    interpreter and the compiled executor agree bit-for-bit. *)

@@ -29,10 +29,53 @@ let set_flat t off v =
   | I8_data a, Value.Int n -> a.(off) <- Dtype.wrap_i8 n
   | I32_data a, Value.Int n -> a.(off) <- n
   | F32_data a, Value.Float f -> a.(off) <- f
-  (* C-style implicit conversions: truncate toward zero. *)
-  | I8_data a, Value.Float f -> a.(off) <- Dtype.wrap_i8 (int_of_float f)
-  | I32_data a, Value.Float f -> a.(off) <- Dtype.wrap_i32 (int_of_float f)
+  (* Implicit conversions: pinned saturating truncation toward zero
+     (see Dtype.int_of_f32), float32 rounding toward int sources. *)
+  | I8_data a, Value.Float f -> a.(off) <- Dtype.wrap_i8 (Dtype.int_of_f32 f)
+  | I32_data a, Value.Float f -> a.(off) <- Dtype.int_of_f32 f
   | F32_data a, Value.Int n -> a.(off) <- Dtype.round_f32 (float_of_int n)
+
+(* Unboxed flat accessors for the compiled executor's hot paths.  The
+   setters follow [set_flat]'s conversion rules exactly; the getters
+   assume the caller knows the tensor's dtype statically
+   ([get_int_flat] rejects float tensors rather than guess). *)
+
+let get_int_flat t off =
+  match t.data with
+  | I8_data a | I32_data a -> a.(off)
+  | F32_data _ -> invalid_arg "Tensor.get_int_flat: float32 tensor"
+
+let get_float_flat t off =
+  match t.data with
+  | F32_data a -> a.(off)
+  | I8_data a | I32_data a -> float_of_int a.(off)
+
+let set_int_flat t off n =
+  match t.data with
+  | I8_data a -> a.(off) <- Dtype.wrap_i8 n
+  | I32_data a -> a.(off) <- n
+  | F32_data a -> a.(off) <- Dtype.round_f32 (float_of_int n)
+
+let set_float_flat t off f =
+  match t.data with
+  | I8_data a -> a.(off) <- Dtype.wrap_i8 (Dtype.int_of_f32 f)
+  | I32_data a -> a.(off) <- Dtype.int_of_f32 f
+  | F32_data a -> a.(off) <- f
+
+(* Bulk flat copy with [set_flat] conversion semantics; same-dtype
+   pairs take an [Array.blit] fast path.  Bounds must have been checked
+   by the caller. *)
+let blit_flat ~src ~src_off ~dst ~dst_off n =
+  if n <= 0 then ()
+  else
+    match (src.data, dst.data) with
+  | I8_data s, I8_data d | I32_data s, I32_data d ->
+      Array.blit s src_off d dst_off n
+  | F32_data s, F32_data d -> Array.blit s src_off d dst_off n
+  | (I8_data _ | I32_data _ | F32_data _), _ ->
+      for i = 0 to n - 1 do
+        set_flat dst (dst_off + i) (get_flat src (src_off + i))
+      done
 
 let get t idx = get_flat t (Shape.linearize t.shape idx)
 let set t idx v = set_flat t (Shape.linearize t.shape idx) v

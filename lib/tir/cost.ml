@@ -278,9 +278,16 @@ let rec host_body_cost env (s : Stmt.t) : float * float =
       in
       let o, b = host_body_cost (Var.Map.add var 0 env) body in
       (float_of_int n *. (o +. 2.), float_of_int n *. b)
-  | If { cond; then_; else_ = _ } ->
-      let o, b = host_body_cost env then_ in
-      (o +. host_ops cond, b)
+  | If { cond; then_; else_ } ->
+      (* A boundary If executes exactly one branch; charge the more
+         expensive of the two rather than silently dropping [else_]. *)
+      let o_t, b_t = host_body_cost env then_ in
+      let o_e, b_e =
+        match else_ with
+        | None -> (0., 0.)
+        | Some s -> host_body_cost env s
+      in
+      (Float.max o_t o_e +. host_ops cond, Float.max b_t b_e)
   | Store { index; value; buf = _ } ->
       let loads = host_load_count value +. host_load_count index in
       (1. +. host_ops value +. host_ops index, 4. *. (loads +. 1.))
@@ -345,7 +352,40 @@ let measure cfg (p : Program.t) : U.Stats.t =
           acc.host_bytes <- acc.host_bytes +. (mult *. float_of_int n *. bytes)
         end
         else walk (mult *. float_of_int n) (Var.Map.add var 0 env) body
-    | If { cond = _; then_; else_ = _ } -> walk mult env then_
+    | If { cond = _; then_; else_ = None } -> walk mult env then_
+    | If { cond = _; then_; else_ = Some els } ->
+        (* One branch executes; charge the componentwise max of the two
+           branch contributions (the walk mutates [acc], so each branch
+           is measured as a delta against a snapshot). *)
+        let snapshot () =
+          [|
+            acc.h2d; acc.d2h; acc.launch; acc.kernel; acc.host_ops;
+            acc.host_bytes; acc.host_par_s; acc.bytes_h2d; acc.bytes_d2h;
+          |]
+        in
+        let restore v =
+          acc.h2d <- v.(0);
+          acc.d2h <- v.(1);
+          acc.launch <- v.(2);
+          acc.kernel <- v.(3);
+          acc.host_ops <- v.(4);
+          acc.host_bytes <- v.(5);
+          acc.host_par_s <- v.(6);
+          acc.bytes_h2d <- v.(7);
+          acc.bytes_d2h <- v.(8)
+        in
+        let base = snapshot () in
+        walk mult env then_;
+        let with_then = snapshot () in
+        restore base;
+        walk mult env els;
+        let with_else = snapshot () in
+        let merged =
+          Array.mapi
+            (fun i b -> b +. Float.max (with_then.(i) -. b) (with_else.(i) -. b))
+            base
+        in
+        restore merged
     | Store { buf = _; index; value } ->
         acc.host_ops <-
           acc.host_ops +. (mult *. (1. +. host_ops value +. host_ops index));
@@ -376,7 +416,9 @@ let measure cfg (p : Program.t) : U.Stats.t =
             if dir = To_dpu then acc.h2d <- acc.h2d +. t else acc.d2h <- acc.d2h +. t
         | Push ->
             let g = max 1 group_dpus in
-            let calls = Float.max 1. (mult /. float_of_int g) in
+            (* A partial group still costs one full per-call transfer
+               overhead: round the call count up. *)
+            let calls = Float.max 1. (Float.ceil (mult /. float_of_int g)) in
             let s =
               U.Transfer.seconds cfg tdir U.Transfer.Bank_parallel
                 ~ndpus:(min g (int_of_float (Float.max 1. mult)))
@@ -387,7 +429,7 @@ let measure cfg (p : Program.t) : U.Stats.t =
             if dir = To_dpu then acc.h2d <- acc.h2d +. t else acc.d2h <- acc.d2h +. t
         | Broadcast_x ->
             let g = max 1 group_dpus in
-            let calls = Float.max 1. (mult /. float_of_int g) in
+            let calls = Float.max 1. (Float.ceil (mult /. float_of_int g)) in
             let s = U.Transfer.broadcast_seconds cfg ~ndpus:g ~bytes in
             record_bytes (float_of_int (g * bytes) *. calls);
             acc.h2d <- acc.h2d +. (calls *. s))

@@ -149,11 +149,18 @@ let rec eval_expr ctx env (e : Expr.t) : T.Value.t =
         ctx.counters.kernel_loads <- ctx.counters.kernel_loads + 1;
       read_buf ctx buf off
   | Cast (dt, a) -> (
+      (* Integer operands keep C integer-truncation (wrap) semantics;
+         float operands go through the pinned saturating conversion
+         (NaN -> 0, truncate toward zero, saturate to int32 range).
+         See the Cast documentation in expr.mli. *)
       let v = eval_expr ctx env a in
-      match dt with
-      | T.Dtype.I8 -> T.Value.Int (T.Dtype.wrap_i8 (int_of_float (T.Value.to_float v)))
-      | T.Dtype.I32 -> T.Value.Int (T.Dtype.wrap_i32 (int_of_float (T.Value.to_float v)))
-      | T.Dtype.F32 -> T.Value.Float (T.Dtype.round_f32 (T.Value.to_float v)))
+      match (dt, v) with
+      | T.Dtype.I8, T.Value.Int n -> T.Value.Int (T.Dtype.wrap_i8 n)
+      | T.Dtype.I8, T.Value.Float f ->
+          T.Value.Int (T.Dtype.wrap_i8 (T.Dtype.int_of_f32 f))
+      | T.Dtype.I32, T.Value.Int n -> T.Value.Int (T.Dtype.wrap_i32 n)
+      | T.Dtype.I32, T.Value.Float f -> T.Value.Int (T.Dtype.int_of_f32 f)
+      | T.Dtype.F32, v -> T.Value.Float (T.Dtype.round_f32 (T.Value.to_float v)))
 
 and truthy ctx env e =
   match eval_expr ctx env e with

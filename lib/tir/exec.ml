@@ -1,0 +1,854 @@
+(* Closure-compiled executor.
+
+   A Program.t is staged once into nested OCaml closures over a small
+   mutable runtime state: buffer names resolved to array slots at
+   compile time, loop variables held in a pre-sized [int array] frame
+   indexed by compile-time slots, and expression trees specialized into
+   unboxed [rt -> int] / [rt -> float] closures wherever the static
+   type is known (falling back to boxed [Value.t] closures for
+   mixed-type Min/Max/Select, which are type-preserving in Eval).
+
+   The contract is bit-compatibility with Eval: identical outputs,
+   identical counters, and identical Eval.Error exceptions raised at
+   the same execution points with the same counter side effects already
+   applied.  Every deviation from the obvious compilation below is in
+   service of that contract — evaluation order (operands left to right,
+   DMA reads before writes, counter bumps before scope errors), the
+   exact error strings, and Eval's quirks (float-compared integer
+   Min/Max, Division_by_zero only on an [Int 0] divisor, [dma_elems]
+   counting negative extents) are all replicated. *)
+
+module T = Imtp_tensor
+module D = Imtp_tensor.Dtype
+
+let err fmt = Printf.ksprintf (fun m -> raise (Eval.Error m)) fmt
+
+type backend = Interp | Compiled
+
+let backend () =
+  match Sys.getenv_opt "IMTP_EXEC" with
+  | Some "interp" -> Interp
+  | Some _ | None -> Compiled
+
+let backend_name () =
+  match backend () with Interp -> "interp" | Compiled -> "compiled"
+
+(* --- runtime state --------------------------------------------------- *)
+
+type rt = {
+  host : T.Tensor.t array;  (* slot = position in Program.host_buffers *)
+  mram : T.Tensor.t array array;  (* slot -> per-DPU tensors *)
+  wram : T.Tensor.t array;  (* slot = Alloc site; live inside its body *)
+  frame : int array;  (* slot = loop-binder site *)
+  mutable dpu : int;
+  counters : Eval.counters;
+}
+
+(* --- compile-time state ---------------------------------------------- *)
+
+type state = {
+  prog : Program.t;
+  host_slots : (string * (int * Buffer.t)) list;
+  mram_slots : (string * (int * Buffer.t)) list;
+  mutable n_frame : int;
+  mutable n_wram : int;
+}
+
+type cside = Host_c | Kernel_c
+
+type scope = {
+  vars : (Var.t * int) list;  (* innermost-first *)
+  allocs : (string * (int * Buffer.t)) list;  (* innermost-first *)
+  side : cside;
+}
+
+(* Name resolution, in Eval.read_buf's order: the innermost enclosing
+   Alloc first, then MRAM, then host.  The program tree is lexically
+   scoped, so resolving each access site against its enclosing Alloc
+   chain reproduces Eval's dynamic assoc-list exactly (kernels resolve
+   against the chain active at their Launch site, which is why Launch
+   compiles its kernel per site). *)
+type target =
+  | Twram of int * Buffer.t
+  | Tmram of int * Buffer.t
+  | Thost of int * Buffer.t
+  | Tunknown
+
+let resolve st sc name =
+  match List.assoc_opt name sc.allocs with
+  | Some (slot, b) -> Twram (slot, b)
+  | None -> (
+      match List.assoc_opt name st.mram_slots with
+      | Some (slot, b) -> Tmram (slot, b)
+      | None -> (
+          match List.assoc_opt name st.host_slots with
+          | Some (slot, b) -> Thost (slot, b)
+          | None -> Tunknown))
+
+let flat_tensor (b : Buffer.t) =
+  T.Tensor.create b.Buffer.dtype (T.Shape.create [ b.Buffer.elems ])
+
+(* --- compiled expressions -------------------------------------------- *)
+
+type code =
+  | I of (rt -> int)
+  | F of (rt -> float)
+  | V of (rt -> T.Value.t)  (* generic fallback, Eval-boxed semantics *)
+
+let as_value = function
+  | I f -> fun rt -> T.Value.Int (f rt)
+  | F f -> fun rt -> T.Value.Float (f rt)
+  | V f -> f
+
+let as_truth = function
+  | I f -> fun rt -> f rt <> 0
+  | F f -> fun rt -> f rt <> 0.
+  | V f -> (
+      fun rt ->
+        match f rt with
+        | T.Value.Int 0 -> false
+        | T.Value.Int _ -> true
+        | T.Value.Float x -> x <> 0.)
+
+(* Eval's generic Binop semantics (including the floor-division special
+   case for non-zero integer divisors), for the boxed fallback. *)
+let apply_binop (op : Expr.binop) x y =
+  match op with
+  | Add -> T.Value.add x y
+  | Sub -> T.Value.sub x y
+  | Mul -> T.Value.mul x y
+  | Div -> (
+      match (x, y) with
+      | T.Value.Int a, T.Value.Int b when b <> 0 ->
+          T.Value.Int (Simplify.fold_binop Div a b)
+      | _, _ -> T.Value.div x y)
+  | Mod -> (
+      match (x, y) with
+      | T.Value.Int a, T.Value.Int b when b <> 0 ->
+          T.Value.Int (Simplify.fold_binop Mod a b)
+      | _, _ -> T.Value.rem x y)
+  | Min -> T.Value.min_v x y
+  | Max -> T.Value.max_v x y
+
+let comp_binop (op : Expr.binop) ca cb =
+  match (ca, cb) with
+  | I fa, I fb -> (
+      match op with
+      | Add -> I (fun rt -> let x = fa rt in let y = fb rt in D.wrap_i32 (x + y))
+      | Sub -> I (fun rt -> let x = fa rt in let y = fb rt in D.wrap_i32 (x - y))
+      | Mul -> I (fun rt -> let x = fa rt in let y = fb rt in D.wrap_i32 (x * y))
+      | Div ->
+          I
+            (fun rt ->
+              let x = fa rt in
+              let y = fb rt in
+              if y <> 0 then Simplify.fold_binop Div x y
+              else raise Division_by_zero)
+      | Mod ->
+          I
+            (fun rt ->
+              let x = fa rt in
+              let y = fb rt in
+              if y <> 0 then Simplify.fold_binop Mod x y
+              else raise Division_by_zero)
+      (* Value.min_v/max_v compare via to_float even for two ints;
+         replicate so constants beyond the float53 range agree. *)
+      | Min ->
+          I
+            (fun rt ->
+              let x = fa rt in
+              let y = fb rt in
+              if float_of_int x <= float_of_int y then x else y)
+      | Max ->
+          I
+            (fun rt ->
+              let x = fa rt in
+              let y = fb rt in
+              if float_of_int x >= float_of_int y then x else y))
+  | F fa, F fb -> (
+      match op with
+      | Add -> F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (x +. y))
+      | Sub -> F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (x -. y))
+      | Mul -> F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (x *. y))
+      (* A float divisor never raises (Eval checks for [Int 0] only). *)
+      | Div -> F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (x /. y))
+      | Mod ->
+          F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (Float.rem x y))
+      (* min_v/max_v return an operand unchanged: no rounding. *)
+      | Min -> F (fun rt -> let x = fa rt in let y = fb rt in if x <= y then x else y)
+      | Max -> F (fun rt -> let x = fa rt in let y = fb rt in if x >= y then x else y))
+  | I fa, F fb -> (
+      match op with
+      | Add ->
+          F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (float_of_int x +. y))
+      | Sub ->
+          F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (float_of_int x -. y))
+      | Mul ->
+          F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (float_of_int x *. y))
+      | Div ->
+          F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (float_of_int x /. y))
+      | Mod ->
+          F
+            (fun rt ->
+              let x = fa rt in
+              let y = fb rt in
+              D.round_f32 (Float.rem (float_of_int x) y))
+      | Min | Max ->
+          (* type-preserving on mixed operands: generic *)
+          let va = as_value (I fa) and vb = as_value (F fb) in
+          V (fun rt -> let x = va rt in let y = vb rt in apply_binop op x y))
+  | F fa, I fb -> (
+      match op with
+      | Add ->
+          F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (x +. float_of_int y))
+      | Sub ->
+          F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (x -. float_of_int y))
+      | Mul ->
+          F (fun rt -> let x = fa rt in let y = fb rt in D.round_f32 (x *. float_of_int y))
+      (* An integer divisor of 0 raises even under float promotion. *)
+      | Div ->
+          F
+            (fun rt ->
+              let x = fa rt in
+              let y = fb rt in
+              if y = 0 then raise Division_by_zero
+              else D.round_f32 (x /. float_of_int y))
+      | Mod ->
+          F
+            (fun rt ->
+              let x = fa rt in
+              let y = fb rt in
+              if y = 0 then raise Division_by_zero
+              else D.round_f32 (Float.rem x (float_of_int y)))
+      | Min | Max ->
+          let va = as_value (F fa) and vb = as_value (I fb) in
+          V (fun rt -> let x = va rt in let y = vb rt in apply_binop op x y))
+  | (V _, _ | _, V _) ->
+      let va = as_value ca and vb = as_value cb in
+      V (fun rt -> let x = va rt in let y = vb rt in apply_binop op x y)
+
+let comp_cmp (op : Expr.cmp) ca cb =
+  let test : int -> bool =
+    match op with
+    | Lt -> fun c -> c < 0
+    | Le -> fun c -> c <= 0
+    | Gt -> fun c -> c > 0
+    | Ge -> fun c -> c >= 0
+    | Eq -> fun c -> c = 0
+    | Ne -> fun c -> c <> 0
+  in
+  match (ca, cb) with
+  | I fa, I fb ->
+      I
+        (fun rt ->
+          let x = fa rt in
+          let y = fb rt in
+          if test (Int.compare x y) then 1 else 0)
+  | F fa, F fb ->
+      (* Float.compare semantics (total order on NaN), as Value.compare. *)
+      I
+        (fun rt ->
+          let x = fa rt in
+          let y = fb rt in
+          if test (Float.compare x y) then 1 else 0)
+  | I fa, F fb ->
+      I
+        (fun rt ->
+          let x = fa rt in
+          let y = fb rt in
+          if test (Float.compare (float_of_int x) y) then 1 else 0)
+  | F fa, I fb ->
+      I
+        (fun rt ->
+          let x = fa rt in
+          let y = fb rt in
+          if test (Float.compare x (float_of_int y)) then 1 else 0)
+  | (V _, _ | _, V _) ->
+      let va = as_value ca and vb = as_value cb in
+      I
+        (fun rt ->
+          let x = va rt in
+          let y = vb rt in
+          if test (T.Value.compare x y) then 1 else 0)
+
+(* --- generic per-element buffer access (DMA fallback path) ----------- *)
+
+let comp_read_elem st sc name : rt -> int -> T.Value.t =
+  match resolve st sc name with
+  | Twram (slot, b) ->
+      let elems = b.Buffer.elems in
+      fun rt off ->
+        if off < 0 || off >= elems then
+          err "wram read out of bounds: %s[%d]" name off
+        else T.Tensor.get_flat rt.wram.(slot) off
+  | Tmram (slot, b) -> (
+      match sc.side with
+      | Host_c ->
+          fun _ _ -> err "host code reads MRAM buffer %s directly (use Xfer)" name
+      | Kernel_c ->
+          let elems = b.Buffer.elems in
+          fun rt off ->
+            if off < 0 || off >= elems then
+              err "mram read out of bounds: %s[%d] (dpu %d)" name off rt.dpu
+            else T.Tensor.get_flat rt.mram.(slot).(rt.dpu) off)
+  | Thost (slot, b) -> (
+      match sc.side with
+      | Kernel_c -> fun _ _ -> err "kernel reads host buffer %s" name
+      | Host_c ->
+          let elems = b.Buffer.elems in
+          fun rt off ->
+            if off < 0 || off >= elems then
+              err "host read out of bounds: %s[%d]" name off
+            else T.Tensor.get_flat rt.host.(slot) off)
+  | Tunknown -> fun _ _ -> err "read from unknown buffer %s" name
+
+let comp_write_elem st sc name : rt -> int -> T.Value.t -> unit =
+  match resolve st sc name with
+  | Twram (slot, b) ->
+      let elems = b.Buffer.elems in
+      fun rt off v ->
+        if off < 0 || off >= elems then
+          err "wram write out of bounds: %s[%d]" name off
+        else T.Tensor.set_flat rt.wram.(slot) off v
+  | Tmram (slot, b) -> (
+      match sc.side with
+      | Host_c ->
+          fun _ _ _ ->
+            err "host code writes MRAM buffer %s directly (use Xfer)" name
+      | Kernel_c ->
+          let elems = b.Buffer.elems in
+          fun rt off v ->
+            if off < 0 || off >= elems then
+              err "mram write out of bounds: %s[%d] (dpu %d)" name off rt.dpu
+            else T.Tensor.set_flat rt.mram.(slot).(rt.dpu) off v)
+  | Thost (slot, b) -> (
+      match sc.side with
+      | Kernel_c -> fun _ _ _ -> err "kernel writes host buffer %s" name
+      | Host_c ->
+          let elems = b.Buffer.elems in
+          fun rt off v ->
+            if off < 0 || off >= elems then
+              err "host write out of bounds: %s[%d]" name off
+            else T.Tensor.set_flat rt.host.(slot) off v)
+  | Tunknown -> fun _ _ _ -> err "write to unknown buffer %s" name
+
+(* --- the compiler ----------------------------------------------------- *)
+
+let rec comp_expr st sc (e : Expr.t) : code =
+  match e with
+  | Int_const n -> I (fun _ -> n)
+  | Float_const f -> F (fun _ -> f)
+  | Var v -> (
+      let rec find = function
+        | [] -> None
+        | (u, slot) :: rest -> if Var.equal u v then Some slot else find rest
+      in
+      match find sc.vars with
+      | Some slot -> I (fun rt -> rt.frame.(slot))
+      | None ->
+          let msg = "unbound variable " ^ Var.name v in
+          I (fun _ -> raise (Eval.Error msg)))
+  | Binop (op, a, b) -> comp_binop op (comp_expr st sc a) (comp_expr st sc b)
+  | Cmp (op, a, b) -> comp_cmp op (comp_expr st sc a) (comp_expr st sc b)
+  | And (a, b) ->
+      let ta = as_truth (comp_expr st sc a)
+      and tb = as_truth (comp_expr st sc b) in
+      I (fun rt -> if ta rt && tb rt then 1 else 0)
+  | Or (a, b) ->
+      let ta = as_truth (comp_expr st sc a)
+      and tb = as_truth (comp_expr st sc b) in
+      I (fun rt -> if ta rt || tb rt then 1 else 0)
+  | Not a ->
+      let ta = as_truth (comp_expr st sc a) in
+      I (fun rt -> if ta rt then 0 else 1)
+  | Select (c, t, f) -> (
+      let tc = as_truth (comp_expr st sc c) in
+      let ct = comp_expr st sc t and cf = comp_expr st sc f in
+      match (ct, cf) with
+      | I ft, I ff -> I (fun rt -> if tc rt then ft rt else ff rt)
+      | F ft, F ff -> F (fun rt -> if tc rt then ft rt else ff rt)
+      | _ ->
+          let vt = as_value ct and vf = as_value cf in
+          V (fun rt -> if tc rt then vt rt else vf rt))
+  | Load (buf, idx) -> comp_load st sc buf (comp_index st sc idx)
+  | Cast (dt, a) -> (
+      let ca = comp_expr st sc a in
+      match (dt, ca) with
+      | D.I8, I f -> I (fun rt -> D.wrap_i8 (f rt))
+      | D.I8, F f -> I (fun rt -> D.wrap_i8 (D.int_of_f32 (f rt)))
+      | D.I8, V f ->
+          I
+            (fun rt ->
+              match f rt with
+              | T.Value.Int n -> D.wrap_i8 n
+              | T.Value.Float x -> D.wrap_i8 (D.int_of_f32 x))
+      | D.I32, I f -> I (fun rt -> D.wrap_i32 (f rt))
+      | D.I32, F f -> I (fun rt -> D.int_of_f32 (f rt))
+      | D.I32, V f ->
+          I
+            (fun rt ->
+              match f rt with
+              | T.Value.Int n -> D.wrap_i32 n
+              | T.Value.Float x -> D.int_of_f32 x)
+      | D.F32, I f -> F (fun rt -> D.round_f32 (float_of_int (f rt)))
+      | D.F32, F f -> F (fun rt -> D.round_f32 (f rt))
+      | D.F32, V f -> F (fun rt -> D.round_f32 (T.Value.to_float (f rt))))
+
+(* Index contexts: float-valued expressions are evaluated (for their
+   side effects and errors) and then rejected with Eval's message. *)
+and comp_index st sc (e : Expr.t) : rt -> int =
+  match comp_expr st sc e with
+  | I f -> f
+  | F f ->
+      let msg = "float used as index: " ^ Expr.to_string e in
+      fun rt ->
+        let _ = f rt in
+        raise (Eval.Error msg)
+  | V f -> (
+      let msg = "float used as index: " ^ Expr.to_string e in
+      fun rt ->
+        match f rt with
+        | T.Value.Int n -> n
+        | T.Value.Float _ -> raise (Eval.Error msg))
+
+and comp_load st sc name get_off : code =
+  let in_k = sc.side = Kernel_c in
+  let mk ~check ~tensor (dt : D.t) =
+    match dt with
+    | D.I8 | D.I32 ->
+        I
+          (fun rt ->
+            let off = get_off rt in
+            if in_k then
+              rt.counters.Eval.kernel_loads <- rt.counters.Eval.kernel_loads + 1;
+            check rt off;
+            T.Tensor.get_int_flat (tensor rt) off)
+    | D.F32 ->
+        F
+          (fun rt ->
+            let off = get_off rt in
+            if in_k then
+              rt.counters.Eval.kernel_loads <- rt.counters.Eval.kernel_loads + 1;
+            check rt off;
+            T.Tensor.get_float_flat (tensor rt) off)
+  in
+  (* The scope-error closures evaluate the index first and bump the
+     kernel-load counter before raising, exactly as Eval does. *)
+  let raising msg_fn =
+    I
+      (fun rt ->
+        let _ = get_off rt in
+        if in_k then
+          rt.counters.Eval.kernel_loads <- rt.counters.Eval.kernel_loads + 1;
+        msg_fn ())
+  in
+  match resolve st sc name with
+  | Twram (slot, b) ->
+      let elems = b.Buffer.elems in
+      mk b.Buffer.dtype
+        ~check:(fun _ off ->
+          if off < 0 || off >= elems then
+            err "wram read out of bounds: %s[%d]" name off)
+        ~tensor:(fun rt -> rt.wram.(slot))
+  | Tmram (slot, b) -> (
+      match sc.side with
+      | Host_c ->
+          raising (fun () ->
+              err "host code reads MRAM buffer %s directly (use Xfer)" name)
+      | Kernel_c ->
+          let elems = b.Buffer.elems in
+          mk b.Buffer.dtype
+            ~check:(fun rt off ->
+              if off < 0 || off >= elems then
+                err "mram read out of bounds: %s[%d] (dpu %d)" name off rt.dpu)
+            ~tensor:(fun rt -> rt.mram.(slot).(rt.dpu)))
+  | Thost (slot, b) -> (
+      match sc.side with
+      | Kernel_c -> raising (fun () -> err "kernel reads host buffer %s" name)
+      | Host_c ->
+          let elems = b.Buffer.elems in
+          mk b.Buffer.dtype
+            ~check:(fun _ off ->
+              if off < 0 || off >= elems then
+                err "host read out of bounds: %s[%d]" name off)
+            ~tensor:(fun rt -> rt.host.(slot)))
+  | Tunknown -> raising (fun () -> err "read from unknown buffer %s" name)
+
+and comp_store st sc name coff cval : rt -> unit =
+  let in_k = sc.side = Kernel_c in
+  (* Order, as in Eval: offset, counter bump, value, bounds, store. *)
+  let mk ~check ~tensor =
+    match cval with
+    | I fv ->
+        fun rt ->
+          let off = coff rt in
+          if in_k then
+            rt.counters.Eval.kernel_stores <- rt.counters.Eval.kernel_stores + 1;
+          let v = fv rt in
+          check rt off;
+          T.Tensor.set_int_flat (tensor rt) off v
+    | F fv ->
+        fun rt ->
+          let off = coff rt in
+          if in_k then
+            rt.counters.Eval.kernel_stores <- rt.counters.Eval.kernel_stores + 1;
+          let v = fv rt in
+          check rt off;
+          T.Tensor.set_float_flat (tensor rt) off v
+    | V fv ->
+        fun rt ->
+          let off = coff rt in
+          if in_k then
+            rt.counters.Eval.kernel_stores <- rt.counters.Eval.kernel_stores + 1;
+          let v = fv rt in
+          check rt off;
+          T.Tensor.set_flat (tensor rt) off v
+  in
+  let raising msg_fn =
+    let vfn = as_value cval in
+    fun rt ->
+      let _ = coff rt in
+      if in_k then
+        rt.counters.Eval.kernel_stores <- rt.counters.Eval.kernel_stores + 1;
+      let _ = vfn rt in
+      msg_fn ()
+  in
+  match resolve st sc name with
+  | Twram (slot, b) ->
+      let elems = b.Buffer.elems in
+      mk
+        ~check:(fun _ off ->
+          if off < 0 || off >= elems then
+            err "wram write out of bounds: %s[%d]" name off)
+        ~tensor:(fun rt -> rt.wram.(slot))
+  | Tmram (slot, b) -> (
+      match sc.side with
+      | Host_c ->
+          raising (fun () ->
+              err "host code writes MRAM buffer %s directly (use Xfer)" name)
+      | Kernel_c ->
+          let elems = b.Buffer.elems in
+          mk
+            ~check:(fun rt off ->
+              if off < 0 || off >= elems then
+                err "mram write out of bounds: %s[%d] (dpu %d)" name off rt.dpu)
+            ~tensor:(fun rt -> rt.mram.(slot).(rt.dpu)))
+  | Thost (slot, b) -> (
+      match sc.side with
+      | Kernel_c -> raising (fun () -> err "kernel writes host buffer %s" name)
+      | Host_c ->
+          let elems = b.Buffer.elems in
+          mk
+            ~check:(fun _ off ->
+              if off < 0 || off >= elems then
+                err "host write out of bounds: %s[%d]" name off)
+            ~tensor:(fun rt -> rt.host.(slot)))
+  | Tunknown -> raising (fun () -> err "write to unknown buffer %s" name)
+
+and comp_stmt st sc (s : Stmt.t) : rt -> unit =
+  match s with
+  | Nop | Barrier -> fun _ -> ()
+  | Seq ss ->
+      let cs = Array.of_list (List.map (comp_stmt st sc) ss) in
+      let n = Array.length cs in
+      fun rt ->
+        for i = 0 to n - 1 do
+          cs.(i) rt
+        done
+  | For { var; extent; body; kind = _ } ->
+      let slot = st.n_frame in
+      st.n_frame <- st.n_frame + 1;
+      let cext = comp_index st sc extent in
+      let cbody = comp_stmt st { sc with vars = (var, slot) :: sc.vars } body in
+      fun rt ->
+        let n = cext rt in
+        for i = 0 to n - 1 do
+          rt.frame.(slot) <- i;
+          cbody rt
+        done
+  | If { cond; then_; else_ } -> (
+      let tc = as_truth (comp_expr st sc cond) in
+      let ct = comp_stmt st sc then_ in
+      match else_ with
+      | None -> fun rt -> if tc rt then ct rt
+      | Some e ->
+          let ce = comp_stmt st sc e in
+          fun rt -> if tc rt then ct rt else ce rt)
+  | Store { buf; index; value } ->
+      comp_store st sc buf (comp_index st sc index) (comp_expr st sc value)
+  | Alloc { buffer; body } ->
+      let slot = st.n_wram in
+      st.n_wram <- st.n_wram + 1;
+      let cbody =
+        comp_stmt st
+          { sc with allocs = (buffer.Buffer.name, (slot, buffer)) :: sc.allocs }
+          body
+      in
+      fun rt ->
+        rt.wram.(slot) <- flat_tensor buffer;
+        cbody rt
+  | Dma { dir; wram; wram_off; mram; mram_off; elems } -> (
+      match sc.side with
+      | Host_c -> fun _ -> err "Dma executed in host code"
+      | Kernel_c ->
+          let celems = comp_index st sc elems in
+          let cwoff = comp_index st sc wram_off in
+          let cmoff = comp_index st sc mram_off in
+          let read_w = comp_read_elem st sc wram
+          and write_w = comp_write_elem st sc wram
+          and read_m = comp_read_elem st sc mram
+          and write_m = comp_write_elem st sc mram in
+          (* Bulk fast path when both names resolve to kernel-side
+             memories with statically known extents; anything else
+             (scope errors, out-of-bounds) takes the per-element loop,
+             which raises Eval's message at Eval's element. *)
+          let acc = function
+            | Twram (slot, b) ->
+                Some ((fun rt -> rt.wram.(slot)), b.Buffer.elems)
+            | Tmram (slot, b) ->
+                Some ((fun rt -> rt.mram.(slot).(rt.dpu)), b.Buffer.elems)
+            | Thost _ | Tunknown -> None
+          in
+          let fast =
+            match (acc (resolve st sc wram), acc (resolve st sc mram)) with
+            | Some (wget, wsize), Some (mget, msize) ->
+                Some (wget, wsize, mget, msize)
+            | _ -> None
+          in
+          fun rt ->
+            let n = celems rt in
+            rt.counters.Eval.dma_ops <- rt.counters.Eval.dma_ops + 1;
+            rt.counters.Eval.dma_elems <- rt.counters.Eval.dma_elems + n;
+            let woff = cwoff rt in
+            let moff = cmoff rt in
+            match fast with
+            | Some (wget, wsize, mget, msize)
+              when n >= 0 && woff >= 0 && moff >= 0 && woff + n <= wsize
+                   && moff + n <= msize -> (
+                let wt = wget rt and mt = mget rt in
+                match dir with
+                | Stmt.Mram_to_wram ->
+                    T.Tensor.blit_flat ~src:mt ~src_off:moff ~dst:wt
+                      ~dst_off:woff n
+                | Stmt.Wram_to_mram ->
+                    T.Tensor.blit_flat ~src:wt ~src_off:woff ~dst:mt
+                      ~dst_off:moff n)
+            | _ -> (
+                for i = 0 to n - 1 do
+                  match dir with
+                  | Stmt.Mram_to_wram ->
+                      let v = read_m rt (moff + i) in
+                      write_w rt (woff + i) v
+                  | Stmt.Wram_to_mram ->
+                      let v = read_w rt (woff + i) in
+                      write_m rt (moff + i) v
+                done))
+  | Xfer { dir; mode; host; host_off; dpu; mram; mram_off; elems; group_dpus = _ }
+    -> (
+      match sc.side with
+      | Kernel_c -> fun _ -> err "Xfer executed in kernel code"
+      | Host_c ->
+          let celems = comp_index st sc elems in
+          let choff = comp_index st sc host_off in
+          let cmoff = comp_index st sc mram_off in
+          let cdpu = comp_index st sc dpu in
+          let hslot = List.assoc_opt host st.host_slots in
+          let mslot = List.assoc_opt mram st.mram_slots in
+          fun rt ->
+            let n = celems rt in
+            let hoff = choff rt in
+            let moff = cmoff rt in
+            let hslot =
+              match hslot with
+              | Some (s, _) -> s
+              | None -> err "Xfer references unknown host buffer %s" host
+            in
+            let mslot =
+              match mslot with
+              | Some (s, _) -> s
+              | None -> err "Xfer references unknown MRAM buffer %s" mram
+            in
+            let host_t = rt.host.(hslot) in
+            let per_dpu = rt.mram.(mslot) in
+            let check t off label =
+              if off < 0 || off + n > T.Tensor.size t then
+                err "Xfer %s out of bounds (%s, off=%d, n=%d, size=%d)" label
+                  (T.Shape.to_string (T.Tensor.shape t))
+                  off n (T.Tensor.size t)
+            in
+            check host_t hoff host;
+            (match dir with
+            | Stmt.To_dpu ->
+                rt.counters.Eval.xfer_elems_h2d <-
+                  rt.counters.Eval.xfer_elems_h2d
+                  + n
+                    *
+                    (match mode with
+                    | Stmt.Broadcast_x -> Array.length per_dpu
+                    | Stmt.Copy | Stmt.Push -> 1)
+            | Stmt.From_dpu ->
+                rt.counters.Eval.xfer_elems_d2h <-
+                  rt.counters.Eval.xfer_elems_d2h + n);
+            let move mram_t =
+              check mram_t moff mram;
+              match dir with
+              | Stmt.To_dpu ->
+                  T.Tensor.blit_flat ~src:host_t ~src_off:hoff ~dst:mram_t
+                    ~dst_off:moff n
+              | Stmt.From_dpu ->
+                  T.Tensor.blit_flat ~src:mram_t ~src_off:moff ~dst:host_t
+                    ~dst_off:hoff n
+            in
+            (match mode with
+            | Stmt.Broadcast_x ->
+                if dir = Stmt.From_dpu then
+                  err "Broadcast_x only supports host-to-DPU";
+                Array.iter move per_dpu
+            | Stmt.Copy | Stmt.Push ->
+                let dpu_id = cdpu rt in
+                if dpu_id < 0 || dpu_id >= Array.length per_dpu then
+                  err "Xfer to out-of-range DPU %d" dpu_id;
+                move per_dpu.(dpu_id)))
+  | Launch kname -> (
+      match Program.kernel_of st.prog kname with
+      | None -> fun _ -> err "launch of unknown kernel %s" kname
+      | Some k ->
+          (* Kernels start with an empty variable scope but inherit the
+             Alloc chain active at the Launch site (Eval's dynamic wram
+             list), hence per-site compilation. *)
+          let ck =
+            comp_kernel st
+              { vars = []; allocs = sc.allocs; side = Kernel_c }
+              k.Program.body
+          in
+          fun rt ->
+            let saved = rt.dpu in
+            ck rt 0;
+            rt.dpu <- saved)
+
+(* The block-bound loop spine accumulating the linearized DPU id;
+   mirrors Eval.run_kernel's [go]. *)
+and comp_kernel st sc (s : Stmt.t) : rt -> int -> unit =
+  match s with
+  | For { var; extent; kind = Bound (Block_x | Block_y | Block_z); body } ->
+      let slot = st.n_frame in
+      st.n_frame <- st.n_frame + 1;
+      let cext = comp_index st sc extent in
+      let cbody = comp_kernel st { sc with vars = (var, slot) :: sc.vars } body in
+      fun rt dpu_acc ->
+        let n = cext rt in
+        for i = 0 to n - 1 do
+          rt.frame.(slot) <- i;
+          cbody rt ((dpu_acc * n) + i)
+        done
+  | s ->
+      let c = comp_stmt st sc s in
+      fun rt dpu_acc ->
+        rt.dpu <- dpu_acc;
+        c rt
+
+(* --- whole-program staging and execution ------------------------------ *)
+
+type compiled = {
+  cprog : Program.t;
+  c_n_frame : int;
+  c_n_wram : int;
+  c_host : rt -> unit;
+}
+
+let compile (p : Program.t) : compiled =
+  (match Program.validate p with
+  | Ok () -> ()
+  | Error m -> err "invalid program: %s" m);
+  let st =
+    {
+      prog = p;
+      host_slots =
+        List.mapi (fun i (b : Buffer.t) -> (b.Buffer.name, (i, b))) p.host_buffers;
+      mram_slots =
+        List.mapi (fun i (b : Buffer.t) -> (b.Buffer.name, (i, b))) p.mram_buffers;
+      n_frame = 0;
+      n_wram = 0;
+    }
+  in
+  let c_host = comp_stmt st { vars = []; allocs = []; side = Host_c } p.host in
+  { cprog = p; c_n_frame = st.n_frame; c_n_wram = st.n_wram; c_host }
+
+let poison (b : Buffer.t) =
+  (* Same constants as Eval: untransferred MRAM padding must be caught
+     identically by both executors. *)
+  let t = flat_tensor b in
+  T.Tensor.fill t
+    (match b.Buffer.dtype with
+    | D.I8 -> T.Value.Int 77
+    | D.I32 -> T.Value.Int 1_000_003
+    | D.F32 -> T.Value.Float 1e9);
+  t
+
+let run_compiled c ~inputs =
+  let p = c.cprog in
+  (* The compiled load/store closures specialize on the declared buffer
+     dtype; an input tensor of a different dtype would box differently
+     in Eval, so those (pathological) runs take the interpreter. *)
+  let dtypes_ok =
+    List.for_all
+      (fun (b : Buffer.t) ->
+        match List.assoc_opt b.Buffer.name inputs with
+        | Some t -> D.equal (T.Tensor.dtype t) b.Buffer.dtype
+        | None -> true)
+      p.Program.host_buffers
+  in
+  if not dtypes_ok then Eval.run_counted p ~inputs
+  else begin
+    let host =
+      Array.of_list
+        (List.map
+           (fun (b : Buffer.t) ->
+             match List.assoc_opt b.Buffer.name inputs with
+             | Some t ->
+                 if T.Tensor.size t <> b.Buffer.elems then
+                   err "input %s has %d elements, buffer declares %d"
+                     b.Buffer.name (T.Tensor.size t) b.Buffer.elems;
+                 T.Tensor.copy t
+             | None -> flat_tensor b)
+           p.Program.host_buffers)
+    in
+    let ndpus = Program.dpus_used p in
+    let mram =
+      Array.of_list
+        (List.map
+           (fun b -> Array.init ndpus (fun _ -> poison b))
+           p.Program.mram_buffers)
+    in
+    let placeholder = T.Tensor.create D.I32 (T.Shape.create [ 1 ]) in
+    let rt =
+      {
+        host;
+        mram;
+        wram = Array.make c.c_n_wram placeholder;
+        frame = Array.make c.c_n_frame 0;
+        dpu = 0;
+        counters =
+          {
+            Eval.kernel_stores = 0;
+            kernel_loads = 0;
+            dma_elems = 0;
+            dma_ops = 0;
+            xfer_elems_h2d = 0;
+            xfer_elems_d2h = 0;
+          };
+      }
+    in
+    c.c_host rt;
+    ( List.mapi
+        (fun i (b : Buffer.t) -> (b.Buffer.name, host.(i)))
+        p.Program.host_buffers,
+      rt.counters )
+  end
+
+let run_counted p ~inputs =
+  match backend () with
+  | Interp -> Eval.run_counted p ~inputs
+  | Compiled -> run_compiled (compile p) ~inputs
+
+let run p ~inputs = fst (run_counted p ~inputs)

@@ -28,6 +28,17 @@ type t =
   | Select of t * t * t  (** [Select (cond, then_, else_)]. *)
   | Load of string * t  (** buffer name, flat element offset. *)
   | Cast of Imtp_tensor.Dtype.t * t
+      (** Dtype conversion with pinned semantics shared by the
+          interpreter ({!Eval}), the compiled executor ({!Exec}) and
+          the C emitted by {!Codegen_c} (as compiled on a saturating
+          target such as AArch64):
+
+          - to [F32]: round to the nearest representable float32;
+          - to [I8]/[I32] from an integer: wrap (C truncation);
+          - to [I8]/[I32] from a float: truncate toward zero,
+            saturating to the signed 32-bit range, NaN becoming 0
+            ({!Imtp_tensor.Dtype.int_of_f32}); an [I8] cast wraps that
+            32-bit result to 8 bits. *)
 
 (* Construction helpers. *)
 val int : int -> t

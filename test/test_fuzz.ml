@@ -19,6 +19,7 @@ module Ops = Imtp_workload.Ops
 module P = Imtp_tir.Program
 module St = Imtp_tir.Stmt
 module Eval = Imtp_tir.Eval
+module Exec = Imtp_tir.Exec
 module Cost = Imtp_tir.Cost
 module T = Imtp_tensor
 module U = Imtp_upmem
@@ -168,6 +169,50 @@ let test_injected_fault_detected () =
   Alcotest.(check bool) "guard-stripped program must not match reference" false
     (got = Some want)
 
+(* --- compiled executor vs interpreter ---------------------------------- *)
+
+(* The executor-equivalence property: for fuzz-drawn workload x
+   schedule x pass-config triples, Exec.run_compiled and
+   Eval.run_counted agree on every host buffer, all six counters, and
+   raised Eval.Error messages.  This is the same oracle the campaign
+   applies, but driven directly so it also runs under [IMTP_EXEC=interp]
+   (where the campaign would skip the differential). *)
+let same_outcome prog ~inputs =
+  let reify run =
+    match run prog ~inputs with
+    | r -> Ok r
+    | exception Eval.Error m -> Error m
+  in
+  let compiled = reify (fun p -> Exec.run_compiled (Exec.compile p)) in
+  let interpreted = reify Eval.run_counted in
+  match (compiled, interpreted) with
+  | Error a, Error b -> String.equal a b
+  | Ok (o1, c1), Ok (o2, c2) ->
+      c1 = c2
+      && List.length o1 = List.length o2
+      && List.for_all2
+           (fun (n1, t1) (n2, t2) ->
+             String.equal n1 n2 && T.Tensor.equal t1 t2)
+           o1 o2
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let prop_exec_equiv_eval =
+  QCheck2.Test.make ~name:"compiled executor bit-matches interpreter" ~count:40
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 40))
+    (fun (seed, index) ->
+      match Fz.case_of_seed ~seed ~index with
+      | None -> true
+      | Some case -> (
+          match Oracle.lower case with
+          | Error _ -> true
+          | Ok raw ->
+              let op = Gw.op case.Oracle.workload in
+              let inputs = Ops.random_inputs ~seed:case.Oracle.input_seed op in
+              List.for_all
+                (fun (_, config) ->
+                  same_outcome (Pl.run ~config cfg raw) ~inputs)
+                (Oracle.configs case)))
+
 (* --- shrinker ---------------------------------------------------------- *)
 
 let test_shrinker_minimizes () =
@@ -265,6 +310,8 @@ let () =
           Alcotest.test_case "mmtv" `Quick test_counters_mmtv;
           Alcotest.test_case "gemm" `Quick test_counters_gemm;
         ] );
+      ( "executor",
+        [ QCheck_alcotest.to_alcotest prop_exec_equiv_eval ] );
       ( "shrinker",
         [
           Alcotest.test_case "minimizes" `Quick test_shrinker_minimizes;

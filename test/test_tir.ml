@@ -350,6 +350,245 @@ let test_eval_out_of_bounds () =
   | exception Imtp_tir.Eval.Error _ -> ()
   | _ -> Alcotest.fail "expected out-of-bounds error"
 
+(* --- compiled executor vs interpreter --------------------------------- *)
+
+module Exec = Imtp_tir.Exec
+
+(* Division_by_zero escapes both executors untranslated, like Eval. *)
+let run_eval p ~inputs =
+  match Imtp_tir.Eval.run_counted p ~inputs with
+  | r -> Ok r
+  | exception Imtp_tir.Eval.Error m -> Error ("Eval.Error: " ^ m)
+  | exception Division_by_zero -> Error "Division_by_zero"
+
+let run_exec p ~inputs =
+  match Exec.run_compiled (Exec.compile p) ~inputs with
+  | r -> Ok r
+  | exception Imtp_tir.Eval.Error m -> Error ("Eval.Error: " ^ m)
+  | exception Division_by_zero -> Error "Division_by_zero"
+
+let check_same_outcome name p ~inputs =
+  match (run_exec p ~inputs, run_eval p ~inputs) with
+  | Error a, Error b -> Alcotest.(check string) (name ^ ": error") b a
+  | Ok (outs_c, c_c), Ok (outs_i, c_i) ->
+      Alcotest.(check int)
+        (name ^ ": buffer count")
+        (List.length outs_i) (List.length outs_c);
+      List.iter2
+        (fun (n1, t1) (n2, t2) ->
+          Alcotest.(check string) (name ^ ": buffer order") n1 n2;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: buffer %s equal" name n1)
+            true (T.Tensor.equal t1 t2))
+        outs_i outs_c;
+      Alcotest.(check bool) (name ^ ": counters") true (c_i = c_c)
+  | Ok _, Error m ->
+      Alcotest.fail
+        (Printf.sprintf "%s: compiled succeeded, interpreter raised %S" name m)
+  | Error m, Ok _ ->
+      Alcotest.fail
+        (Printf.sprintf "%s: compiled raised %S, interpreter succeeded" name m)
+
+let test_exec_matches_eval () =
+  let p = hand_program 8 2 in
+  let a =
+    T.Tensor.init T.Dtype.I32 (T.Shape.create [ 16 ]) (fun i -> T.Value.Int i.(0))
+  in
+  check_same_outcome "hand program" p ~inputs:[ ("A", a) ];
+  (* and the outputs are actually right, not just mutually wrong. *)
+  let outs = Exec.run p ~inputs:[ ("A", a) ] in
+  let c = List.assoc "C" outs in
+  for i = 0 to 15 do
+    Alcotest.(check bool)
+      (Printf.sprintf "c[%d]" i)
+      true
+      (T.Value.equal (T.Tensor.get_flat c i) (T.Value.Int (2 * i)))
+  done
+
+let test_exec_error_parity () =
+  let p = hand_program 8 2 in
+  let k = List.hd p.P.kernels in
+  let rebody body = { p with P.kernels = [ { k with P.body } ] } in
+  (* Scope violation, out-of-bounds store and out-of-bounds DMA must
+     raise the interpreter's exact message from the compiled path. *)
+  List.iter
+    (fun (name, bad) -> check_same_outcome name bad ~inputs:[])
+    [
+      ("kernel writes host buffer", rebody (St.store "A" (ei 0) (ei 1)));
+      ("kernel reads host buffer", rebody (St.store "C_m" (ei 0) (E.load "A" (ei 0))));
+      ("mram store out of bounds", rebody (St.store "C_m" (ei 99) (ei 1)));
+      ("unknown buffer", rebody (St.store "nope" (ei 0) (ei 1)));
+      ( "dma out of bounds",
+        rebody
+          (St.Dma
+             {
+               dir = St.Mram_to_wram;
+               wram = "A_m";
+               wram_off = ei 0;
+               mram = "C_m";
+               mram_off = ei 4;
+               elems = ei 8;
+             }) );
+      ( "host reads mram",
+        { p with P.host = St.store "C" (ei 0) (E.load "A_m" (ei 0)) } );
+      ( "float index",
+        { p with P.host = St.store "C" (E.Cast (T.Dtype.F32, ei 0)) (ei 1) } );
+      ( "division by zero",
+        { p with P.host = St.store "C" (ei 0) E.(int 1 / int 0) } );
+    ]
+
+let test_exec_cast_pinned () =
+  (* The pinned float->int conversion: NaN to 0, truncation toward
+     zero, saturation at the i32 range, I8 wrapping the i32 result. *)
+  let o = B.create "O" T.Dtype.I32 ~elems:6 B.Host in
+  let cast dt f = E.Cast (dt, E.float f) in
+  let host =
+    St.seq
+      [
+        St.store "O" (ei 0) (cast T.Dtype.I32 Float.nan);
+        St.store "O" (ei 1) (cast T.Dtype.I32 1e12);
+        St.store "O" (ei 2) (cast T.Dtype.I32 (-1e12));
+        St.store "O" (ei 3) (cast T.Dtype.I32 3.7);
+        St.store "O" (ei 4) (cast T.Dtype.I32 (-3.7));
+        St.store "O" (ei 5) (cast T.Dtype.I8 3000.);
+      ]
+  in
+  let p =
+    { P.name = "casts"; host_buffers = [ o ]; mram_buffers = []; kernels = []; host }
+  in
+  check_same_outcome "casts" p ~inputs:[];
+  let expect = [ 0; 2147483647; -2147483648; 3; -3; -72 ] in
+  let out = List.assoc "O" (Exec.run p ~inputs:[]) in
+  List.iteri
+    (fun i want ->
+      Alcotest.(check bool)
+        (Printf.sprintf "O[%d] = %d" i want)
+        true
+        (T.Value.equal (T.Tensor.get_flat out i) (T.Value.Int want)))
+    expect
+
+(* --- cost-model regressions ------------------------------------------- *)
+
+(* [iters] grouped Push transfers with [group] DPUs per call, over a
+   kernel spanning [iters] DPUs. *)
+let push_cost_program ?(mode = St.Push) iters group =
+  let a = B.create "A" T.Dtype.I32 ~elems:(8 * iters) B.Host in
+  let am = B.create "A_m" T.Dtype.I32 ~elems:8 B.Mram in
+  let blk = v "blk" in
+  let kbody =
+    St.For { var = blk; extent = ei iters; kind = St.Bound St.Block_x; body = St.Nop }
+  in
+  let d = v "d" in
+  let host =
+    St.For
+      {
+        var = d;
+        extent = ei iters;
+        kind = St.Serial;
+        body =
+          St.Xfer
+            {
+              dir = St.To_dpu;
+              mode;
+              host = "A";
+              host_off = E.(var d * int 8);
+              dpu = E.var d;
+              mram = "A_m";
+              mram_off = ei 0;
+              elems = ei 8;
+              group_dpus = group;
+            };
+      }
+  in
+  {
+    P.name = "push_cost";
+    host_buffers = [ a ];
+    mram_buffers = [ am ];
+    kernels = [ { P.kname = "k"; body = kbody } ];
+    host;
+  }
+
+let h2d_of ?mode iters group =
+  (Imtp_tir.Cost.measure Imtp_upmem.Config.default
+     (push_cost_program ?mode iters group))
+    .Imtp_upmem.Stats.h2d_s
+
+let test_cost_push_partial_group_rounds_up () =
+  (* 5 pushes in groups of 4 take two bulk calls: a partial trailing
+     group still pays a full per-call overhead.  The broken model
+     charged a fractional 1.25 calls. *)
+  let t4 = h2d_of 4 4 and t5 = h2d_of 5 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "push: t5=%g vs 2*t4=%g" t5 (2. *. t4))
+    true
+    (t5 >= 1.95 *. t4)
+
+let test_cost_broadcast_partial_group_rounds_up () =
+  let t2 = h2d_of ~mode:St.Broadcast_x 2 2
+  and t3 = h2d_of ~mode:St.Broadcast_x 3 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "broadcast: t3=%g vs 2*t2=%g" t3 (2. *. t2))
+    true
+    (t3 >= 1.95 *. t2)
+
+let test_cost_if_else_branch_charged () =
+  (* An If whose transfer work sits in [else_] must cost the same as
+     the mirror-image If carrying it in [then_]; the broken walk
+     silently dropped else branches. *)
+  let p = hand_program 8 2 in
+  let push_loop =
+    match p.P.host with
+    | St.Seq (x :: _) -> x
+    | _ -> Alcotest.fail "unexpected hand_program host shape"
+  in
+  let h2d host =
+    (Imtp_tir.Cost.measure Imtp_upmem.Config.default { p with P.host })
+      .Imtp_upmem.Stats.h2d_s
+  in
+  let in_then =
+    h2d (St.If { cond = ei 1; then_ = push_loop; else_ = Some St.Nop })
+  in
+  let in_else =
+    h2d (St.If { cond = ei 0; then_ = St.Nop; else_ = Some push_loop })
+  in
+  Alcotest.(check bool) "else branch costed" true (in_else > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "symmetric: then=%g else=%g" in_then in_else)
+    true
+    (Float.abs (in_then -. in_else) <= 1e-12 *. Float.max in_then 1.)
+
+let test_cost_host_parallel_if_else_charged () =
+  (* Same regression for the boundary-cost walk used under
+     Host_parallel loops. *)
+  let p = hand_program 8 2 in
+  let i = v "i" in
+  let stores =
+    St.For
+      {
+        var = v "j";
+        extent = ei 32;
+        kind = St.Serial;
+        body = St.store "A" (ei 0) (ei 1);
+      }
+  in
+  let host_s body =
+    let host =
+      St.For { var = i; extent = ei 64; kind = St.Host_parallel 4; body }
+    in
+    (Imtp_tir.Cost.measure Imtp_upmem.Config.default { p with P.host })
+      .Imtp_upmem.Stats.host_s
+  in
+  let in_then = host_s (St.If { cond = ei 1; then_ = stores; else_ = Some St.Nop }) in
+  let in_else = host_s (St.If { cond = ei 0; then_ = St.Nop; else_ = Some stores }) in
+  let empty = host_s (St.If { cond = ei 0; then_ = St.Nop; else_ = None }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "else-heavy %g > empty %g" in_else empty)
+    true (in_else > empty);
+  Alcotest.(check bool)
+    (Printf.sprintf "symmetric: then=%g else=%g" in_then in_else)
+    true
+    (Float.abs (in_then -. in_else) <= 1e-12 *. Float.max in_then 1.)
+
 let test_cost_measures_phases () =
   let p = hand_program 1024 64 in
   let stats = Imtp_tir.Cost.measure Imtp_upmem.Config.default p in
@@ -537,6 +776,23 @@ let () =
           Alcotest.test_case "cost phases" `Quick test_cost_measures_phases;
           Alcotest.test_case "cost monotone" `Quick test_cost_more_work_costs_more;
           Alcotest.test_case "printer" `Quick test_printer_smoke;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "matches interpreter" `Quick test_exec_matches_eval;
+          Alcotest.test_case "error parity" `Quick test_exec_error_parity;
+          Alcotest.test_case "cast pinned" `Quick test_exec_cast_pinned;
+        ] );
+      ( "cost-regressions",
+        [
+          Alcotest.test_case "push partial group" `Quick
+            test_cost_push_partial_group_rounds_up;
+          Alcotest.test_case "broadcast partial group" `Quick
+            test_cost_broadcast_partial_group_rounds_up;
+          Alcotest.test_case "if else charged" `Quick
+            test_cost_if_else_branch_charged;
+          Alcotest.test_case "host-parallel if else charged" `Quick
+            test_cost_host_parallel_if_else_charged;
         ] );
       ( "properties",
         q
