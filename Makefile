@@ -8,7 +8,7 @@ FUZZ_CASES ?= 10000
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: all test check doc bench bench-exec fuzz clean
+.PHONY: all test check doc bench bench-exec bench-model fuzz clean
 
 all:
 	dune build @all
@@ -47,6 +47,12 @@ bench:
 # Just the executor-throughput comparison.
 bench-exec:
 	dune exec bench/main.exe -- --exec-throughput --out BENCH_$(BENCH_DATE).json
+
+# Learned-cost-model gate: full vs gated search on the acceptance
+# workloads (fixed seeds), recording best latency, simulator-execution
+# counts and the reduction factor into BENCH_<date>.json.
+bench-model:
+	dune exec bench/main.exe -- --model-gating --out BENCH_$(BENCH_DATE).json
 
 # Long fuzzing campaign with a date-derived seed (override with
 # FUZZ_SEED=n / FUZZ_CASES=n / JOBS=n).  The seed is printed first so

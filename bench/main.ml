@@ -8,6 +8,8 @@
                                               # Engine.batch at -j 1/2/4
      dune exec bench/main.exe -- --exec-throughput [--out FILE]
                                               # interpreter vs compiled executor
+     dune exec bench/main.exe -- --model-gating [--out FILE]
+                                              # full vs model-gated search
 
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md's experiment index); the Bechamel suite
@@ -336,6 +338,96 @@ let exec_throughput ~out () =
       close_out oc;
       Printf.printf "appended to %s\n" path
 
+(* --- Model-gated search: simulator executions vs best latency ------- *)
+
+(* The learned-cost-model acceptance numbers, on the same fixed seeds
+   the committed test pins: a full-measurement search vs a gated one
+   ([measure_ratio]) on the paper's GEMV/MMTV shapes.  Best latencies
+   are compared noise-free (the winning schedule re-measured without
+   an rng), and the simulator ledger is the engine's [costed] counter.
+   Appends a JSON report to [--out] when given. *)
+let model_gating ~out () =
+  let cfg = Util.cfg in
+  let seed = 13 and trials = 200 and ratio = 0.05 in
+  let noise_free op params =
+    let engine = Imtp.Engine.create cfg in
+    match Imtp.Engine.measure engine op params with
+    | Ok m -> m.Imtp.Engine.latency_s
+    | Error _ -> infinity
+  in
+  Util.heading
+    (Printf.sprintf
+       "Model-gated search: seed %d, %d trials, measure-ratio %.2f" seed
+       trials ratio);
+  let rows =
+    List.map
+      (fun (name, op) ->
+        let t0 = Unix.gettimeofday () in
+        let full = Imtp.Search.run ~seed cfg op ~trials in
+        let full_s = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        let gated =
+          Imtp.Search.run ~seed ~measure_ratio:ratio cfg op ~trials
+        in
+        let gated_s = Unix.gettimeofday () -. t0 in
+        let best o =
+          match o.Imtp.Search.best with
+          | Some b -> noise_free op b.Imtp.Measure.params
+          | None -> infinity
+        in
+        let bf = best full and bg = best gated in
+        let reduction =
+          float_of_int full.Imtp.Search.measured_trials
+          /. float_of_int (max 1 gated.Imtp.Search.measured_trials)
+        in
+        Printf.printf
+          "  %-14s full: best %.4e s, %3d sims, %.2f s | gated: best \
+           %.4e, %3d sims, %d skipped, %.2f s | %.1fx fewer sims, best \
+           %.2f%% %s\n\
+           %!"
+          name bf full.Imtp.Search.measured_trials full_s bg
+          gated.Imtp.Search.measured_trials gated.Imtp.Search.skipped gated_s
+          reduction
+          (100. *. Float.abs (1. -. (bg /. bf)))
+          (if bg <= bf then "better" else "worse");
+        (name, bf, full, full_s, bg, gated, gated_s, reduction))
+      [
+        ("gemv 512x512", Imtp.Ops.gemv ~c:3 512 512);
+        ("mmtv 8x64x64", Imtp.Ops.mmtv 8 64 64);
+      ]
+  in
+  match out with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      Printf.ksprintf (Buffer.add_string buf)
+        "  \"benchmark\": \"model-gated search\",\n\
+        \  \"date\": %.0f,\n\
+        \  \"seed\": %d,\n\
+        \  \"trials\": %d,\n\
+        \  \"measure_ratio\": %.3f,\n\
+        \  \"workloads\": [\n"
+        (Unix.time ()) seed trials ratio;
+      List.iteri
+        (fun i (name, bf, full, full_s, bg, gated, gated_s, reduction) ->
+          Printf.ksprintf (Buffer.add_string buf)
+            "    { \"op\": %S, \"full_best_s\": %.6e, \"full_sims\": %d, \
+             \"full_wall_s\": %.4f, \"gated_best_s\": %.6e, \"gated_sims\": \
+             %d, \"gated_skipped\": %d, \"gated_wall_s\": %.4f, \
+             \"sim_reduction\": %.2f, \"gated_best_ratio\": %.4f }%s\n"
+            name bf full.Imtp.Search.measured_trials full_s bg
+            gated.Imtp.Search.measured_trials gated.Imtp.Search.skipped
+            gated_s reduction (bg /. bf)
+            (if i = List.length rows - 1 then "" else ",")
+        )
+        rows;
+      Buffer.add_string buf "  ]\n}\n";
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "appended to %s\n" path
+
 (* Each experiment runs under a [bench.<name>] observability span; with
    IMTP_TRACE=FILE set, the spans (and the engine/search metrics they
    enclose) stream to a JSONL trace readable by `imtp report`. *)
@@ -358,6 +450,8 @@ let () =
   | [ "--batch-scaling"; "--out"; path ] -> batch_scaling ~out:(Some path) ()
   | [ "--exec-throughput" ] -> exec_throughput ~out:None ()
   | [ "--exec-throughput"; "--out"; path ] -> exec_throughput ~out:(Some path) ()
+  | [ "--model-gating" ] -> model_gating ~out:None ()
+  | [ "--model-gating"; "--out"; path ] -> model_gating ~out:(Some path) ()
   | names ->
       List.iter
         (fun name ->

@@ -199,15 +199,35 @@ let log_arg =
     & opt (some string) None
     & info [ "log" ] ~docv:"FILE" ~doc:"Write the tuning history to a log file.")
 
+let measure_ratio_arg =
+  Arg.(
+    value
+    & opt float 0.2
+    & info [ "measure-ratio" ] ~docv:"R"
+        ~doc:
+          "Fraction of each search generation the learned cost model \
+           forwards to the simulator (in (0,1]). Ignored under \
+           $(b,--no-cost-model).")
+
+let no_cost_model_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cost-model" ]
+        ~doc:
+          "Disable the learned TIR cost model and measure every candidate \
+           (the pre-gating search, bit-identical trajectories).")
+
 let tune_cmd =
   let doc = "Autotune an operation and report the winning schedule." in
-  let run name sizes trials seed dpus jobs log verbose trace =
+  let run name sizes trials seed dpus jobs measure_ratio no_cost_model log
+      verbose trace =
     setup_logging verbose;
     apply_jobs jobs;
     with_trace trace @@ fun () ->
     let op = build_op name sizes in
     let config = machine dpus in
-    match Imtp.Tuner.tune ~trials ~seed config op with
+    let measure_ratio = if no_cost_model then None else Some measure_ratio in
+    match Imtp.Tuner.tune ~trials ~seed ?measure_ratio config op with
     | Error m ->
         Format.eprintf "error: %s@." m;
         exit 1
@@ -217,6 +237,10 @@ let tune_cmd =
         let s = r.Imtp.Tuner.search in
         Format.printf "search: %d measured, %d invalid candidates filtered@."
           s.Imtp.Search.measured s.Imtp.Search.invalid_candidates;
+        Format.printf
+          "search: %d simulator executions, %d candidates gated out \
+           (predicted only)@."
+          s.Imtp.Search.measured_trials s.Imtp.Search.skipped;
         Format.printf "search: %.2f s wall clock (%.0f trials/s)@."
           s.Imtp.Search.elapsed_s
           (float_of_int trials /. Float.max 1e-9 s.Imtp.Search.elapsed_s);
@@ -241,7 +265,8 @@ let tune_cmd =
     (Cmd.info "tune" ~doc)
     Term.(
       const run $ op_arg $ sizes_arg $ trials_arg $ seed_arg $ dpus_arg
-      $ jobs_arg $ log_arg $ verbose_arg $ trace_arg)
+      $ jobs_arg $ measure_ratio_arg $ no_cost_model_arg $ log_arg
+      $ verbose_arg $ trace_arg)
 
 (* --- replay ---------------------------------------------------------- *)
 

@@ -14,6 +14,8 @@ type record = {
   params : Sketch.params;
   latency_s : float;
   best_so_far : float;
+  measured : bool;
+  predicted_s : float option;
 }
 
 type outcome = {
@@ -21,6 +23,8 @@ type outcome = {
   history : record list;
   invalid_candidates : int;
   measured : int;
+  measured_trials : int;
+  skipped : int;
   cache_hits : int;
   elapsed_s : float;
 }
@@ -75,10 +79,14 @@ let parent_pool strategy ~early population =
   else take top_k sorted
 
 let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
-    ?(use_cost_model = true) ?engine cfg op ~trials =
+    ?(use_cost_model = true) ?measure_ratio ?engine cfg op ~trials =
   let jobs =
     match jobs with Some j -> j | None -> Imtp_engine.Pool.default_jobs ()
   in
+  (match measure_ratio with
+  | Some r when not (r > 0. && r <= 1.) ->
+      invalid_arg "Search.run: measure_ratio must be in (0, 1]"
+  | Some _ | None -> ());
   Obs.span ~name:"search.run"
     ~attrs:
       [
@@ -86,6 +94,8 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
         ("trials", Obs.Int trials);
         ("seed", Obs.Int seed);
         ("jobs", Obs.Int jobs);
+        ( "measure_ratio",
+          Obs.Float (Option.value measure_ratio ~default:1.) );
       ]
   @@ fun () ->
   let t0 = Obs.now_s () in
@@ -93,23 +103,38 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
     match engine with Some e -> e | None -> Engine.create cfg
   in
   let hits0 = (Engine.counters engine).Engine.hits in
+  let costed0 = (Engine.counters engine).Engine.costed in
   let rng = Rng.create ~seed in
   let model = Cost_model.create () in
+  let tir_model = Cost_learn.create () in
   (* Params measured this run; duplicate proposals are deduplicated here
      (one history entry per candidate) while the engine cache spares
-     them the re-build. *)
+     them the re-build.  Under gating, [skipped_seen] additionally
+     remembers candidates that already carry a predicted (unmeasured)
+     history entry — a re-proposal may still be measured later, but
+     never produces a second predicted entry. *)
   let seen = Hashtbl.create 64 in
+  let skipped_seen = Hashtbl.create 64 in
   let history = ref [] in
   let best = ref None in
   let invalid = ref 0 in
   let measured = ref 0 in
+  let skipped = ref 0 in
   let trial = ref 0 in
   let population = ref [] in
-  let record ~trial params (m : Engine.measurement) =
+  let best_so_far () =
+    match !best with Some b -> b.Measure.latency_s | None -> infinity
+  in
+  let record ?predicted_s ~trial params (m : Engine.measurement) =
     incr measured;
     Hashtbl.replace seen params ();
+    Hashtbl.remove skipped_seen params;
     let latency_s = m.Engine.latency_s in
     Cost_model.observe model (Cost_model.features op params) latency_s;
+    if measure_ratio <> None then
+      Cost_learn.observe tir_model
+        (Cost_learn.features m.Engine.artifact.Engine.program)
+        latency_s;
     let r =
       { Measure.params; stats = m.Engine.artifact.Engine.stats; latency_s }
     in
@@ -118,11 +143,31 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
     | Some _ | None ->
         best := Some r;
         Obs.set_gauge "search.best_latency_s" latency_s);
-    let best_so_far =
-      match !best with Some b -> b.Measure.latency_s | None -> infinity
-    in
     Obs.observe "search.trial_latency_s" latency_s;
-    history := { trial; params; latency_s; best_so_far } :: !history
+    history :=
+      {
+        trial;
+        params;
+        latency_s;
+        best_so_far = best_so_far ();
+        measured = true;
+        predicted_s;
+      }
+      :: !history
+  in
+  let record_skipped ~trial params ~predicted_s =
+    incr skipped;
+    Hashtbl.replace skipped_seen params ();
+    history :=
+      {
+        trial;
+        params;
+        latency_s = predicted_s;
+        best_so_far = best_so_far ();
+        measured = false;
+        predicted_s = Some predicted_s;
+      }
+      :: !history
   in
   (* One proposal consumes one trial; invalid candidates (typed engine
      errors, cached after first rejection) and duplicate proposals burn
@@ -152,11 +197,50 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
     in
     go 16
   in
+  (* Initial population under gating: measure until the TIR model has
+     its ground truth, then admit the rest of the population on
+     predicted fitness alone. *)
+  let random_valid_gated () =
+    let rec go attempts =
+      if attempts = 0 then None
+      else begin
+        let params = Sketch.random rng cfg op in
+        if Hashtbl.mem seen params || Hashtbl.mem skipped_seen params then
+          go (attempts - 1)
+        else begin
+          match Engine.prepare engine ?passes ?skip_inputs op params with
+          | Error _ ->
+              incr invalid;
+              go (attempts - 1)
+          | Ok prep ->
+              let x = Cost_learn.features prep.Engine.pprogram in
+              if not (Cost_learn.trained tir_model) then begin
+                match Engine.simulate engine ~rng prep with
+                | Error _ ->
+                    incr invalid;
+                    go (attempts - 1)
+                | Ok m ->
+                    record ~trial:!trial params m;
+                    Some (params, m.Engine.latency_s)
+              end
+              else begin
+                let predicted_s = Cost_learn.predict tir_model x in
+                record_skipped ~trial:!trial params ~predicted_s;
+                Some (params, predicted_s)
+              end
+        end
+      end
+    in
+    go 16
+  in
   (* Initial population: random sampling (uniform across design
      spaces, hence unaffected by the balanced sampler). *)
   Obs.span ~name:"search.init" (fun () ->
+      let sample =
+        if measure_ratio = None then random_valid else random_valid_gated
+      in
       while !trial < min trials population_size do
-        (match random_valid () with
+        (match sample () with
         | Some c -> population := c :: !population
         | None -> ());
         incr trial
@@ -199,12 +283,110 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
       end
     in
     let candidates = List.init gen_size propose in
-    let results =
-      Engine.batch engine ~jobs ~rng ?passes ?skip_inputs op candidates
-    in
     let offspring =
-      List.mapi (fun i r -> consume ~trial:(!trial + i) r) results
-      |> List.filter_map Fun.id
+      match measure_ratio with
+      | None ->
+          let results =
+            Engine.batch engine ~jobs ~rng ?passes ?skip_inputs op candidates
+          in
+          List.mapi (fun i r -> consume ~trial:(!trial + i) r) results
+          |> List.filter_map Fun.id
+      | Some ratio ->
+          (* Prepare the whole generation (no simulator, no rng), rank
+             it with the learned model, and forward only the top
+             fraction to the simulator.  Selection is a pure function
+             of the trial history and the seed: preparation is
+             jobs-independent, ranking is stable, and the one [bits]
+             draw plus per-candidate noise streams mirror the
+             [Engine.batch] contract. *)
+          let prepped =
+            Engine.prepare_batch engine ~jobs ?passes ?skip_inputs op candidates
+          in
+          Obs.span ~name:"search.rank"
+            ~attrs:[ ("size", Obs.Int gen_size) ]
+          @@ fun () ->
+          let fresh =
+            List.mapi (fun i (params, r) -> (i, params, r)) prepped
+            |> List.filter_map (fun (i, params, r) ->
+                   match r with
+                   | Ok prep when not (Hashtbl.mem seen params) ->
+                       Some (i, params, prep)
+                   | Ok _ | Error _ -> None)
+          in
+          let n_invalid =
+            List.length
+              (List.filter (fun (_, r) -> Result.is_error r) prepped)
+          in
+          invalid := !invalid + n_invalid;
+          let feats =
+            List.map
+              (fun (_, _, prep) -> Cost_learn.features prep.Engine.pprogram)
+              fresh
+          in
+          let order = Cost_learn.rank tir_model feats in
+          (* Snapshot predictions at ranking time — the model refits as
+             measurements are observed below, and the recorded
+             [predicted_s] must be the values the selection was made
+             from (the re-rank invariant tests hold the log to this). *)
+          let trained_at_rank = Cost_learn.trained tir_model in
+          let pred_arr =
+            Array.of_list (List.map (Cost_learn.predict tir_model) feats)
+          in
+          let n_sel =
+            if trained_at_rank then
+              Cost_learn.select_count ~ratio (List.length fresh)
+            else List.length fresh
+          in
+          let selected_ranks = take n_sel order in
+          let fresh_arr = Array.of_list fresh in
+          let selected =
+            List.sort compare selected_ranks
+            (* measure in proposal order so the noise-stream indices
+               below are independent of the ranking. *)
+          in
+          let base = Rng.bits rng in
+          let measured_now = Hashtbl.create 16 in
+          List.iter
+            (fun k ->
+              let i, params, prep = fresh_arr.(k) in
+              if Hashtbl.mem seen params then ()
+              else begin
+              let predicted_s =
+                if trained_at_rank then Some pred_arr.(k) else None
+              in
+              let noise = Rng.stream ~base ~index:i in
+              match Engine.simulate engine ~rng:noise prep with
+              | Error _ -> incr invalid
+              | Ok m ->
+                  record ?predicted_s ~trial:(!trial + i) params m;
+                  Hashtbl.replace measured_now k (params, m.Engine.latency_s)
+              end)
+            selected;
+          Obs.add_attr "selected" (Obs.Int (List.length selected));
+          Obs.incr ~by:(List.length selected) "search.gate.measured";
+          let offspring = ref [] in
+          List.iteri
+            (fun k (i, params, _prep) ->
+              match Hashtbl.find_opt measured_now k with
+              | Some c -> offspring := c :: !offspring
+              | None ->
+                  (* a duplicate slot of a candidate measured just above
+                     (or skip-recorded before) burns its trial silently *)
+                  if
+                    (not (Hashtbl.mem skipped_seen params))
+                    && not (Hashtbl.mem seen params)
+                  then begin
+                    let predicted_s = pred_arr.(k) in
+                    if Float.is_finite predicted_s then begin
+                      record_skipped ~trial:(!trial + i) params ~predicted_s;
+                      offspring := (params, predicted_s) :: !offspring
+                    end
+                  end)
+            fresh;
+          Obs.incr
+            ~by:(List.length fresh - List.length selected)
+            "search.gate.skipped";
+          List.rev !offspring
     in
     trial := !trial + gen_size;
     population :=
@@ -224,12 +406,47 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
           | None -> Float.nan)
           !invalid)
   done;
+  (* Confirmation pass (gated only): the final population may hold
+     predicted-only candidates the model ranks better than anything
+     measured — simulate the most promising few before declaring a
+     winner, so a model that found the optimum late still cashes it
+     in.  Bounded by a small budget so the simulator ledger stays
+     ~ratio-proportional. *)
+  (match measure_ratio with
+  | None -> ()
+  | Some ratio ->
+      Obs.span ~name:"search.confirm" @@ fun () ->
+      let budget = max 3 (Cost_learn.select_count ~ratio population_size) in
+      let promising =
+        List.filter
+          (fun (p, l) -> (not (Hashtbl.mem seen p)) && l < best_so_far ())
+          !population
+        |> List.stable_sort by_latency |> take budget
+      in
+      Obs.add_attr "candidates" (Obs.Int (List.length promising));
+      List.iter
+        (fun (params, predicted_s) ->
+          match Engine.prepare engine ?passes ?skip_inputs op params with
+          | Error _ -> incr invalid
+          | Ok prep -> (
+              match Engine.simulate engine ~rng prep with
+              | Error _ -> incr invalid
+              | Ok m ->
+                  record ~predicted_s ~trial:!trial params m;
+                  incr trial))
+        promising);
   let elapsed_s = Obs.now_s () -. t0 in
   Obs.incr ~by:!trial "search.trials";
   Obs.incr ~by:!measured "search.measured";
+  Obs.incr ~by:!skipped "search.skipped";
   Obs.incr ~by:!invalid "search.invalid";
   let cache_hits = (Engine.counters engine).Engine.hits - hits0 in
+  let measured_trials = (Engine.counters engine).Engine.costed - costed0 in
   Obs.incr ~by:cache_hits "search.cache_hits";
+  Obs.incr ~by:measured_trials "search.measured_trials";
+  (match Cost_learn.mean_abs_log_err tir_model with
+  | Some e -> Obs.set_gauge "search.model_abs_log_err" e
+  | None -> ());
   if elapsed_s > 0. then
     Obs.set_gauge "search.trials_per_s" (float_of_int !trial /. elapsed_s);
   {
@@ -237,6 +454,8 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
     history = List.rev !history;
     invalid_candidates = !invalid;
     measured = !measured;
+    measured_trials;
+    skipped = !skipped;
     cache_hits;
     elapsed_s;
   }

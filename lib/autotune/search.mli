@@ -1,4 +1,5 @@
-(** Balanced evolutionary search (§5.2.3).
+(** Balanced evolutionary search (§5.2.3), optionally measurement-gated
+    by a learned cost model over lowered TIR ({!Cost_learn}).
 
     The joint host+kernel space contains two design-space families —
     with and without [rfactor] — whose early measurements differ
@@ -17,7 +18,24 @@
     Candidates are built and costed through {!Imtp_engine.Engine}: each
     generation is measured as one engine batch, and duplicate proposals
     (common under mutation) are served from the engine's
-    content-addressed cache instead of being re-lowered. *)
+    content-addressed cache instead of being re-lowered.
+
+    {2 Measurement gating}
+
+    With [measure_ratio = Some r], each proposed generation is only
+    {e prepared} (built up to the optimized program, no simulator),
+    ranked by the online {!Cost_learn} model, and only the top
+    [ceil (r * n)] candidates are forwarded to the simulator; the rest
+    join the population and the history carrying their predicted cost.
+    The model refits from the accumulated measured trials once per
+    generation.  Gating is a pure function of the trial history and the
+    seed — preparation draws no randomness, ranking is stable with ties
+    broken by proposal order, and measured-noise streams are indexed by
+    proposal slot exactly as in {!Imtp_engine.Engine.batch} — so
+    [~jobs:n] equivalence and log replay are preserved.  With
+    [measure_ratio = None] (the default) the search takes the exact
+    ungated code path and is bit-identical to its pre-gating
+    behaviour. *)
 
 type strategy = { balanced_sampling : bool; adaptive_epsilon : bool }
 
@@ -28,19 +46,37 @@ val imtp_default : strategy
 (** Both techniques. *)
 
 type record = {
-  trial : int;  (** 0-based trial index the measurement was taken at. *)
-  params : Sketch.params;  (** the measured candidate. *)
-  latency_s : float;  (** its (noisy) measured latency. *)
-  best_so_far : float;  (** running best at this trial, inclusive. *)
+  trial : int;  (** 0-based trial index the candidate was proposed at. *)
+  params : Sketch.params;  (** the candidate. *)
+  latency_s : float;
+      (** its (noisy) measured latency — or, for a gated-out candidate
+          ([measured = false]), the model's predicted latency. *)
+  best_so_far : float;  (** running best {e measured} latency, inclusive. *)
+  measured : bool;
+      (** whether the simulator actually ran for this record (always
+          [true] in an ungated search). *)
+  predicted_s : float option;
+      (** the model's predicted latency at ranking time, when a trained
+          model scored this candidate (for measured trials this is the
+          prediction {e before} measurement — the gate's audit trail). *)
 }
-(** One measured trial, as recorded in the search history (and in
+(** One trial, as recorded in the search history (and in
     {!Tuning_log} files). *)
 
 type outcome = {
   best : Measure.result option;  (** best measured candidate, if any. *)
-  history : record list;  (** chronological, one per measured trial. *)
+  history : record list;  (** chronological, one per recorded trial. *)
   invalid_candidates : int;  (** candidates rejected by the verifier. *)
   measured : int;  (** distinct candidates actually measured. *)
+  measured_trials : int;
+      (** simulator executions this run actually paid for (the engine's
+          [costed] delta): cache hits, duplicates and gated-out
+          candidates all cost zero.  The measurement gate's acceptance
+          metric — a gated run must reach the same best with far fewer
+          of these. *)
+  skipped : int;
+      (** distinct candidates the gate recorded with a predicted cost
+          instead of measuring (0 in an ungated search). *)
   cache_hits : int;
       (** engine-cache hits during the run — trials whose build was
           deduplicated instead of recompiled (duplicate proposals, and
@@ -52,9 +88,12 @@ type outcome = {
 (** Everything a search run produces.  The run also emits telemetry
     through {!Imtp_obs.Obs}: a [search.run] span enclosing [search.init]
     and per-generation [search.generation] spans (with population /
-    acceptance attributes), the [search.*] counters, and the
-    [search.best_latency_s] / [search.trials_per_s] gauges — see
-    DESIGN.md's "Observability" section for the full taxonomy. *)
+    acceptance attributes), a per-generation [search.rank] span under
+    gating (with size/selected attributes), the [search.*] counters
+    (including [search.measured_trials] and [search.skipped]), and the
+    [search.best_latency_s] / [search.model_abs_log_err] /
+    [search.trials_per_s] gauges — see DESIGN.md's "Observability"
+    section for the full taxonomy. *)
 
 val run :
   ?strategy:strategy ->
@@ -63,19 +102,27 @@ val run :
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
   ?use_cost_model:bool ->
+  ?measure_ratio:float ->
   ?engine:Imtp_engine.Engine.t ->
   Imtp_upmem.Config.t ->
   Imtp_workload.Op.t ->
   trials:int ->
   outcome
 (** Run [trials] measurements.  Deterministic for a given seed at any
-    [jobs] value: generation batches go through {!Imtp_engine.Engine.batch},
-    whose results are independent of how many domains measure them.
+    [jobs] value: generation batches go through {!Imtp_engine.Engine.batch}
+    (or {!Imtp_engine.Engine.prepare_batch} under gating), whose results
+    are independent of how many domains build them.
     [jobs] (default {!Imtp_engine.Pool.default_jobs}) bounds the worker
     domains per generation batch.  [use_cost_model] (default true) lets
-    the learned cost model rank candidate mutations before measurement;
-    disabling it falls back to unguided mutation (an ablation of
-    Fig. 5's "evolutionary search guided by a cost model").  [engine]
-    (default: a fresh engine for [cfg]) carries the build cache; pass a
-    shared engine to reuse builds across runs — the search still
-    measures (and records) each distinct candidate once per run. *)
+    the parameter-space {!Cost_model} rank candidate mutations before
+    proposal; disabling it falls back to unguided mutation (an ablation
+    of Fig. 5's "evolutionary search guided by a cost model").
+    [measure_ratio] (default [None]: measure everything, pre-gating
+    behaviour preserved bit-for-bit) turns on TIR-level measurement
+    gating at the given simulator fraction; must be in (0, 1].
+    [engine] (default: a fresh engine for [cfg]) carries the build
+    cache; pass a shared engine to reuse builds across runs — the
+    search still measures (and records) each distinct candidate once
+    per run.
+
+    @raise Invalid_argument if [measure_ratio] is outside (0, 1]. *)

@@ -9,8 +9,8 @@ type result = {
   cache : Engine.counters;
 }
 
-let tune ?strategy ?seed ?jobs ?(trials = 128) ?passes ?skip_inputs ?engine cfg
-    op =
+let tune ?strategy ?seed ?jobs ?(trials = 128) ?passes ?skip_inputs
+    ?measure_ratio ?engine cfg op =
   Obs.span ~name:"tuner.tune"
     ~attrs:
       [
@@ -21,8 +21,8 @@ let tune ?strategy ?seed ?jobs ?(trials = 128) ?passes ?skip_inputs ?engine cfg
   Obs.incr "tuner.tunes";
   let engine = match engine with Some e -> e | None -> Engine.create cfg in
   let search =
-    Search.run ?strategy ?seed ?jobs ?passes ?skip_inputs ~engine cfg op
-      ~trials
+    Search.run ?strategy ?seed ?jobs ?passes ?skip_inputs ?measure_ratio
+      ~engine cfg op ~trials
   in
   match search.Search.best with
   | None -> Error "autotuning found no valid candidate"

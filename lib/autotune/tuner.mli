@@ -20,13 +20,16 @@ val tune :
   ?trials:int ->
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
+  ?measure_ratio:float ->
   ?engine:Imtp_engine.Engine.t ->
   Imtp_upmem.Config.t ->
   Imtp_workload.Op.t ->
   (result, string) Result.t
 (** Defaults: IMTP strategy, 128 trials, a fresh engine, and
     [Imtp_engine.Pool.default_jobs] worker domains per generation batch
-    ([jobs] — results are identical at any value).  [Error] only
+    ([jobs] — results are identical at any value).  [measure_ratio]
+    (default off) enables {!Search.run}'s learned-model measurement
+    gate at the given simulator fraction.  [Error] only
     when no valid candidate was found at all.  A cache summary (hit
     rate, per-stage build times) is logged on the [imtp.engine] source
     when tuning finishes; pass a shared [engine] to reuse builds across

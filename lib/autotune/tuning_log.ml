@@ -1,4 +1,10 @@
-type entry = { trial : int; params : Sketch.params; latency_s : float }
+type entry = {
+  trial : int;
+  params : Sketch.params;
+  latency_s : float;
+  measured : bool;
+  predicted_s : float option;
+}
 type header = { op_name : string; duration_s : float option }
 
 let params_to_string (p : Sketch.params) =
@@ -44,9 +50,16 @@ let params_of_string s =
       host_threads = ht;
     }
 
+(* [measured]/[predicted_cost] ride at the end of the line so parsers
+   that only know the required keys (and [params_of_string], which
+   ignores unknown keys) still read gated logs. *)
 let entry_to_string e =
-  Printf.sprintf "trial=%d latency=%.9e %s" e.trial e.latency_s
+  Printf.sprintf "trial=%d latency=%.9e %s measured=%d%s" e.trial e.latency_s
     (params_to_string e.params)
+    (if e.measured then 1 else 0)
+    (match e.predicted_s with
+    | Some p -> Printf.sprintf " predicted_cost=%.9e" p
+    | None -> "")
 
 let entry_of_string line =
   let ( let* ) = Result.bind in
@@ -66,7 +79,24 @@ let entry_of_string line =
         Option.to_result ~none:"bad latency" (float_of_string_opt lat_s)
       in
       let* params = params_of_string (String.concat " " rest) in
-      Ok { trial; params; latency_s }
+      (* Pre-gating logs have neither key: default to a measured trial. *)
+      let kvs =
+        List.filter_map
+          (fun tok ->
+            match String.split_on_char '=' tok with
+            | [ k; v ] -> Some (k, v)
+            | _ -> None)
+          rest
+      in
+      let measured =
+        match List.assoc_opt "measured" kvs with
+        | Some "0" -> false
+        | Some _ | None -> true
+      in
+      let predicted_s =
+        Option.bind (List.assoc_opt "predicted_cost" kvs) float_of_string_opt
+      in
+      Ok { trial; params; latency_s; measured; predicted_s }
   | _ -> Error "malformed log line"
 
 let save path ~op_name (o : Search.outcome) =
@@ -84,6 +114,8 @@ let save path ~op_name (o : Search.outcome) =
                  trial = r.Search.trial;
                  params = r.Search.params;
                  latency_s = r.Search.latency_s;
+                 measured = r.Search.measured;
+                 predicted_s = r.Search.predicted_s;
                });
           output_char oc '\n')
         o.Search.history)
@@ -130,10 +162,14 @@ let load path =
             | None -> Ok ({ op_name; duration_s }, List.rev !entries)
           end)
 
+(* Only simulator-backed entries can win: a gated log's predicted-cost
+   lines are the model's opinion, not a measurement. *)
 let best entries =
   List.fold_left
     (fun acc e ->
-      match acc with
-      | Some b when b.latency_s <= e.latency_s -> acc
-      | _ -> Some e)
+      if not e.measured then acc
+      else
+        match acc with
+        | Some b when b.latency_s <= e.latency_s -> acc
+        | _ -> Some e)
     None entries

@@ -5,10 +5,18 @@
 
 type entry = {
   trial : int;  (** trial index within the run. *)
-  params : Sketch.params;  (** measured candidate. *)
-  latency_s : float;  (** measured (noisy) latency, seconds. *)
+  params : Sketch.params;  (** the candidate. *)
+  latency_s : float;
+      (** measured (noisy) latency, seconds — or the model's predicted
+          latency when [measured = false]. *)
+  measured : bool;
+      (** whether the simulator ran for this trial; [true] for every
+          line of a pre-gating log (the [measured=] key defaults on). *)
+  predicted_s : float option;
+      (** the learned model's prediction at ranking time
+          ([predicted_cost=] key), when one was made. *)
 }
-(** One measured trial, as serialized to a log line. *)
+(** One recorded trial, as serialized to a log line. *)
 
 type header = {
   op_name : string;  (** operation the log was recorded for. *)
@@ -26,7 +34,9 @@ val params_of_string : string -> (Sketch.params, string) Result.t
 (** Inverse of {!params_to_string}; unknown keys are errors. *)
 
 val entry_to_string : entry -> string
-(** One log line: [trial=N latency=L] followed by the parameters. *)
+(** One log line: [trial=N latency=L] followed by the parameters, then
+    the gating fields ([measured=0|1] and, when present,
+    [predicted_cost=P]) — trailing so older readers still parse. *)
 
 val entry_of_string : string -> (entry, string) Result.t
 (** Inverse of {!entry_to_string}; malformed lines are [Error]. *)
@@ -43,4 +53,5 @@ val load : string -> (header * entry list, string) Result.t
     [header.duration_s = None]. *)
 
 val best : entry list -> entry option
-(** Lowest-latency entry ([None] on an empty list). *)
+(** Lowest-latency {e measured} entry — predicted-cost lines in a gated
+    log never win ([None] if nothing was measured). *)

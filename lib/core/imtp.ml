@@ -39,6 +39,7 @@ module Sketch = Imtp_autotune.Sketch
 module Verifier = Imtp_autotune.Verifier
 module Measure = Imtp_autotune.Measure
 module Cost_model = Imtp_autotune.Cost_model
+module Cost_learn = Imtp_autotune.Cost_learn
 module Search = Imtp_autotune.Search
 module Tuner = Imtp_autotune.Tuner
 module Tuning_log = Imtp_autotune.Tuning_log

@@ -30,6 +30,13 @@ type artifact = {
 
 type measurement = { artifact : artifact; latency_s : float; from_cache : bool }
 
+type prepared = {
+  pkey : string;
+  psched : Imtp_schedule.Sched.t;
+  plowered : Imtp_tir.Program.t;
+  pprogram : Imtp_tir.Program.t;
+}
+
 type counters = {
   lookups : int;
   hits : int;
@@ -37,6 +44,7 @@ type counters = {
   evictions : int;
   built : int;
   failed : int;
+  costed : int;
   sketch_s : float;
   lower_s : float;
   passes_s : float;
@@ -48,11 +56,12 @@ type t = {
   cfg : Imtp_upmem.Config.t;
   max_entries : int;
   lock : Mutex.t;
-      (* Guards [artifacts], [lowerings] and [c].  Stage work (sketch,
-         lower, passes, verify, cost) always runs outside the lock, so
-         parallel builds only contend on table lookups and counter
-         bumps. *)
+      (* Guards [artifacts], [prepareds], [lowerings] and [c].  Stage
+         work (sketch, lower, passes, verify, cost) always runs outside
+         the lock, so parallel builds only contend on table lookups and
+         counter bumps. *)
   artifacts : (string, (artifact, error) result) Hashtbl.t;
+  prepareds : (string, (prepared, error) result) Hashtbl.t;
   lowerings : (string, (Imtp_tir.Program.t, error) result) Hashtbl.t;
   mutable c : counters;
 }
@@ -65,6 +74,7 @@ let zero_counters =
     evictions = 0;
     built = 0;
     failed = 0;
+    costed = 0;
     sketch_s = 0.;
     lower_s = 0.;
     passes_s = 0.;
@@ -78,6 +88,7 @@ let create ?(max_entries = 4096) cfg =
     max_entries;
     lock = Mutex.create ();
     artifacts = Hashtbl.create 256;
+    prepareds = Hashtbl.create 64;
     lowerings = Hashtbl.create 64;
     c = zero_counters;
   }
@@ -184,7 +195,9 @@ let add_sketch c dt = { c with sketch_s = c.sketch_s +. dt }
 let add_lower c dt = { c with lower_s = c.lower_s +. dt }
 let add_passes c dt = { c with passes_s = c.passes_s +. dt }
 let add_verify c dt = { c with verify_s = c.verify_s +. dt }
-let add_cost c dt = { c with cost_s = c.cost_s +. dt }
+(* Every run of the cost stage is one simulator execution; [costed] is
+   the ledger the measurement-gated search is judged against. *)
+let add_cost c dt = { c with cost_s = c.cost_s +. dt; costed = c.costed + 1 }
 
 let stage_sketch ?t op params =
   timed t ~stage:"sketch" add_sketch (fun () ->
@@ -234,13 +247,18 @@ let optimize t ?(passes = Pl.all_on) prog =
 (* The memo table.                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let remember t table key result =
+(* [count_built:false] caches a result whose construction only finished
+   an already-counted build (the cost stage of a prepared candidate)
+   without double-counting it in [built]. *)
+let remember ?(count_built = true) t table key result =
   locked t (fun () ->
       if
-        Hashtbl.length t.artifacts + Hashtbl.length t.lowerings
+        Hashtbl.length t.artifacts + Hashtbl.length t.prepareds
+        + Hashtbl.length t.lowerings
         >= t.max_entries
       then begin
         Hashtbl.reset t.artifacts;
+        Hashtbl.reset t.prepareds;
         Hashtbl.reset t.lowerings;
         t.c <- { t.c with evictions = t.c.evictions + 1 };
         Obs.incr "engine.cache.evictions"
@@ -248,8 +266,10 @@ let remember t table key result =
       Hashtbl.replace table key result;
       (match result with
       | Ok _ ->
-          t.c <- { t.c with built = t.c.built + 1 };
-          Obs.incr "engine.built"
+          if count_built then begin
+            t.c <- { t.c with built = t.c.built + 1 };
+            Obs.incr "engine.built"
+          end
       | Error _ ->
           t.c <- { t.c with failed = t.c.failed + 1 };
           Obs.incr "engine.failed");
@@ -271,16 +291,36 @@ let lookup t table key =
 
 let ( let* ) = Result.bind
 
-let build_uncached t ~passes ~options ~verify ~key op params =
+(* Everything but the cost stage: the cheap prefix of the pipeline that
+   the learned cost model's feature extraction needs. *)
+let prepare_uncached t ~passes ~options ~verify ~key op params =
   let* sched = stage_sketch ~t op params in
   let* () = if verify then stage_verify_sched ~t t.cfg sched else Ok () in
   let* lowered = stage_lower ~t ~options sched in
   let program = stage_passes ~t ~passes t.cfg lowered in
   let* () = if verify then stage_verify_program ~t t.cfg program else Ok () in
-  let* stats = stage_cost ~t t.cfg program in
+  Ok { pkey = key; psched = sched; plowered = lowered; pprogram = program }
+
+(* The simulator execution itself. *)
+let cost_prepared t (p : prepared) =
+  let* stats = stage_cost ~t t.cfg p.pprogram in
   Obs.incr ~by:stats.Stats.bytes_h2d "engine.bytes_h2d";
   Obs.incr ~by:stats.Stats.bytes_d2h "engine.bytes_d2h";
-  Ok { key; sched; lowered; program; stats }
+  Ok
+    {
+      key = p.pkey;
+      sched = p.psched;
+      lowered = p.plowered;
+      program = p.pprogram;
+      stats;
+    }
+
+let build_uncached t ~passes ~options ~verify ~key op params =
+  let* prepared = prepare_uncached t ~passes ~options ~verify ~key op params in
+  cost_prepared t prepared
+
+let prepared_of_artifact (a : artifact) =
+  { pkey = a.key; psched = a.sched; plowered = a.lowered; pprogram = a.program }
 
 let build_flagged t ?(passes = Pl.all_on) ?skip_inputs ?(verify = true) op
     params =
@@ -307,18 +347,74 @@ let build t ?passes ?skip_inputs ?verify op params =
 let find t ?passes ?skip_inputs ?verify op params =
   Hashtbl.find_opt t.artifacts (fingerprint ?passes ?skip_inputs ?verify op params)
 
+let noisy ?rng base =
+  match rng with
+  | None -> base
+  | Some r -> base *. (1. +. (noise_amplitude *. ((2. *. Rng.float r 1.) -. 1.)))
+
 let measure t ?rng ?passes ?skip_inputs ?verify op params =
   match build_flagged t ?passes ?skip_inputs ?verify op params with
   | Error e, _ -> Error e
   | Ok artifact, from_cache ->
-      let base = Stats.total_s artifact.stats in
-      let latency_s =
-        match rng with
-        | None -> base
-        | Some r ->
-            base *. (1. +. (noise_amplitude *. ((2. *. Rng.float r 1.) -. 1.)))
-      in
+      let latency_s = noisy ?rng (Stats.total_s artifact.stats) in
       Ok { artifact; latency_s; from_cache }
+
+(* --- the prepared (cost-free) pipeline prefix ----------------------- *)
+
+(* One locked probe across both tables: a full artifact supersedes a
+   prepared entry, so either serves a prepare lookup as a hit. *)
+let lookup_prepared t key =
+  locked t (fun () ->
+      t.c <- { t.c with lookups = t.c.lookups + 1 };
+      Obs.incr "engine.cache.lookups";
+      let found =
+        match Hashtbl.find_opt t.artifacts key with
+        | Some r -> Some (Result.map prepared_of_artifact r)
+        | None -> Hashtbl.find_opt t.prepareds key
+      in
+      (match found with
+      | Some _ ->
+          t.c <- { t.c with hits = t.c.hits + 1 };
+          Obs.incr "engine.cache.hits"
+      | None ->
+          t.c <- { t.c with misses = t.c.misses + 1 };
+          Obs.incr "engine.cache.misses");
+      found)
+
+let prepare t ?(passes = Pl.all_on) ?skip_inputs ?(verify = true) op params =
+  Obs.span ~name:"engine.prepare"
+    ~attrs:[ ("op", Obs.Str op.Op.opname) ]
+    (fun () ->
+      let options = candidate_options ?skip_inputs params in
+      let key = fingerprint ~passes ?skip_inputs ~verify op params in
+      let result, hit =
+        match lookup_prepared t key with
+        | Some r -> (r, true)
+        | None ->
+            (remember t t.prepareds key
+               (prepare_uncached t ~passes ~options ~verify ~key op params),
+             false)
+      in
+      Obs.add_attr "hit" (Obs.Bool hit);
+      Obs.add_attr "ok" (Obs.Bool (Result.is_ok result));
+      result)
+
+let simulate t ?rng (p : prepared) =
+  Obs.span ~name:"engine.simulate" (fun () ->
+      let result, from_cache =
+        match lookup t t.artifacts p.pkey with
+        | Some r -> (r, true)
+        | None ->
+            ( remember ~count_built:false t t.artifacts p.pkey
+                (cost_prepared t p),
+              false )
+      in
+      Obs.add_attr "hit" (Obs.Bool from_cache);
+      match result with
+      | Error e -> Error e
+      | Ok artifact ->
+          let latency_s = noisy ?rng (Stats.total_s artifact.stats) in
+          Ok { artifact; latency_s; from_cache })
 
 (* Functional execution of a built program.  All hot-path executions
    (CLI runs, graph nodes, the core [Imtp.execute]) funnel through
@@ -339,7 +435,7 @@ let execute prog ~inputs =
    - [Dup i]: later occurrence of slot [i]'s key; reported as a cache
      hit (as the sequential walk would) and filled from slot [i]'s
      result rather than the table, again to be eviction-proof. *)
-type plan = Cached of (artifact, error) result | Build | Dup of int
+type 'a plan = Cached of 'a | Build | Dup of int
 
 let batch t ?jobs ?rng ?passes ?skip_inputs ?verify op candidates =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
@@ -470,6 +566,98 @@ let batch t ?jobs ?rng ?passes ?skip_inputs ?verify op candidates =
         ((c1.verify_s -. c0.verify_s) *. 1e3)
         ((c1.cost_s -. c0.cost_s) *. 1e3));
   results
+
+(* Batched prepare: the same ahead-of-time hit/build/dup classification
+   as [batch] (so hit/miss ledgers and results are independent of the
+   job count), over the combined artifact+prepared tables, with no rng
+   involvement at all — ranking a population must not disturb the
+   caller's noise stream. *)
+let prepare_batch t ?jobs ?passes ?skip_inputs ?verify op candidates =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let passes = Option.value passes ~default:Pl.all_on in
+  let verify = Option.value verify ~default:true in
+  let n = List.length candidates in
+  Obs.span ~name:"engine.prepare_batch"
+    ~attrs:
+      [
+        ("op", Obs.Str op.Op.opname);
+        ("size", Obs.Int n);
+        ("jobs", Obs.Int jobs);
+      ]
+    (fun () ->
+      let parent = Obs.current_span_id () in
+      let cands = Array.of_list candidates in
+      let keys =
+        Array.map (fun p -> fingerprint ~passes ?skip_inputs ~verify op p) cands
+      in
+      let plan =
+        locked t (fun () ->
+            let first = Hashtbl.create (max 16 n) in
+            Array.mapi
+              (fun i key ->
+                t.c <- { t.c with lookups = t.c.lookups + 1 };
+                let cached =
+                  match Hashtbl.find_opt t.artifacts key with
+                  | Some r -> Some (Result.map prepared_of_artifact r)
+                  | None -> Hashtbl.find_opt t.prepareds key
+                in
+                match cached with
+                | Some r ->
+                    t.c <- { t.c with hits = t.c.hits + 1 };
+                    Cached r
+                | None -> (
+                    match Hashtbl.find_opt first key with
+                    | Some i0 ->
+                        t.c <- { t.c with hits = t.c.hits + 1 };
+                        Dup i0
+                    | None ->
+                        Hashtbl.add first key i;
+                        t.c <- { t.c with misses = t.c.misses + 1 };
+                        Build))
+              keys)
+      in
+      let hits =
+        Array.fold_left
+          (fun a -> function Cached _ | Dup _ -> a + 1 | Build -> a)
+          0 plan
+      in
+      let builds = n - hits in
+      if n > 0 then Obs.incr ~by:n "engine.cache.lookups";
+      if hits > 0 then Obs.incr ~by:hits "engine.cache.hits";
+      if builds > 0 then Obs.incr ~by:builds "engine.cache.misses";
+      let built : (prepared, error) result option array = Array.make n None in
+      let run i =
+        match plan.(i) with
+        | Cached _ | Dup _ -> ()
+        | Build ->
+            Obs.with_ambient_parent parent (fun () ->
+                Obs.span ~name:"engine.prepare"
+                  ~attrs:[ ("op", Obs.Str op.Op.opname) ]
+                  (fun () ->
+                    let p = cands.(i) in
+                    let options = candidate_options ?skip_inputs p in
+                    let r =
+                      prepare_uncached t ~passes ~options ~verify ~key:keys.(i)
+                        op p
+                    in
+                    let r = remember t t.prepareds keys.(i) r in
+                    Obs.add_attr "hit" (Obs.Bool false);
+                    Obs.add_attr "ok" (Obs.Bool (Result.is_ok r));
+                    built.(i) <- Some r))
+      in
+      let (_ : unit array), _util = Pool.map_stats ~jobs run n in
+      Obs.add_attr "hits" (Obs.Int hits);
+      Obs.add_attr "misses" (Obs.Int builds);
+      List.mapi
+        (fun i p ->
+          let r =
+            match plan.(i) with
+            | Cached r -> r
+            | Build -> Option.get built.(i)
+            | Dup i0 -> Option.get built.(i0)
+          in
+          (p, r))
+        candidates)
 
 let lower_keyed t ~key thunk =
   match lookup t t.lowerings key with

@@ -67,13 +67,29 @@ type measurement = {
   from_cache : bool;  (** whether the artifact was served from cache. *)
 }
 
+type prepared = {
+  pkey : string;  (** the same content hash an {!artifact} would use. *)
+  psched : Imtp_schedule.Sched.t;
+  plowered : Imtp_tir.Program.t;
+  pprogram : Imtp_tir.Program.t;
+}
+(** Everything the pipeline produces {e before} the cost stage — the
+    cheap prefix (sketch, verify, lower, passes) whose lowered TIR the
+    learned cost model's feature extraction walks.  {!simulate} turns a
+    prepared candidate into a full {!measurement} on demand; candidates
+    a ranking model skips never pay for the simulator. *)
+
 type counters = {
   lookups : int;  (** cache probes (build/measure/keyed lookups). *)
   hits : int;
   misses : int;
   evictions : int;  (** table resets after exceeding [max_entries]. *)
-  built : int;  (** artifacts actually constructed. *)
+  built : int;  (** artifacts (or prepared prefixes) constructed. *)
   failed : int;  (** typed errors constructed (and cached). *)
+  costed : int;
+      (** simulator executions: runs of the cost stage.  Measurement
+          gating is judged against this ledger — a gated search must
+          show the same best latency with far fewer [costed]. *)
   sketch_s : float;  (** cumulative per-stage build time, seconds. *)
   lower_s : float;
   passes_s : float;
@@ -218,6 +234,48 @@ val batch :
     [Rng.stream ~base ~index:i] (see the determinism contract above).
     The [engine.batch] span records [jobs], [domains_used] and a
     per-domain [utilization] breakdown. *)
+
+(** {2 The prepared (cost-free) prefix}
+
+    The measurement-gated search builds every candidate only up to the
+    optimized program ({!prepare}/{!prepare_batch}), extracts model
+    features from that TIR, and pays for the cost stage ({!simulate})
+    only on the fraction the model ranks worth measuring. *)
+
+val prepare :
+  t ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  ?verify:bool ->
+  Imtp_workload.Op.t ->
+  Sketch.params ->
+  (prepared, error) result
+(** {!build} without the cost stage, cached under the same fingerprint
+    in a separate prepared table.  A full artifact already in the cache
+    serves a prepare lookup as a hit (its program is identical), so
+    cache-hit and fresh-built candidates yield bit-identical features. *)
+
+val prepare_batch :
+  t ->
+  ?jobs:int ->
+  ?passes:Imtp_passes.Pipeline.config ->
+  ?skip_inputs:string list ->
+  ?verify:bool ->
+  Imtp_workload.Op.t ->
+  Sketch.params list ->
+  (Sketch.params * (prepared, error) result) list
+(** Prepare a whole generation across up to [jobs] domains, under the
+    same ahead-of-time classification contract as {!batch}: results,
+    order and the hit/miss ledger are bit-identical at any job count.
+    Draws nothing from any rng — ranking a population must leave the
+    caller's noise stream untouched. *)
+
+val simulate :
+  t -> ?rng:Rng.t -> prepared -> (measurement, error) result
+(** Run the cost stage on a prepared candidate (or serve the finished
+    artifact from cache) and apply the measurement objective, with the
+    same ±2 % noise semantics as {!measure}.  Each uncached call is one
+    simulator execution, counted in [counters.costed]. *)
 
 val lower_keyed :
   t ->

@@ -247,6 +247,50 @@ let dma_counts (p : Program.t) =
   walk Var.Map.empty p.host;
   { dma_ops = !ops; dma_elems = !elems }
 
+(* Analytic DMA traffic: loop extents multiply instead of being
+   enumerated, guards are assumed taken (an [If] charges the heavier
+   branch, as the timing walk does), and variable-length transfers are
+   resolved with every enclosing loop variable at 0.  An interior-DPU
+   upper bound, cheap enough to run on every search candidate — the
+   feature-extraction twin of the exact [dma_counts] above. *)
+let dma_estimate (p : Program.t) =
+  let rec walk mult env (s : Stmt.t) : float * float =
+    match s with
+    | Stmt.Nop | Stmt.Barrier | Stmt.Store _ | Stmt.Xfer _ -> (0., 0.)
+    | Stmt.Seq ss ->
+        List.fold_left
+          (fun (o, e) s ->
+            let o', e' = walk mult env s in
+            (o +. o', e +. e'))
+          (0., 0.) ss
+    | Stmt.Alloc { body; _ } -> walk mult env body
+    | Stmt.For { var; extent; kind = _; body } ->
+        let n =
+          match Simplify.eval_int env extent with Some n -> max 0 n | None -> 1
+        in
+        walk (mult *. float_of_int n) (Var.Map.add var 0 env) body
+    | Stmt.If { cond = _; then_; else_ } ->
+        let o_t, e_t = walk mult env then_ in
+        let o_e, e_e =
+          match else_ with None -> (0., 0.) | Some s -> walk mult env s
+        in
+        (Float.max o_t o_e, Float.max e_t e_e)
+    | Stmt.Dma { elems = e; _ } ->
+        let n =
+          match Simplify.eval_int env e with Some n -> max 0 n | None -> 1
+        in
+        (mult, mult *. float_of_int n)
+    | Stmt.Launch kname -> (
+        match Program.kernel_of p kname with
+        | Some k -> walk mult env k.body
+        | None -> (0., 0.))
+  in
+  let ops, elems = walk 1. Var.Map.empty p.host in
+  let clamp x =
+    if x >= float_of_int max_int then max_int else int_of_float x
+  in
+  { dma_ops = clamp ops; dma_elems = clamp elems }
+
 (* --- host walk -------------------------------------------------------- *)
 
 type hacc = {

@@ -41,3 +41,14 @@ val dma_counts : Program.t -> dma_counts
 
     @raise Error on non-constant loop extents, undecidable guards, or
     programs whose enumeration exceeds the node budget. *)
+
+val dma_estimate : Program.t -> dma_counts
+(** Analytic DMA traffic: like the timing walk, loop extents multiply
+    instead of being enumerated, guards are assumed taken (an [If]
+    contributes its heavier branch) and a variable-length transfer is
+    resolved with enclosing loop variables at 0.  An interior-DPU upper
+    bound on {!dma_counts} whose evaluation cost is independent of
+    tensor sizes — cheap enough to run on every candidate of a search,
+    which is exactly what the learned cost model's feature extraction
+    does.  Never raises: unresolvable extents count as 1, unknown
+    kernels as 0. *)

@@ -280,6 +280,211 @@ let test_tuning_log_params_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "partial params accepted"
 
+(* --- measurement gating ----------------------------------------------- *)
+
+(* The committed pre-gating search trace: two fixed-seed ungated runs,
+   dumped before the measurement gate existed.  [measure_ratio = None]
+   must reproduce it bit-for-bit — latencies to all 17 digits — proving
+   the gate left the default path untouched. *)
+let test_ungated_trace_matches_golden () =
+  let buf = Buffer.create 4096 in
+  let dump name op ~seed ~trials =
+    let o = Se.run ~seed cfg op ~trials in
+    Buffer.add_string buf
+      (Printf.sprintf "%s seed=%d trials=%d measured=%d invalid=%d\n" name seed
+         trials o.Se.measured o.Se.invalid_candidates);
+    List.iter
+      (fun (r : Se.record) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  trial=%d latency=%.17g params=%s\n" r.Se.trial
+             r.Se.latency_s
+             (Imtp_autotune.Tuning_log.params_to_string r.Se.params)))
+      o.Se.history
+  in
+  dump "gemv" (Ops.gemv ~c:3 512 512) ~seed:77 ~trials:48;
+  dump "mmtv" (Ops.mmtv 8 64 64) ~seed:77 ~trials:48;
+  let got = Buffer.contents buf in
+  let want =
+    (* cwd is test/ under `dune runtest`, the project root under
+       `dune exec test/...`. *)
+    let path =
+      if Sys.file_exists "golden_search_trace.txt" then
+        "golden_search_trace.txt"
+      else Filename.concat "test" "golden_search_trace.txt"
+    in
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if got <> want then begin
+    let gl = String.split_on_char '\n' got
+    and wl = String.split_on_char '\n' want in
+    let rec first_diff i = function
+      | g :: gs, w :: ws ->
+          if g = w then first_diff (i + 1) (gs, ws)
+          else Alcotest.failf "line %d differs:\n  got:  %s\n  want: %s" i g w
+      | _ -> Alcotest.failf "trace length differs (%d vs %d lines)"
+               (List.length gl) (List.length wl)
+    in
+    first_diff 1 (gl, wl)
+  end
+
+let noise_free op params =
+  let engine = Imtp_engine.Engine.create cfg in
+  match Imtp_engine.Engine.measure engine op params with
+  | Ok m -> m.Imtp_engine.Engine.latency_s
+  | Error e -> Alcotest.fail (Imtp_engine.Engine.error_to_string e)
+
+(* The statistical acceptance harness: on both paper workloads, at a
+   fixed seed, the gated search must find a schedule at least as good
+   as the full-measurement baseline (compared noise-free, so the
+   baseline's 5x-larger pool of noisy draws cannot hide a worse
+   schedule behind a lucky sample) while paying for at least 5x fewer
+   simulator executions. *)
+let check_gate_acceptance name op =
+  let seed = 13 and trials = 200 and ratio = 0.05 in
+  let full = Se.run ~seed cfg op ~trials in
+  let gated = Se.run ~seed ~measure_ratio:ratio cfg op ~trials in
+  let best o =
+    match o.Se.best with
+    | Some b -> noise_free op b.Ms.params
+    | None -> Alcotest.failf "%s: no best" name
+  in
+  let bf = best full and bg = best gated in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: gated best %.6e <= full best %.6e" name bg bf)
+    true (bg <= bf);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: >=5x fewer simulator executions (%d vs %d)" name
+       full.Se.measured_trials gated.Se.measured_trials)
+    true
+    (full.Se.measured_trials >= 5 * gated.Se.measured_trials);
+  Alcotest.(check bool) "gate actually skipped candidates" true
+    (gated.Se.skipped > 0);
+  Alcotest.(check bool) "ungated run skipped none" true (full.Se.skipped = 0)
+
+let test_gate_acceptance_gemv () =
+  check_gate_acceptance "gemv 512x512" (Ops.gemv ~c:3 512 512)
+
+let test_gate_acceptance_mmtv () =
+  check_gate_acceptance "mmtv 8x64x64" (Ops.mmtv 8 64 64)
+
+let test_gated_jobs_equivalence () =
+  let op = Ops.mtv 128 256 in
+  let run jobs =
+    Se.run ~seed:9 ~jobs ~measure_ratio:0.2 cfg op ~trials:48
+  in
+  let a = run 1 and b = run 4 in
+  let key o =
+    List.map
+      (fun (r : Se.record) ->
+        (r.Se.trial, r.Se.params, r.Se.latency_s, r.Se.measured, r.Se.predicted_s))
+      o.Se.history
+  in
+  Alcotest.(check bool) "history identical at any job count" true
+    (key a = key b);
+  Alcotest.(check int) "same simulator ledger" a.Se.measured_trials
+    b.Se.measured_trials;
+  Alcotest.(check int) "same skips" a.Se.skipped b.Se.skipped
+
+(* Replaying a gated log re-ranks identically: within every generation
+   block, each measured entry's recorded prediction is no worse than
+   every prediction the gate skipped on — the ranking that picked the
+   simulator set is recoverable from the log alone. *)
+let test_gated_log_reranks_identically () =
+  let module Tl = Imtp_autotune.Tuning_log in
+  let trials = 96 in
+  let o = Se.run ~seed:5 ~measure_ratio:0.2 cfg (Ops.mmtv 8 64 64) ~trials in
+  let path = Filename.temp_file "imtp_gated_log" ".txt" in
+  Tl.save path ~op_name:"mmtv" o;
+  (match Tl.load path with
+  | Error m -> Alcotest.fail m
+  | Ok (_, entries) ->
+      let block e = e.Tl.trial / 16 in
+      let blocks =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun e ->
+               if e.Tl.trial >= 16 && e.Tl.trial < trials then Some (block e)
+               else None)
+             entries)
+      in
+      let checked = ref 0 in
+      List.iter
+        (fun b ->
+          let in_block =
+            List.filter
+              (fun e ->
+                block e = b && e.Tl.trial >= 16 && e.Tl.trial < trials)
+              entries
+          in
+          let measured_preds =
+            List.filter_map
+              (fun e -> if e.Tl.measured then e.Tl.predicted_s else None)
+              in_block
+          and skipped_preds =
+            List.filter_map
+              (fun e -> if e.Tl.measured then None else e.Tl.predicted_s)
+              in_block
+          in
+          match (measured_preds, skipped_preds) with
+          | _ :: _, _ :: _ ->
+              incr checked;
+              let worst_measured =
+                List.fold_left Float.max neg_infinity measured_preds
+              and best_skipped =
+                List.fold_left Float.min infinity skipped_preds
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf
+                   "block %d: measured set is the ranking's top (%.3e <= %.3e)"
+                   b worst_measured best_skipped)
+                true
+                (worst_measured <= best_skipped)
+          | _ -> ())
+        blocks;
+      Alcotest.(check bool) "some blocks had both kinds" true (!checked > 0));
+  Sys.remove path
+
+let test_gated_tuning_log_roundtrip () =
+  let module Tl = Imtp_autotune.Tuning_log in
+  let o = Se.run ~seed:41 ~measure_ratio:0.2 cfg (Ops.mtv 128 256) ~trials:48 in
+  let path = Filename.temp_file "imtp_gated_log" ".txt" in
+  Tl.save path ~op_name:"mtv" o;
+  (match Tl.load path with
+  | Error m -> Alcotest.fail m
+  | Ok (_, entries) ->
+      Alcotest.(check int) "entry count" (List.length o.Se.history)
+        (List.length entries);
+      List.iter2
+        (fun (r : Se.record) e ->
+          Alcotest.(check bool) "measured flag survives" r.Se.measured
+            e.Tl.measured;
+          Alcotest.(check bool) "prediction survives" true
+            (Option.is_some r.Se.predicted_s = Option.is_some e.Tl.predicted_s))
+        o.Se.history entries;
+      Alcotest.(check bool) "log contains skipped entries" true
+        (List.exists (fun e -> not e.Tl.measured) entries);
+      (match (Tl.best entries, o.Se.best) with
+      | Some e, Some b ->
+          Alcotest.(check bool) "best is a measured entry" true e.Tl.measured;
+          Alcotest.(check (float 1e-12)) "best latency preserved"
+            b.Ms.latency_s e.Tl.latency_s
+      | _ -> Alcotest.fail "missing best"));
+  Sys.remove path
+
+let test_pregating_log_lines_still_parse () =
+  let module Tl = Imtp_autotune.Tuning_log in
+  match
+    Tl.entry_of_string
+      "trial=3 latency=1.500000000e-03 sd=64 rd=8 t=16 c=32 rows=1 unroll=0 ht=4"
+  with
+  | Error m -> Alcotest.fail m
+  | Ok e ->
+      Alcotest.(check bool) "defaults to measured" true e.Tl.measured;
+      Alcotest.(check bool) "no prediction" true (e.Tl.predicted_s = None)
+
 let test_rng_reproducible () =
   let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
   let xs = List.init 20 (fun _ -> Rng.int a 1000) in
@@ -338,6 +543,23 @@ let () =
           Alcotest.test_case "tuning log roundtrip" `Quick test_tuning_log_roundtrip;
           Alcotest.test_case "params roundtrip" `Quick
             test_tuning_log_params_roundtrip;
+        ] );
+      ( "measurement gate",
+        [
+          Alcotest.test_case "ungated trace matches pre-gating golden" `Quick
+            test_ungated_trace_matches_golden;
+          Alcotest.test_case "gemv: same-or-better best, >=5x fewer sims"
+            `Slow test_gate_acceptance_gemv;
+          Alcotest.test_case "mmtv: same-or-better best, >=5x fewer sims"
+            `Slow test_gate_acceptance_mmtv;
+          Alcotest.test_case "gated jobs:4 = jobs:1" `Quick
+            test_gated_jobs_equivalence;
+          Alcotest.test_case "gated log re-ranks identically" `Quick
+            test_gated_log_reranks_identically;
+          Alcotest.test_case "gated log roundtrip" `Quick
+            test_gated_tuning_log_roundtrip;
+          Alcotest.test_case "pre-gating log lines parse" `Quick
+            test_pregating_log_lines_still_parse;
         ] );
       ("properties", q [ prop_verified_candidates_run ]);
     ]
