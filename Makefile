@@ -8,7 +8,7 @@ FUZZ_CASES ?= 10000
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: all test check doc bench bench-exec bench-model fuzz clean
+.PHONY: all test check doc bench bench-exec bench-model bench-affine fuzz clean
 
 all:
 	dune build @all
@@ -53,6 +53,13 @@ bench-exec:
 # counts and the reduction factor into BENCH_<date>.json.
 bench-model:
 	dune exec bench/main.exe -- --model-gating --out BENCH_$(BENCH_DATE).json
+
+# Affine bound analysis: guarded vs containment-proven kernels on the
+# ragged acceptance shapes (500x500 GEMV, 8x60x60 MMTV), recording
+# branch counts, modeled kernel cost and verified-candidate counts
+# under each pass stack into BENCH_<date>.json.
+bench-affine:
+	dune exec bench/main.exe -- --affine-bounds --out BENCH_$(BENCH_DATE).json
 
 # Long fuzzing campaign with a date-derived seed (override with
 # FUZZ_SEED=n / FUZZ_CASES=n / JOBS=n).  The seed is printed first so

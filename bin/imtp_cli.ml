@@ -237,6 +237,12 @@ let tune_cmd =
         let s = r.Imtp.Tuner.search in
         Format.printf "search: %d measured, %d invalid candidates filtered@."
           s.Imtp.Search.measured s.Imtp.Search.invalid_candidates;
+        if s.Imtp.Search.rejections <> [] then
+          Format.printf "search: rejected by constraint: %s@."
+            (String.concat ", "
+               (List.map
+                  (fun (name, n) -> Printf.sprintf "%s=%d" name n)
+                  s.Imtp.Search.rejections));
         Format.printf
           "search: %d simulator executions, %d candidates gated out \
            (predicted only)@."

@@ -22,12 +22,22 @@ type outcome = {
   best : Measure.result option;
   history : record list;
   invalid_candidates : int;
+  rejections : (string * int) list;
   measured : int;
   measured_trials : int;
   skipped : int;
   cache_hits : int;
   elapsed_s : float;
 }
+
+(* Bucket an engine error for the rejection tally: verifier rejections
+   keep their constraint name (dpus/tasklets/mram/wram/iram/dma), other
+   stages tally under the stage that failed. *)
+let rejection_bucket : Engine.error -> string = function
+  | Engine.Verifier_rejected r -> r.Imtp_engine.Verifier.constraint_name
+  | Engine.Sketch_invalid _ -> "sketch"
+  | Engine.Lower_failed _ -> "lower"
+  | Engine.Cost_failed _ -> "cost"
 
 let population_size = 16
 let top_k = 8
@@ -118,6 +128,13 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
   let history = ref [] in
   let best = ref None in
   let invalid = ref 0 in
+  let rejections = Hashtbl.create 8 in
+  let tally e =
+    incr invalid;
+    let k = rejection_bucket e in
+    Hashtbl.replace rejections k
+      (1 + Option.value (Hashtbl.find_opt rejections k) ~default:0)
+  in
   let measured = ref 0 in
   let skipped = ref 0 in
   let trial = ref 0 in
@@ -174,8 +191,8 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
      the trial without contributing offspring. *)
   let consume ~trial (params, result) =
     match result with
-    | Error _ ->
-        incr invalid;
+    | Error e ->
+        tally e;
         None
     | Ok m ->
         if Hashtbl.mem seen params then None
@@ -209,15 +226,15 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
           go (attempts - 1)
         else begin
           match Engine.prepare engine ?passes ?skip_inputs op params with
-          | Error _ ->
-              incr invalid;
+          | Error e ->
+              tally e;
               go (attempts - 1)
           | Ok prep ->
               let x = Cost_learn.features prep.Engine.pprogram in
               if not (Cost_learn.trained tir_model) then begin
                 match Engine.simulate engine ~rng prep with
-                | Error _ ->
-                    incr invalid;
+                | Error e ->
+                    tally e;
                     go (attempts - 1)
                 | Ok m ->
                     record ~trial:!trial params m;
@@ -313,11 +330,10 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
                        Some (i, params, prep)
                    | Ok _ | Error _ -> None)
           in
-          let n_invalid =
-            List.length
-              (List.filter (fun (_, r) -> Result.is_error r) prepped)
-          in
-          invalid := !invalid + n_invalid;
+          List.iter
+            (fun (_, r) ->
+              match r with Error e -> tally e | Ok _ -> ())
+            prepped;
           let feats =
             List.map
               (fun (_, _, prep) -> Cost_learn.features prep.Engine.pprogram)
@@ -356,7 +372,7 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
               in
               let noise = Rng.stream ~base ~index:i in
               match Engine.simulate engine ~rng:noise prep with
-              | Error _ -> incr invalid
+              | Error e -> tally e
               | Ok m ->
                   record ?predicted_s ~trial:(!trial + i) params m;
                   Hashtbl.replace measured_now k (params, m.Engine.latency_s)
@@ -427,10 +443,10 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
       List.iter
         (fun (params, predicted_s) ->
           match Engine.prepare engine ?passes ?skip_inputs op params with
-          | Error _ -> incr invalid
+          | Error e -> tally e
           | Ok prep -> (
               match Engine.simulate engine ~rng prep with
-              | Error _ -> incr invalid
+              | Error e -> tally e
               | Ok m ->
                   record ~predicted_s ~trial:!trial params m;
                   incr trial))
@@ -449,10 +465,18 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
   | None -> ());
   if elapsed_s > 0. then
     Obs.set_gauge "search.trials_per_s" (float_of_int !trial /. elapsed_s);
+  let rejections =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) rejections []
+    |> List.sort (fun (ka, na) (kb, nb) ->
+           match Int.compare nb na with
+           | 0 -> String.compare ka kb
+           | c -> c)
+  in
   {
     best = !best;
     history = List.rev !history;
     invalid_candidates = !invalid;
+    rejections;
     measured = !measured;
     measured_trials;
     skipped = !skipped;

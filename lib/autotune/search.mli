@@ -67,6 +67,11 @@ type outcome = {
   best : Measure.result option;  (** best measured candidate, if any. *)
   history : record list;  (** chronological, one per recorded trial. *)
   invalid_candidates : int;  (** candidates rejected by the verifier. *)
+  rejections : (string * int) list;
+      (** rejection tally grouped by verifier constraint name
+          ([dpus]/[tasklets]/[mram]/[wram]/[iram]/[dma]) or failing
+          engine stage ([sketch]/[lower]/[cost]), sorted by count
+          descending; sums to [invalid_candidates]. *)
   measured : int;  (** distinct candidates actually measured. *)
   measured_trials : int;
       (** simulator executions this run actually paid for (the engine's

@@ -299,7 +299,17 @@ let tasklet_choices = [ 1; 2; 4; 8; 12; 16; 20; 24 ]
 let cache_choices (op : Op.t) =
   (* elements; 8 B .. 2 KB at 4 B/elem. *)
   let innermost = List.nth op.Op.axes (List.length op.Op.axes - 1) in
-  List.filter (fun c -> c <= max 2 (2 * innermost.Op.extent)) (pow2s 2 512)
+  let pow2 =
+    List.filter (fun c -> c <= max 2 (2 * innermost.Op.extent)) (pow2s 2 512)
+  in
+  (* Shape-derived tiles: the ceil-halving chain of the innermost
+     extent opens non-divisible split factors on ragged axes
+     (500 → 500, 250, 125, 63, …) whose partial tiles the affine
+     lowering clamps and the verifier bounds.  On power-of-two extents
+     the chain is a subset of [pow2] and dedups away, so existing
+     search trajectories are unchanged. *)
+  let rec chain v = if v < 2 then [] else v :: chain ((v + 1) / 2) in
+  List.sort_uniq Int.compare (pow2 @ chain (min innermost.Op.extent 512))
 
 let rows_choices = [ 1; 2; 4; 8; 16 ]
 let host_thread_choices = [ 1; 4; 16 ]

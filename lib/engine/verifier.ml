@@ -102,19 +102,37 @@ let check (cfg : U.Config.t) (p : P.t) =
               ())
         k.body;
       let bad = ref None in
-      St.iter
-        (function
-          | St.Dma { wram; elems = Imtp_tir.Expr.Int_const n; _ } ->
-              let esize =
-                Option.value (Hashtbl.find_opt esizes wram) ~default:4
-              in
-              let bytes = n * esize in
-              if bytes > cfg.U.Config.dma_max_bytes then
-                bad := Some bytes
-          | St.Seq _ | St.For _ | St.If _ | St.Store _ | St.Alloc _
-          | St.Dma _ | St.Xfer _ | St.Launch _ | St.Barrier | St.Nop ->
-              ())
-        k.body;
+      let module Aff = Imtp_tir.Affine in
+      (* Variable-size DMAs (the affine layer emits clamped extents
+         like [min (c, n - base)]) are bounded through the enclosing
+         loop ranges; an unboundable size is left to the runtime, as
+         the pre-affine verifier did for every non-constant size. *)
+      let rec scan ctx (s : St.t) =
+        match s with
+        | St.Seq ss -> List.iter (scan ctx) ss
+        | St.Alloc { body; _ } -> scan ctx body
+        | St.For { var; extent; body; _ } ->
+            scan (Aff.assume_loop ctx var extent) body
+        | St.If { cond; then_; else_ } ->
+            scan (Aff.assume ctx cond) then_;
+            Option.iter (scan ctx) else_
+        | St.Dma { wram; elems; _ } ->
+            let esize =
+              Option.value (Hashtbl.find_opt esizes wram) ~default:4
+            in
+            let bound =
+              match Imtp_tir.Simplify.const_int elems with
+              | Some n -> Some n
+              | None -> Aff.upper_bound ctx elems
+            in
+            Option.iter
+              (fun n ->
+                let bytes = n * esize in
+                if bytes > cfg.U.Config.dma_max_bytes then bad := Some bytes)
+              bound
+        | St.Store _ | St.Xfer _ | St.Launch _ | St.Barrier | St.Nop -> ()
+      in
+      scan Aff.empty k.body;
       match !bad with
       | Some bytes ->
           reject "dma" "kernel %s issues a %d-byte DMA (max %d)" k.kname bytes

@@ -12,8 +12,12 @@ let random_options rng =
     parallel_transfer = Rng.bool rng;
     host_reduce_threads = Rng.pick rng [ 1; 1; 2; 4 ];
     skip_input_transfer = [];
+    affine_guards = Rng.bool rng;
   }
 
 let options_to_string (o : L.options) =
-  Printf.sprintf "bulk_transfer=%b parallel_transfer=%b host_reduce_threads=%d"
+  Printf.sprintf
+    "bulk_transfer=%b parallel_transfer=%b host_reduce_threads=%d \
+     affine_guards=%b"
     o.L.bulk_transfer o.L.parallel_transfer o.L.host_reduce_threads
+    o.L.affine_guards

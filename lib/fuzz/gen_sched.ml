@@ -136,13 +136,24 @@ let random rng op =
   let push st = if apply s st then (steps := st :: !steps; true) else false in
   let pure_red = Op.spatial_axes op = [] in
   (* 1. splits: one per axis most of the time, occasionally a second
-     level; factors include non-divisors so boundary guards appear. *)
+     level; factors include non-divisors so boundary guards appear.
+     Shape-derived ragged factors (ceil-half and extent-1) are mixed in
+     deliberately: they maximize partial-tile coverage, the shapes the
+     affine clamping paths must prove containment for. *)
+  let ragged_factor extent =
+    if extent > 3 && Rng.bool rng then (extent + 1) / 2 else extent - 1
+  in
   List.iter
     (fun (a : Op.axis) ->
       let always = pure_red && a.Op.kind = Op.Reduction in
       if always || Rng.int rng 10 < 8 then begin
         let nf = if always || Rng.bool rng then 2 else 1 in
-        let factors = List.init nf (fun _ -> 2 + Rng.int rng 7) in
+        let factors =
+          List.init nf (fun _ ->
+              if a.Op.extent > 2 && Rng.int rng 5 = 0 then
+                max 2 (ragged_factor a.Op.extent)
+              else 2 + Rng.int rng 7)
+        in
         ignore (push (Split (a.Op.aname, factors)))
       end)
     op.Op.axes;

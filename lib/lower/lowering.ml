@@ -16,6 +16,12 @@ type options = {
   parallel_transfer : bool;
   host_reduce_threads : int;
   skip_input_transfer : string list;
+  affine_guards : bool;
+      (* Boundary-check elimination at the source: clamp partial-tile
+         loop extents and consult the affine bound context at every
+         guard-emission site, emitting only the checks it cannot prove
+         redundant.  Off by default: the unclamped, fully-guarded
+         lowering below stays bit-identical for ablation. *)
 }
 
 let default_options =
@@ -24,6 +30,7 @@ let default_options =
     parallel_transfer = true;
     host_reduce_threads = 1;
     skip_input_transfer = [];
+    affine_guards = false;
   }
 
 let partial_buffer_name = "P_partial"
@@ -233,6 +240,8 @@ let check_structure ctx =
 
 (* --- kernel emission --------------------------------------------------- *)
 
+module Aff = Imtp_tir.Affine
+
 (* Guard ordering: deepest-segment axis first (Fig. 8 lists the
    innermost boundary condition first). *)
 let misaligned_axes ctx dims =
@@ -242,10 +251,30 @@ let misaligned_axes ctx dims =
   List.filter (misaligned ctx) dims
   |> List.sort (fun a b -> Int.compare (deepest b) (deepest a))
 
+(* Cache-tile extent along [a], clamped to the axis under the affine
+   lowering: a partial tile never holds more than the whole axis, so
+   the WRAM box (buffer size, row strides, copy-loop extents) shrinks
+   to [min (cache_ext, axis_extent)].  The clamp must be applied
+   uniformly — [cache_dma], [wram_index] and [wram_buffer] derive the
+   same layout from it. *)
+let cache_dim ctx loc a =
+  let ce = cache_ext ctx loc a in
+  if ctx.opts.affine_guards then min ce (axis_extent ctx a) else ce
+
+(* Affine context holding the ranges of every kernel loop enclosing
+   [loc] (inclusive): the facts available at a guard-emission site. *)
+let kernel_ctx ctx loc =
+  List.fold_left
+    (fun acc (l : S.loop) ->
+      if pos ctx l <= pos ctx loc then
+        Aff.assume_loop acc (kvar ctx l) (ei l.S.extent)
+      else acc)
+    Aff.empty (S.order ctx.sched)
+
 (* Per-element guarded DMA between a cache tile and the MRAM tile. *)
 let cache_dma ctx (dir : St.dma_dir) t loc =
   let dims = tensor_dims ctx t in
-  let cexts = List.map (cache_ext ctx loc) dims in
+  let cexts = List.map (cache_dim ctx loc) dims in
   let mexts = List.map (mram_ext ctx) dims in
   let rvars = List.map (fun a -> V.fresh ("c" ^ a)) dims in
   let wstrides = strides_of cexts and mstrides = strides_of mexts in
@@ -281,6 +310,29 @@ let cache_dma ctx (dir : St.dma_dir) t loc =
   let guard =
     List.map (fun a -> fixed_global a +: E.var (rv_of a) <: ei (axis_extent ctx a)) guard_axes
   in
+  (* Copy-loop extents.  Affine mode clamps each misaligned axis to the
+     remaining span [axis_extent - fixed_global]: the loop then visits
+     exactly the iterations the guard admitted, and the guard itself
+     becomes provable from the loop range. *)
+  let ext_exprs =
+    List.map2
+      (fun a ce ->
+        if ctx.opts.affine_guards && misaligned ctx a then
+          E.min_e (ei ce) (ei (axis_extent ctx a) -: fixed_global a)
+        else ei ce)
+      dims cexts
+  in
+  let guard =
+    if ctx.opts.affine_guards then begin
+      let actx =
+        List.fold_left2
+          (fun acc rv ext -> Aff.assume_loop acc rv ext)
+          (kernel_ctx ctx loc) rvars ext_exprs
+      in
+      List.filter (fun g -> not (Aff.prove actx g)) guard
+    end
+    else guard
+  in
   let dma =
     St.Dma
       {
@@ -298,14 +350,14 @@ let cache_dma ctx (dir : St.dma_dir) t loc =
     | gs -> St.if_ (Imtp_tir.Analysis.conjoin gs) dma
   in
   List.fold_right2
-    (fun rv ext body -> St.for_ rv (ei ext) body)
-    rvars cexts guarded
+    (fun rv ext body -> St.for_ rv ext body)
+    rvars ext_exprs guarded
 
 let wram_index ctx t =
   let c = cache_of ctx t in
   let loc = cache_loc c in
   let dims = tensor_dims ctx t in
-  let cexts = List.map (cache_ext ctx loc) dims in
+  let cexts = List.map (cache_dim ctx loc) dims in
   let wstrides = strides_of cexts in
   List.fold_left2
     (fun acc a ws -> acc +: (seg_sum (kvar ctx) (deeper_segs ctx loc a) *: ei ws))
@@ -338,13 +390,26 @@ let compute_stmt ctx =
       (fun a -> seg_sum (kvar ctx) (segs ctx a) <: ei (axis_extent ctx a))
       (misaligned_axes ctx (List.map (fun (a : Op.axis) -> a.Op.aname) ctx.op.Op.axes))
   in
+  let guards =
+    if ctx.opts.affine_guards then begin
+      (* The full loop nest is in scope at the compute statement. *)
+      let actx =
+        List.fold_left
+          (fun acc (l : S.loop) ->
+            Aff.assume_loop acc (kvar ctx l) (ei l.S.extent))
+          Aff.empty (S.order ctx.sched)
+      in
+      List.filter (fun g -> not (Aff.prove actx g)) guards
+    end
+    else guards
+  in
   match guards with
   | [] -> stored
   | gs -> St.if_ (Imtp_tir.Analysis.conjoin gs) stored
 
 let wram_buffer ctx t loc =
   let elems =
-    List.fold_left (fun acc a -> acc * cache_ext ctx loc a) 1 (tensor_dims ctx t)
+    List.fold_left (fun acc a -> acc * cache_dim ctx loc a) 1 (tensor_dims ctx t)
   in
   B.create (wram_name t) ctx.op.Op.dtype ~elems:(max 1 elems) B.Wram
 
@@ -640,6 +705,36 @@ let tensor_xfer ctx (dir : St.xfer_dir) t ~into_partial =
             else None)
           loop_dims
   in
+  (* Affine mode: clamp each misaligned loop dim to the remaining span
+     of its axis (partial gather keeps dense tiles, so is exempt), then
+     drop every guard the block-loop and row-loop ranges prove. *)
+  let loop_exts =
+    List.map2
+      (fun a me ->
+        if ctx.opts.affine_guards && (not into_partial) && misaligned ctx a
+        then
+          E.min_e (ei me)
+            (ei (axis_extent ctx a) -: blockfix ctx (hvar ctx) a)
+        else ei me)
+      loop_dims loop_mexts
+  in
+  let guards =
+    if ctx.opts.affine_guards then begin
+      let hctx =
+        List.fold_left
+          (fun acc (l : S.loop) ->
+            Aff.assume_loop acc (hvar ctx l) (ei l.S.extent))
+          Aff.empty (block_loops ctx)
+      in
+      let hctx =
+        List.fold_left2
+          (fun acc rv ext -> Aff.assume_loop acc rv ext)
+          hctx rvars loop_exts
+      in
+      List.filter (fun g -> not (Aff.prove hctx g)) guards
+    end
+    else guards
+  in
   let guarded =
     match guards with
     | [] -> xfer
@@ -647,8 +742,8 @@ let tensor_xfer ctx (dir : St.xfer_dir) t ~into_partial =
   in
   let rows =
     List.fold_right2
-      (fun rv ext body -> St.for_ rv (ei ext) body)
-      rvars loop_mexts guarded
+      (fun rv ext body -> St.for_ rv ext body)
+      rvars loop_exts guarded
   in
   (* Enclose in DPU loops (broadcast sends once for all DPUs). *)
   match mode with
@@ -721,6 +816,34 @@ let final_reduction ctx =
             else None)
           (List.combine out_dims qvars)
       in
+      (* Affine mode: clamp each misaligned tile loop to the remaining
+         span of its axis and drop the guards that become provable. *)
+      let qexts =
+        List.map2
+          (fun a me ->
+            if ctx.opts.affine_guards && misaligned ctx a then
+              E.min_e (ei me)
+                (ei (axis_extent ctx a) -: blockfix ctx (hvar ctx) a)
+            else ei me)
+          out_dims mexts
+      in
+      let guards =
+        if ctx.opts.affine_guards then begin
+          let hctx =
+            List.fold_left
+              (fun acc (l : S.loop) ->
+                Aff.assume_loop acc (hvar ctx l) (ei l.S.extent))
+              Aff.empty (block_loops ctx)
+          in
+          let hctx =
+            List.fold_left2
+              (fun acc rv ext -> Aff.assume_loop acc rv ext)
+              hctx qvars qexts
+          in
+          List.filter (fun g -> not (Aff.prove hctx g)) guards
+        end
+        else guards
+      in
       let guarded =
         match guards with
         | [] -> body
@@ -728,8 +851,8 @@ let final_reduction ctx =
       in
       let with_tiles =
         List.fold_right2
-          (fun rv ext acc -> St.for_ rv (ei ext) acc)
-          qvars mexts guarded
+          (fun rv ext acc -> St.for_ rv ext acc)
+          qvars qexts guarded
       in
       let rec with_blocks = function
         | [] -> with_tiles

@@ -35,6 +35,15 @@ type options = {
   skip_input_transfer : string list;
       (** inputs resident in MRAM across launches (§5.4 weight reuse):
           their H2D transfer is omitted. *)
+  affine_guards : bool;
+      (** boundary-check elimination at the source: partial-tile copy
+          and host-transfer loops are clamped to the remaining axis
+          span ([min (tile, n - base)]), WRAM boxes shrink to
+          [min (cache_ext, axis_extent)], and each guard site consults
+          the {!Imtp_tir.Affine} bound context, emitting only the
+          checks it cannot prove redundant.  Off by default: the
+          unclamped fully-guarded lowering is bit-identical to the
+          pre-affine layer and remains the ablation baseline. *)
 }
 
 val default_options : options

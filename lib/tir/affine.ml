@@ -1,0 +1,569 @@
+(* Quasi-affine normal form + Fourier–Motzkin over integer linear
+   constraints.  See affine.mli for the soundness contract. *)
+
+type tribool = True | False | Unknown
+
+(* A form is sum(coeff * atom) + const with atoms sorted and coeffs
+   nonzero; atoms are loop variables, floor-divisions / min / max of
+   further forms (quasi-affine terms with one-sided defining
+   constraints), or opaque residues keyed by their expression. *)
+type form = { terms : (atom * int) list; const : int }
+
+and atom =
+  | Avar of Var.t
+  | Adiv of form * int (* floor(f / c), c >= 2 *)
+  | Amin of form * form
+  | Amax of form * form
+  | Aopaque of Expr.t
+  | Aobj (* internal: objective atom for bound queries *)
+
+let compare_atom (a : atom) (b : atom) = Stdlib.compare a b
+
+module Atom_set = Set.Make (struct
+  type t = atom
+
+  let compare = compare_atom
+end)
+
+let fconst n = { terms = []; const = n }
+let fatom a = { terms = [ (a, 1) ]; const = 0 }
+let const_of f = match f.terms with [] -> Some f.const | _ -> None
+
+let fadd f g =
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | (a, ca) :: xs', (b, cb) :: ys' ->
+        let c = compare_atom a b in
+        if c < 0 then (a, ca) :: merge xs' ys
+        else if c > 0 then (b, cb) :: merge xs ys'
+        else
+          let s = ca + cb in
+          if s = 0 then merge xs' ys' else (a, s) :: merge xs' ys'
+  in
+  { terms = merge f.terms g.terms; const = f.const + g.const }
+
+let fscale k f =
+  if k = 0 then fconst 0
+  else if k = 1 then f
+  else { terms = List.map (fun (a, c) -> (a, c * k)) f.terms; const = f.const * k }
+
+let fneg f = fscale (-1) f
+let fsub f g = fadd f (fneg g)
+let fequal (f : form) g = Stdlib.compare f g = 0
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Floor division / modulo for b > 0 (OCaml's (/) truncates). *)
+let fdiv_int a b =
+  let q = a / b and r = a mod b in
+  if r < 0 then q - 1 else q
+
+(* Canonical operand order so min(a,b) and min(b,a) share an atom. *)
+let mk_min f g = if Stdlib.compare f g <= 0 then Amin (f, g) else Amin (g, f)
+let mk_max f g = if Stdlib.compare f g <= 0 then Amax (f, g) else Amax (g, f)
+
+(* Terms that would let an opaque atom smuggle in a non-integer value
+   make gcd tightening unsound, so any condition touching them is
+   rejected wholesale (treated as not affine). *)
+let rec unsafe (e : Expr.t) =
+  match e with
+  | Expr.Float_const _ | Load _ | Select _ -> true
+  | Cast (dt, a) ->
+      (not (Imtp_tensor.Dtype.equal dt Imtp_tensor.Dtype.I32)) || unsafe a
+  | Int_const _ | Var _ -> false
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      unsafe a || unsafe b
+  | Not a -> unsafe a
+
+(* --- Normalization: Expr.t -> form ------------------------------- *)
+
+let rec norm (e : Expr.t) : form =
+  match e with
+  | Expr.Int_const n -> fconst n
+  | Var v -> fatom (Avar v)
+  | Cast (dt, a) when Imtp_tensor.Dtype.equal dt Imtp_tensor.Dtype.I32 ->
+      norm a
+  | Binop (Add, a, b) -> fadd (norm a) (norm b)
+  | Binop (Sub, a, b) -> fsub (norm a) (norm b)
+  | Binop (Mul, a, b) -> (
+      let fa = norm a and fb = norm b in
+      match (const_of fa, const_of fb) with
+      | Some k, _ -> fscale k fb
+      | _, Some k -> fscale k fa
+      | None, None -> fatom (Aopaque e))
+  | Binop (Div, a, b) -> (
+      let fa = norm a and fb = norm b in
+      match const_of fb with
+      | Some c when c > 0 -> fdiv_form fa c
+      | _ -> fatom (Aopaque e))
+  | Binop (Mod, a, b) -> (
+      let fa = norm a and fb = norm b in
+      match const_of fb with
+      | Some c when c > 0 -> fsub fa (fscale c (fdiv_form fa c))
+      | _ -> fatom (Aopaque e))
+  | Binop (Min, a, b) -> (
+      let fa = norm a and fb = norm b in
+      match (const_of fa, const_of fb) with
+      | Some x, Some y -> fconst (min x y)
+      | _ -> if fequal fa fb then fa else fatom (mk_min fa fb))
+  | Binop (Max, a, b) -> (
+      let fa = norm a and fb = norm b in
+      match (const_of fa, const_of fb) with
+      | Some x, Some y -> fconst (max x y)
+      | _ -> if fequal fa fb then fa else fatom (mk_max fa fb))
+  | Float_const _ | Cmp _ | And _ | Or _ | Not _ | Select _ | Load _ | Cast _
+    ->
+      fatom (Aopaque e)
+
+(* floor((c*Q + R)/c) = Q + floor(R/c): peel the coefficient-divisible
+   part, then reduce the residual division by the shared gcd. *)
+and fdiv_form f c =
+  if c = 1 then f
+  else
+    match const_of f with
+    | Some n -> fconst (fdiv_int n c)
+    | None ->
+        let quot_terms, rest_terms =
+          List.partition (fun (_, k) -> k mod c = 0) f.terms
+        in
+        let kq = fdiv_int f.const c in
+        let rconst = f.const - (kq * c) in
+        let quot =
+          { terms = List.map (fun (a, k) -> (a, k / c)) quot_terms; const = kq }
+        in
+        if rest_terms = [] then quot
+        else
+          let rest = { terms = rest_terms; const = rconst } in
+          let g =
+            List.fold_left (fun g (_, k) -> gcd g (abs k)) (abs rconst)
+              rest_terms
+          in
+          let g = gcd g c in
+          let rest, c =
+            if g > 1 then
+              ( { terms = List.map (fun (a, k) -> (a, k / g)) rest.terms;
+                  const = rest.const / g },
+                c / g )
+            else (rest, c)
+          in
+          if c = 1 then fadd quot rest else fadd quot (fatom (Adiv (rest, c)))
+
+(* --- Defining constraints for quasi-affine atoms ------------------ *)
+
+(* Each constraint is a form f meaning f >= 0.  A quasi-affine atom
+   carries one-sided facts that its real value always satisfies:
+     q = floor(f/c):  c*q <= f <= c*q + c - 1
+     m = min(f,g):    m <= f,  m <= g
+     m = max(f,g):    m >= f,  m >= g
+   These are under-constraining abstractions (sound: every derived
+   inequality holds of the real values). *)
+let rec collect_atom a ((seen, acc) as st) =
+  if Atom_set.mem a seen then st
+  else
+    let seen = Atom_set.add a seen in
+    match a with
+    | Avar _ | Aopaque _ | Aobj -> (seen, acc)
+    | Adiv (f, c) ->
+        let q = fatom a in
+        let lo = fsub f (fscale c q) in
+        let hi = fadd (fsub (fscale c q) f) (fconst (c - 1)) in
+        collect_form f (seen, lo :: hi :: acc)
+    | Amin (f, g) ->
+        let m = fatom a in
+        let acc = fsub f m :: fsub g m :: acc in
+        collect_form g (collect_form f (seen, acc))
+    | Amax (f, g) ->
+        let m = fatom a in
+        let acc = fsub m f :: fsub m g :: acc in
+        collect_form g (collect_form f (seen, acc))
+
+and collect_form f st =
+  List.fold_left (fun st (a, _) -> collect_atom a st) st f.terms
+
+let with_defs cstrs =
+  let _, defs =
+    List.fold_left (fun st f -> collect_form f st) (Atom_set.empty, []) cstrs
+  in
+  defs @ cstrs
+
+(* --- Fourier–Motzkin ---------------------------------------------- *)
+
+exception Contradiction
+
+module Form_set = Set.Make (struct
+  type t = form
+
+  let compare = Stdlib.compare
+end)
+
+(* Integer tightening: sum(c_i x_i) + k >= 0 with g = gcd(c_i) gives
+   sum(c_i/g x_i) >= ceil(-k/g) = -floor(k/g). *)
+let tighten f =
+  match f.terms with
+  | [] -> f
+  | _ ->
+      let g = List.fold_left (fun g (_, c) -> gcd g (abs c)) 0 f.terms in
+      if g <= 1 then f
+      else
+        { terms = List.map (fun (a, c) -> (a, c / g)) f.terms;
+          const = fdiv_int f.const g }
+
+let add_normalized set f =
+  let f = tighten f in
+  if f.terms = [] then if f.const < 0 then raise Contradiction else set
+  else Form_set.add f set
+
+let normalize_sys cstrs = List.fold_left add_normalized Form_set.empty cstrs
+
+let atoms_of_sys set =
+  Form_set.fold
+    (fun f acc ->
+      List.fold_left (fun acc (a, _) -> Atom_set.add a acc) acc f.terms)
+    set Atom_set.empty
+
+let coeff_of a f =
+  match List.find_opt (fun (x, _) -> compare_atom x a = 0) f.terms with
+  | Some (_, c) -> c
+  | None -> 0
+
+(* Caps: give up (soundly, by relaxation) rather than blow up. *)
+let max_coeff = 1 lsl 40
+let max_products = 400
+let max_constraints = 2000
+
+let too_big f =
+  abs f.const > max_coeff
+  || List.exists (fun (_, c) -> abs c > max_coeff) f.terms
+
+(* Eliminate atom [a].  When the pairwise combination would exceed the
+   budget, drop every constraint mentioning [a] instead: a relaxation,
+   so infeasibility answers stay sound and bounds stay valid. *)
+let eliminate a set =
+  let pos, rest = Form_set.partition (fun f -> coeff_of a f > 0) set in
+  let neg, rest = Form_set.partition (fun f -> coeff_of a f < 0) rest in
+  let np = Form_set.cardinal pos and nn = Form_set.cardinal neg in
+  if np * nn > max_products || Form_set.cardinal set > max_constraints then
+    rest
+  else
+    Form_set.fold
+      (fun p acc ->
+        let cp = coeff_of a p in
+        Form_set.fold
+          (fun n acc ->
+            let cn = -coeff_of a n in
+            let comb = fadd (fscale cn p) (fscale cp n) in
+            if too_big comb then acc else add_normalized acc comb)
+          neg acc)
+      pos rest
+
+let rec fm_run ~keep set =
+  let atoms = Atom_set.filter (fun a -> not (keep a)) (atoms_of_sys set) in
+  if Atom_set.is_empty atoms then set
+  else
+    (* Pick the atom with the fewest pairwise products. *)
+    let best, _ =
+      Atom_set.fold
+        (fun a (best, cost) ->
+          let np =
+            Form_set.fold
+              (fun f n -> if coeff_of a f > 0 then n + 1 else n)
+              set 0
+          and nn =
+            Form_set.fold
+              (fun f n -> if coeff_of a f < 0 then n + 1 else n)
+              set 0
+          in
+          let c = np * nn in
+          match best with
+          | None -> (Some a, c)
+          | Some _ -> if c < cost then (Some a, c) else (best, cost))
+        atoms (None, 0)
+    in
+    match best with
+    | None -> set
+    | Some a -> fm_run ~keep (eliminate a set)
+
+let infeasible_sys cstrs =
+  try
+    let set = normalize_sys (with_defs cstrs) in
+    let _ = fm_run ~keep:(fun _ -> false) set in
+    false
+  with Contradiction -> true
+
+(* --- Contexts and entailment -------------------------------------- *)
+
+type ctx = { facts : form list }
+
+let empty = { facts = [] }
+
+let neg_cmp : Expr.cmp -> Expr.cmp = function
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+  | Eq -> Ne
+  | Ne -> Eq
+
+(* Constraints entailed by [a op b]; None when not expressible as a
+   conjunction of linear inequalities (Ne) or when float-tainted. *)
+let cmp_cstrs op (a : Expr.t) (b : Expr.t) : form list option =
+  if unsafe a || unsafe b then None
+  else
+    let d = fsub (norm b) (norm a) in
+    (* d = b - a *)
+    match (op : Expr.cmp) with
+    | Le -> Some [ d ]
+    | Lt -> Some [ fadd d (fconst (-1)) ]
+    | Ge -> Some [ fneg d ]
+    | Gt -> Some [ fadd (fneg d) (fconst (-1)) ]
+    | Eq -> Some [ d; fneg d ]
+    | Ne -> None
+
+let rec assume ctx (e : Expr.t) =
+  match e with
+  | Expr.And (a, b) -> assume (assume ctx a) b
+  | Not (Cmp (op, a, b)) -> assume ctx (Expr.Cmp (neg_cmp op, a, b))
+  | Cmp (op, a, b) -> (
+      match cmp_cstrs op a b with
+      | Some cs -> { facts = cs @ ctx.facts }
+      | None -> ctx)
+  | _ -> ctx
+
+let assume_range ctx v ~lo ~hi =
+  let ctx = assume ctx (Expr.Cmp (Le, lo, Expr.var v)) in
+  assume ctx (Expr.Cmp (Lt, Expr.var v, hi))
+
+let assume_loop ctx v extent = assume_range ctx v ~lo:(Expr.int 0) ~hi:extent
+
+let infeasible_with ctx cs = infeasible_sys (List.rev_append cs ctx.facts)
+let infeasible ctx = infeasible_sys ctx.facts
+
+let rec prove ctx (e : Expr.t) : bool =
+  match e with
+  | Expr.Int_const n -> n <> 0
+  | And (a, b) -> prove ctx a && prove ctx b
+  | Or (a, b) -> prove ctx a || prove ctx b
+  | Not a -> refute ctx a
+  | Cmp (op, a, b) -> prove_cmp ctx op a b
+  | _ -> false
+
+and refute ctx (e : Expr.t) : bool =
+  match e with
+  | Expr.Int_const n -> n = 0
+  | And (a, b) -> refute ctx a || refute ctx b
+  | Or (a, b) -> refute ctx a && refute ctx b
+  | Not a -> prove ctx a
+  | Cmp (op, a, b) -> prove_cmp ctx (neg_cmp op) a b
+  | _ -> false
+
+and prove_cmp ctx op a b =
+  match (op : Expr.cmp) with
+  | Lt -> prove_le ctx (Expr.Binop (Add, a, Expr.int 1)) b
+  | Le -> prove_le ctx a b
+  | Gt -> prove_le ctx (Expr.Binop (Add, b, Expr.int 1)) a
+  | Ge -> prove_le ctx b a
+  | Eq -> prove_le ctx a b && prove_le ctx b a
+  | Ne -> (
+      match cmp_cstrs Eq a b with
+      | Some cs -> infeasible_with ctx cs
+      | None -> false)
+
+(* a <= b.  Min/max get structural splits first (a min on the right
+   of <= needs a conjunction, which FM on one-sided atom constraints
+   cannot derive); the FM fallback proves the rest by refuting the
+   negation a > b. *)
+and prove_le ctx (a : Expr.t) (b : Expr.t) =
+  (match b with
+  | Expr.Binop (Min, p, q) -> prove_le ctx a p && prove_le ctx a q
+  | _ -> false)
+  || (match a with
+     | Expr.Binop (Max, p, q) -> prove_le ctx p b && prove_le ctx q b
+     | _ -> false)
+  || (match b with
+     | Expr.Binop (Max, p, q) -> prove_le ctx a p || prove_le ctx a q
+     | _ -> false)
+  || (match a with
+     | Expr.Binop (Min, p, q) -> prove_le ctx p b || prove_le ctx q b
+     | _ -> false)
+  ||
+  match cmp_cstrs Gt a b with
+  | Some cs -> infeasible_with ctx cs
+  | None -> false
+
+let implies ctx (e : Expr.t) : tribool =
+  if prove ctx e then True else if refute ctx e then False else Unknown
+
+(* --- Constant bounds ---------------------------------------------- *)
+
+(* Bounds of a form under the facts: pin a fresh objective atom to the
+   form, eliminate everything else, read the surviving unit
+   constraints on the objective. *)
+let fm_bounds facts f : int option * int option =
+  let obj = fatom Aobj in
+  let sys = fsub f obj :: fsub obj f :: facts in
+  try
+    let final =
+      fm_run
+        ~keep:(fun a -> compare_atom a Aobj = 0)
+        (normalize_sys (with_defs sys))
+    in
+    Form_set.fold
+      (fun c (lo, hi) ->
+        match c.terms with
+        | [ (Aobj, k) ] when k > 0 ->
+            (* k*t + const >= 0: t >= ceil(-const/k) *)
+            let b = -fdiv_int c.const k in
+            ( (match lo with Some l when l >= b -> lo | _ -> Some b),
+              hi )
+        | [ (Aobj, k) ] when k < 0 ->
+            (* k*t + const >= 0: t <= floor(const/-k) *)
+            let b = fdiv_int c.const (-k) in
+            ( lo,
+              match hi with Some h when h <= b -> hi | _ -> Some b )
+        | _ -> (lo, hi))
+      final (None, None)
+  with Contradiction -> (None, None)
+
+let opt_best pick a b =
+  match (a, b) with
+  | Some x, Some y -> Some (pick x y)
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
+
+let rec bounds ctx (e : Expr.t) : int option * int option =
+  match e with
+  | Expr.Int_const n -> (Some n, Some n)
+  | Binop (Min, a, b) ->
+      let la, ha = bounds ctx a and lb, hb = bounds ctx b in
+      let s_lo =
+        match (la, lb) with Some x, Some y -> Some (min x y) | _ -> None
+      in
+      let s_hi = opt_best min ha hb in
+      let f_lo, f_hi = fm_of ctx e in
+      (opt_best max s_lo f_lo, opt_best min s_hi f_hi)
+  | Binop (Max, a, b) ->
+      let la, ha = bounds ctx a and lb, hb = bounds ctx b in
+      let s_lo = opt_best max la lb in
+      let s_hi =
+        match (ha, hb) with Some x, Some y -> Some (max x y) | _ -> None
+      in
+      let f_lo, f_hi = fm_of ctx e in
+      (opt_best max s_lo f_lo, opt_best min s_hi f_hi)
+  | _ -> fm_of ctx e
+
+and fm_of ctx e = if unsafe e then (None, None) else fm_bounds ctx.facts (norm e)
+
+let bound_range ctx e =
+  match bounds ctx e with
+  | Some lo, Some hi when lo <= hi -> Some (lo, hi)
+  | _ -> None
+
+let lower_bound ctx e = fst (bounds ctx e)
+let upper_bound ctx e = snd (bounds ctx e)
+
+(* --- Back to expressions ------------------------------------------ *)
+
+let rec atom_expr = function
+  | Avar v -> Expr.var v
+  | Adiv (f, c) -> Expr.Binop (Div, to_expr f, Expr.int c)
+  | Amin (f, g) -> Expr.Binop (Min, to_expr f, to_expr g)
+  | Amax (f, g) -> Expr.Binop (Max, to_expr f, to_expr g)
+  | Aopaque e -> e
+  | Aobj -> assert false
+
+and to_expr (f : form) : Expr.t =
+  let term (a, c) =
+    let ea = atom_expr a in
+    if abs c = 1 then (ea, c < 0)
+    else (Expr.Binop (Mul, ea, Expr.int (abs c)), c < 0)
+  in
+  let acc =
+    List.fold_left
+      (fun acc t ->
+        let e, negated = term t in
+        match acc with
+        | None ->
+            Some (if negated then Expr.Binop (Sub, Expr.int 0, e) else e)
+        | Some acc ->
+            Some
+              (if negated then Expr.Binop (Sub, acc, e)
+               else Expr.Binop (Add, acc, e)))
+      None f.terms
+  in
+  match acc with
+  | None -> Expr.int f.const
+  | Some acc ->
+      if f.const = 0 then acc
+      else if f.const > 0 then Expr.Binop (Add, acc, Expr.int f.const)
+      else Expr.Binop (Sub, acc, Expr.int (-f.const))
+
+(* --- Upper bound on a loop variable from a guard ------------------- *)
+
+let rec atom_has_var v = function
+  | Avar v' -> Var.equal v v'
+  | Adiv (f, _) -> form_has_var v f
+  | Amin (f, g) | Amax (f, g) -> form_has_var v f || form_has_var v g
+  | Aopaque e -> Var.Set.mem v (Expr.free_vars e)
+  | Aobj -> false
+
+and form_has_var v f = List.exists (fun (a, _) -> atom_has_var v a) f.terms
+
+let cond_upper_bound v (cond : Expr.t) : (Expr.t * bool) option =
+  match cond with
+  | Expr.Cmp (op, a, b) when (not (unsafe a)) && not (unsafe b) -> (
+      let d = fsub (norm b) (norm a) in
+      (* For op in {Le,Lt,Ge,Gt}: cond ⟺ f >= 0 for the matching f.
+         Write f = c*v + g with g free of v; when c < 0,
+         f >= 0 ⟺ v <= floor(g / -c) ⟺ v < floor(g / -c) + 1. *)
+      let pick f =
+        let c = coeff_of (Avar v) f in
+        if c >= 0 then None
+        else
+          let g =
+            { terms =
+                List.filter
+                  (fun (x, _) -> compare_atom x (Avar v) <> 0)
+                  f.terms;
+              const = f.const }
+          in
+          if form_has_var v g then None
+          else
+            Some (Simplify.expr (to_expr (fadd (fdiv_form g (-c)) (fconst 1))))
+      in
+      match op with
+      | Le -> Option.map (fun e -> (e, true)) (pick d)
+      | Lt -> Option.map (fun e -> (e, true)) (pick (fadd d (fconst (-1))))
+      | Ge -> Option.map (fun e -> (e, true)) (pick (fneg d))
+      | Gt ->
+          Option.map (fun e -> (e, true)) (pick (fadd (fneg d) (fconst (-1))))
+      | Eq -> (
+          (* v = b bounds v above (inexactly: the guard must stay). *)
+          match pick d with
+          | Some e -> Some (e, false)
+          | None -> Option.map (fun e -> (e, false)) (pick (fneg d)))
+      | Ne -> None)
+  | _ -> None
+
+(* --- structural condition helpers ------------------------------------ *)
+
+(* Shared with the legacy pass stack via the [Analysis] compatibility
+   shim: splitting and rebuilding conjunctions, and the load screen
+   that keeps effectful conditions out of any rewrite. *)
+
+let rec conjuncts = function
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Expr.int 1
+  | c :: rest -> List.fold_left Expr.and_ c rest
+
+let rec contains_load (e : Expr.t) =
+  match e with
+  | Load _ -> true
+  | Int_const _ | Float_const _ | Var _ -> false
+  | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      contains_load a || contains_load b
+  | Not a | Cast (_, a) -> contains_load a
+  | Select (c, t, f) -> contains_load c || contains_load t || contains_load f

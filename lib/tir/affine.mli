@@ -1,0 +1,85 @@
+(** Quasi-affine bound analysis (Presburger-lite).
+
+    The lowering emits loop nests whose index expressions are integer
+    linear combinations of loop variables, floor-divisions and
+    modulos by positive constants, and [min]/[max] clamps.  This
+    module normalizes such expressions into a canonical affine form
+    and answers entailment and range queries over a conjunction of
+    integer linear constraints by Fourier–Motzkin elimination with
+    integer (gcd) tightening.
+
+    It is the single bounds oracle behind boundary-check elimination
+    in the lowering, the affine variants of the §5.3 passes
+    (loop-bound tightening, invariant branch hoisting, DMA
+    vectorization), and the verifier's partial-tile WRAM footprints.
+
+    Soundness contract: every [True]/[False] answer from {!implies},
+    every [true] from {!prove}, and every interval from
+    {!bound_range} is a theorem over the integers given the assumed
+    facts.  The analysis is deliberately incomplete — [Unknown] /
+    [None] mean "could not prove", never "false".  Conditions
+    containing floating-point constants, non-[I32] casts, loads, or
+    selects are treated as opaque and never participate in
+    arithmetic reasoning. *)
+
+type tribool = True | False | Unknown
+
+type ctx
+(** A conjunction of integer linear constraints over loop variables
+    (and quasi-affine terms derived from them). *)
+
+val empty : ctx
+
+val assume : ctx -> Expr.t -> ctx
+(** [assume ctx cond] adds the affine conjuncts of [cond] as facts.
+    Non-affine conjuncts (disjunctions, [Ne], float-tainted terms)
+    are soundly ignored: the resulting context is weaker, never
+    stronger, than the real condition. *)
+
+val assume_range : ctx -> Var.t -> lo:Expr.t -> hi:Expr.t -> ctx
+(** [assume_range ctx v ~lo ~hi] records [lo <= v < hi]
+    (half-open, loop style). *)
+
+val assume_loop : ctx -> Var.t -> Expr.t -> ctx
+(** [assume_loop ctx v extent] records [0 <= v < extent]. *)
+
+val prove : ctx -> Expr.t -> bool
+(** [prove ctx cond] is [true] only when [cond] holds for every
+    integer assignment satisfying [ctx]. *)
+
+val implies : ctx -> Expr.t -> tribool
+(** [True] when [ctx] entails [cond]; [False] when [ctx] entails
+    [not cond]; [Unknown] otherwise. *)
+
+val infeasible : ctx -> bool
+(** [true] only when no integer assignment satisfies [ctx]. *)
+
+val bound_range : ctx -> Expr.t -> (int * int) option
+(** [bound_range ctx e = Some (lo, hi)] when [lo <= e <= hi] holds
+    under [ctx] (both bounds inclusive and constant).  [None] when
+    either side is unbounded or the expression is not quasi-affine. *)
+
+val lower_bound : ctx -> Expr.t -> int option
+val upper_bound : ctx -> Expr.t -> int option
+(** One-sided versions of {!bound_range}. *)
+
+val cond_upper_bound : Var.t -> Expr.t -> (Expr.t * bool) option
+(** [cond_upper_bound v cond = Some (b, exact)] when [cond] implies
+    [v < b] with [b] free of [v].  [exact] is [true] when the
+    implication is an equivalence ([cond ⟺ v < b]), in which case a
+    guard [cond] inside a loop tightened to [b] iterations can be
+    dropped entirely.  Handles linear comparisons with positive or
+    negative coefficients on [v], multi-atom residues (outer loop
+    variables, floor-divisions, [min]/[max] terms), and [Eq]
+    conjuncts (which yield an inexact bound).  Context-free and
+    deterministic: the result depends only on [cond]. *)
+
+(** {2 Structural condition helpers}
+
+    Conjunction splitting/rebuilding and the load screen, shared by
+    the affine pass drivers and (via the {!Analysis} compatibility
+    shim) the legacy pass stack. *)
+
+val conjuncts : Expr.t -> Expr.t list
+val conjoin : Expr.t list -> Expr.t
+val contains_load : Expr.t -> bool

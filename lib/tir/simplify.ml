@@ -75,6 +75,34 @@ and simplify_binop op a b : Expr.t =
   | Expr.Mul, Int_const 1, x | Expr.Mul, x, Int_const 1 -> x
   | Expr.Div, x, Int_const 1 -> x
   | Expr.Mod, _, Int_const 1 -> Int_const 0
+  (* Fold negation chains so tightened bounds like
+     Analysis.ceil_div_neg print as (k - r) instead of ((0 - r) + k):
+     0 - (0 - x) -> x,  x - (0 - y) -> x + y,  (0 - y) + x -> x - y. *)
+  | Expr.Sub, x, Binop (Sub, Int_const 0, y) -> simplify_binop Add x y
+  | Expr.Add, Binop (Sub, Int_const 0, y), x
+  | Expr.Add, x, Binop (Sub, Int_const 0, y) ->
+      simplify_binop Sub x y
+  (* Collapse nested floor-div/mod by matching positive constants
+     (all sound for the floor semantics of fold_binop):
+       (x // b) // c -> x // (b*c)
+       (x * k) // c  -> x * (k/c)   when c | k
+       (x * k) %  c  -> 0           when c | k
+       (x %  b) // c -> 0           when c >= b (0 <= x%b < b)
+       (x %  b) %  c -> x % c       when c | b. *)
+  | Expr.Div, Binop (Div, x, Int_const b), Int_const c when b > 0 && c > 0 ->
+      simplify_binop Div x (Int_const (b * c))
+  | Expr.Div, Binop (Mul, x, Int_const k), Int_const c
+    when c > 0 && k mod c = 0 ->
+      simplify_binop Mul x (Int_const (k / c))
+  | Expr.Mod, Binop (Mul, _, Int_const k), Int_const c
+    when c > 0 && k mod c = 0 ->
+      Int_const 0
+  | Expr.Div, Binop (Mod, _, Int_const b), Int_const c when b > 0 && c >= b ->
+      Int_const 0
+  | Expr.Mod, Binop (Mod, x, Int_const b), Int_const c
+    when b > 0 && c > 0 && b mod c = 0 ->
+      if b = c then Binop (Mod, x, Int_const b)
+      else simplify_binop Mod x (Int_const c)
   (* Re-associate constant addends: (x + c1) + c2 -> x + (c1+c2). *)
   | Expr.Add, Binop (Add, x, Int_const c1), Int_const c2 ->
       simplify_binop Add x (Int_const (c1 + c2))
