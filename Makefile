@@ -8,7 +8,8 @@ FUZZ_CASES ?= 10000
 JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: all test check doc bench bench-exec bench-model bench-affine fuzz clean
+.PHONY: all test check doc bench bench-exec bench-model bench-affine \
+	bench-serve serve-smoke fuzz clean
 
 all:
 	dune build @all
@@ -18,13 +19,21 @@ test:
 
 # Full gate: build, unit tests, a fixed-seed 50-case fuzz smoke at
 # -j 2 through the engine path (the `@check` alias in test/dune,
-# exercising the parallel campaign driver), and the API docs (skipped
-# gracefully when odoc is not installed).
+# exercising the parallel campaign driver), the serving smoke (real
+# daemon process, SIGKILL mid-tune, bit-identical resume), and the
+# API docs (skipped gracefully when odoc is not installed).
 check:
 	dune build
 	dune runtest
 	dune build @check
 	$(MAKE) doc
+
+# Process-level serving smoke on its own: boots `imtp serve`, runs two
+# concurrent client tunes, SIGKILLs the daemon mid-search and resumes
+# in a fresh daemon, asserting the resumed history digest matches the
+# uninterrupted run's.  Fixed seeds; also part of `dune build @check`.
+serve-smoke:
+	dune build @serve-smoke
 
 # API documentation (odoc comments on every public .mli).  Gated on
 # odoc being installed so `make check` works in minimal containers.
@@ -60,6 +69,14 @@ bench-model:
 # under each pass stack into BENCH_<date>.json.
 bench-affine:
 	dune exec bench/main.exe -- --affine-bounds --out BENCH_$(BENCH_DATE).json
+
+# Serving throughput: the same N fixed-seed tune sessions run
+# back-to-back and as N concurrent clients against fresh daemons,
+# recording aggregate trials/sec, the shared-cache ledger and the host
+# core count (concurrency cannot beat the core budget) into
+# BENCH_<date>.json.
+bench-serve:
+	dune exec bench/main.exe -- --serve-throughput --out BENCH_$(BENCH_DATE).json
 
 # Long fuzzing campaign with a date-derived seed (override with
 # FUZZ_SEED=n / FUZZ_CASES=n / JOBS=n).  The seed is printed first so

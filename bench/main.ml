@@ -12,6 +12,8 @@
                                               # full vs model-gated search
      dune exec bench/main.exe -- --affine-bounds [--out FILE]
                                               # guarded vs proven ragged kernels
+     dune exec bench/main.exe -- --serve-throughput [--out FILE]
+                                              # daemon: N clients vs N sequential
 
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md's experiment index); the Bechamel suite
@@ -554,6 +556,162 @@ let affine_bounds ~out () =
       close_out oc;
       Printf.printf "appended to %s\n" path
 
+(* --- Serve throughput: N concurrent clients vs N sequential --------- *)
+
+(* Aggregate tuning throughput of the daemon under client concurrency:
+   the same N fixed-seed sessions are run once back-to-back through a
+   single connection and once as N simultaneous clients, each mode
+   against a fresh daemon (cold shared engine), comparing aggregate
+   trials/sec and the shared-cache ledger.  Tuning is CPU-bound in the
+   daemon's domain pool, so the concurrent mode can only win when the
+   host has cores to spare — the report records the core count so a
+   sub-1x ratio on a small host reads as expected, not as a
+   regression.  Appends a JSON report to [--out] when given. *)
+let serve_throughput ~out () =
+  let n = 4 and trials = 400 in
+  let specs =
+    List.init n (fun i ->
+        {
+          Imtp.Protocol.op = "mtv";
+          sizes = [ 128; 256 ];
+          trials;
+          seed = 100 + i;
+          measure_ratio = None;
+          session = Some (Printf.sprintf "bench-%d" i);
+        })
+  in
+  let with_daemon f =
+    let dir = Filename.temp_file "imtp_bench_serve" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let socket = Filename.concat dir "d.sock" in
+    let cfg =
+      {
+        (Imtp.Serve.default_config ~socket) with
+        Imtp.Serve.checkpoint_dir = Filename.concat dir "ckpt";
+        max_sessions = n;
+      }
+    in
+    let th = Thread.create (fun () -> ignore (Imtp.Serve.run cfg)) () in
+    let rec wait tries =
+      match Imtp.Serve_client.connect ~socket with
+      | Ok c -> Imtp.Serve_client.close c
+      | Error _ when tries > 0 ->
+          Thread.delay 0.05;
+          wait (tries - 1)
+      | Error e -> failwith (Imtp.Serve_client.error_to_string e)
+    in
+    wait 100;
+    let result = f socket in
+    (* engine ledger before shutdown, then tear everything down *)
+    let stats =
+      match Imtp.Serve_client.with_connection ~socket Imtp.Serve_client.stats with
+      | Ok s -> s
+      | Error e -> failwith (Imtp.Serve_client.error_to_string e)
+    in
+    ignore (Imtp.Serve_client.with_connection ~socket Imtp.Serve_client.shutdown);
+    Thread.join th;
+    let rec rm d =
+      Array.iter
+        (fun f ->
+          let p = Filename.concat d f in
+          if Sys.is_directory p then rm p else Sys.remove p)
+        (Sys.readdir d);
+      Unix.rmdir d
+    in
+    rm dir;
+    (result, stats)
+  in
+  let tune_ok socket spec =
+    match
+      Imtp.Serve_client.with_connection ~socket (fun c ->
+          Imtp.Serve_client.tune c spec)
+    with
+    | Ok _ -> ()
+    | Error e -> failwith (Imtp.Serve_client.error_to_string e)
+  in
+  let engine_counter stats field =
+    match Imtp.Obs.Json.member "engine" stats with
+    | Some engine -> (
+        match Imtp.Obs.Json.member field engine with
+        | Some (Imtp.Obs.Json.Num v) -> int_of_float v
+        | _ -> 0)
+    | None -> 0
+  in
+  Util.heading
+    (Printf.sprintf
+       "Serve throughput: %d sessions x %d trials, sequential vs concurrent \
+        (host has %d core%s)"
+       n trials (Domain.recommended_domain_count ())
+       (if Domain.recommended_domain_count () = 1 then "" else "s"));
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let seq_elapsed, seq_stats =
+    with_daemon (fun socket ->
+        time (fun () -> List.iter (tune_ok socket) specs))
+  in
+  let conc_elapsed, conc_stats =
+    with_daemon (fun socket ->
+        time (fun () ->
+            let threads =
+              List.map
+                (fun spec -> Thread.create (fun () -> tune_ok socket spec) ())
+                specs
+            in
+            List.iter Thread.join threads))
+  in
+  let total = float_of_int (n * trials) in
+  let seq_tps = total /. seq_elapsed and conc_tps = total /. conc_elapsed in
+  let report tag elapsed tps stats =
+    Printf.printf
+      "  %-10s %.2fs, %.0f trials/s aggregate, engine hits=%d built=%d\n%!"
+      tag elapsed tps
+      (engine_counter stats "hits")
+      (engine_counter stats "built")
+  in
+  report "sequential" seq_elapsed seq_tps seq_stats;
+  report "concurrent" conc_elapsed conc_tps conc_stats;
+  Printf.printf "  concurrent/sequential: %.2fx\n%!" (conc_tps /. seq_tps);
+  match out with
+  | None -> ()
+  | Some path ->
+      let mode_json stats tps elapsed =
+        Printf.sprintf
+          "{ \"elapsed_s\": %.4f, \"trials_per_s\": %.1f, \"engine_hits\": \
+           %d, \"engine_built\": %d }"
+          elapsed tps
+          (engine_counter stats "hits")
+          (engine_counter stats "built")
+      in
+      let buf = Buffer.create 1024 in
+      Printf.ksprintf (Buffer.add_string buf)
+        "{\n\
+        \  \"benchmark\": \"serve throughput\",\n\
+        \  \"date\": %.0f,\n\
+        \  \"host_cores\": %d,\n\
+        \  \"clients\": %d,\n\
+        \  \"trials_per_session\": %d,\n\
+        \  \"sequential\": %s,\n\
+        \  \"concurrent\": %s,\n\
+        \  \"concurrent_speedup\": %.4f,\n\
+        \  \"note\": \"tuning is CPU-bound in the daemon's shared domain \
+         pool; aggregate speedup from client concurrency is bounded by \
+         host_cores, so ~1x or below is expected on a single-core host\"\n\
+         }\n"
+        (Unix.time ())
+        (Domain.recommended_domain_count ())
+        n trials
+        (mode_json seq_stats seq_tps seq_elapsed)
+        (mode_json conc_stats conc_tps conc_elapsed)
+        (conc_tps /. seq_tps);
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "appended to %s\n" path
+
 (* Each experiment runs under a [bench.<name>] observability span; with
    IMTP_TRACE=FILE set, the spans (and the engine/search metrics they
    enclose) stream to a JSONL trace readable by `imtp report`. *)
@@ -580,6 +738,9 @@ let () =
   | [ "--model-gating"; "--out"; path ] -> model_gating ~out:(Some path) ()
   | [ "--affine-bounds" ] -> affine_bounds ~out:None ()
   | [ "--affine-bounds"; "--out"; path ] -> affine_bounds ~out:(Some path) ()
+  | [ "--serve-throughput" ] -> serve_throughput ~out:None ()
+  | [ "--serve-throughput"; "--out"; path ] ->
+      serve_throughput ~out:(Some path) ()
   | names ->
       List.iter
         (fun name ->

@@ -7,6 +7,9 @@
      tune    <op> <sizes..>   autotune and report the best schedule
      baseline <op> <sizes..>  measure PrIM / PrIM(E) / PrIM+search / SimplePIM
      report  <trace>          summarize an observability trace (--trace)
+     serve   --socket PATH    tuning-as-a-service daemon (docs/PROTOCOL.md)
+     client  <cmd> ...        talk to a running daemon (run/tune/replay/
+                              stats/shutdown)
 
    run/tune/replay/fuzz accept --trace FILE to stream tracing spans and
    a final metrics snapshot as JSONL; `imtp report FILE` renders it. *)
@@ -455,6 +458,195 @@ let baseline_cmd =
   in
   Cmd.v (Cmd.info "baseline" ~doc) Term.(const run $ op_arg $ sizes_arg $ dpus_arg)
 
+(* --- serve ----------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path.  The daemon creates it mode 0600 and \
+           removes it on clean shutdown; clients connect to it.")
+
+let serve_cmd =
+  let doc =
+    "Run the tuning daemon: one shared engine (memo cache, compiled \
+     executors, domain pool) serving run/tune/replay/stats requests over a \
+     Unix-domain socket.  The wire format is specified in docs/PROTOCOL.md.  \
+     Tune sessions checkpoint to --checkpoint-dir at every generation, so a \
+     killed daemon resumes interrupted searches bit-identically."
+  in
+  let ckpt_dir_arg =
+    Arg.(
+      value
+      & opt string "imtp-checkpoints"
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for tune-session checkpoints (created if missing).  \
+             One $(b,<session>.ckpt) per active session; completed sessions \
+             delete theirs, interrupted ones leave it for resumption.")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Concurrent tune sessions; further requests queue.")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Waiting tune requests before new ones are refused with the \
+             $(b,busy) error (backpressure).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"G"
+          ~doc:"Checkpoint period, in search generations.")
+  in
+  let run socket checkpoint_dir max_sessions queue_limit checkpoint_every dpus
+      jobs verbose trace =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
+    apply_jobs jobs;
+    with_trace trace @@ fun () ->
+    let config = machine dpus in
+    match
+      Imtp.Serve.run ~machine:config
+        {
+          Imtp.Serve.socket;
+          checkpoint_dir;
+          max_sessions;
+          queue_limit;
+          checkpoint_every;
+        }
+    with
+    | Ok () -> ()
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ ckpt_dir_arg $ max_sessions_arg
+      $ queue_limit_arg $ checkpoint_every_arg $ dpus_arg $ jobs_arg
+      $ verbose_arg $ trace_arg)
+
+(* --- client ---------------------------------------------------------- *)
+
+(* Each client subcommand prints the response body as one JSON line —
+   the same object the wire carries (docs/PROTOCOL.md) — so scripts
+   can pipe it without scraping human-formatted text. *)
+
+let client_fail e =
+  Format.eprintf "error: %s@." (Imtp.Serve_client.error_to_string e);
+  exit 1
+
+let with_client socket f =
+  match Imtp.Serve_client.with_connection ~socket f with
+  | Ok body -> print_endline (Imtp.Obs.Json.to_string body)
+  | Error e -> client_fail e
+
+let client_run_cmd =
+  let doc = "Compile, execute and validate an op on the daemon's engine." in
+  let run socket name sizes =
+    with_client socket (fun c -> Imtp.Serve_client.run c ~op:name ~sizes)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ socket_arg $ op_arg $ sizes_arg)
+
+let session_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "session" ] ~docv:"NAME"
+        ~doc:
+          "Checkpoint session name ([A-Za-z0-9._-]+).  Re-sending a tune \
+           with the name of an interrupted session resumes it from its \
+           checkpoint.  Derived from op/sizes/seed/trials when omitted.")
+
+let client_tune_cmd =
+  let doc =
+    "Run a checkpointed tune session on the daemon (queued under its \
+     admission control) and print the outcome, including the history \
+     digest."
+  in
+  let run socket name sizes trials seed measure_ratio no_cost_model session =
+    let measure_ratio = if no_cost_model then None else Some measure_ratio in
+    with_client socket (fun c ->
+        Imtp.Serve_client.tune c
+          {
+            Imtp.Protocol.op = name;
+            sizes;
+            trials;
+            seed;
+            measure_ratio;
+            session;
+          })
+  in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(
+      const run $ socket_arg $ op_arg $ sizes_arg $ trials_arg $ seed_arg
+      $ measure_ratio_arg $ no_cost_model_arg $ session_arg)
+
+let client_replay_cmd =
+  let doc =
+    "Re-measure the best entry of a tuning log through the daemon's shared \
+     engine.  The log path is read on the $(i,server's) filesystem."
+  in
+  let log_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LOG" ~doc:"Server-local tuning log path.")
+  in
+  let szs =
+    Arg.(
+      non_empty & pos_right 0 int []
+      & info [] ~docv:"SIZES" ~doc:"Dimension extents of the logged operation.")
+  in
+  let run socket log sizes =
+    with_client socket (fun c -> Imtp.Serve_client.replay c ~log ~sizes)
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ socket_arg $ log_pos_arg $ szs)
+
+let client_stats_cmd =
+  let doc =
+    "Print the daemon's engine/pool/session counters and metrics snapshot."
+  in
+  let run socket = with_client socket Imtp.Serve_client.stats in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ socket_arg)
+
+let client_shutdown_cmd =
+  let doc =
+    "Ask the daemon to drain and exit: running searches checkpoint at their \
+     next generation boundary and answer interrupted."
+  in
+  let run socket =
+    match
+      Imtp.Serve_client.with_connection ~socket (fun c ->
+          Result.map (fun () -> Imtp.Obs.Json.Obj []) (Imtp.Serve_client.shutdown c))
+    with
+    | Ok _ -> print_endline "shutdown requested"
+    | Error e -> client_fail e
+  in
+  Cmd.v (Cmd.info "shutdown" ~doc) Term.(const run $ socket_arg)
+
+let client_cmd =
+  let doc = "Talk to a running 'imtp serve' daemon (docs/PROTOCOL.md)." in
+  Cmd.group
+    (Cmd.info "client" ~doc)
+    [
+      client_run_cmd;
+      client_tune_cmd;
+      client_replay_cmd;
+      client_stats_cmd;
+      client_shutdown_cmd;
+    ]
+
 let () =
   let doc = "search-based code generation for in-memory tensor programs" in
   let info = Cmd.info "imtp" ~version:"1.0.0" ~doc in
@@ -471,4 +663,6 @@ let () =
             baseline_cmd;
             fuzz_cmd;
             report_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

@@ -170,6 +170,18 @@ let create ?(lambda = 1e-2) ?(min_samples = 8) () =
     err_n = 0;
   }
 
+let copy t =
+  {
+    lambda = t.lambda;
+    min_samples = t.min_samples;
+    xtx = Array.map Array.copy t.xtx;
+    xty = Array.copy t.xty;
+    n = t.n;
+    weights = Option.map Array.copy t.weights;
+    err_sum = t.err_sum;
+    err_n = t.err_n;
+  }
+
 let trained t = t.n >= t.min_samples
 let sample_count t = t.n
 

@@ -42,6 +42,10 @@ val create : ?lambda:float -> ?min_samples:int -> unit -> t
     (default 8) is how many measured trials must be observed before the
     model claims to be {!trained}. *)
 
+val copy : t -> t
+(** A deep snapshot: later {!observe} calls on either model leave the
+    other untouched.  Search checkpoints capture the model this way. *)
+
 val observe : t -> float array -> float -> unit
 (** [observe m x latency_s] adds a training sample.  When the model is
     already trained, the sample's holdout residual (absolute

@@ -17,6 +17,14 @@ let create () =
     weights = None;
   }
 
+let copy t =
+  {
+    xtx = Array.map Array.copy t.xtx;
+    xty = Array.copy t.xty;
+    n = t.n;
+    weights = Option.map Array.copy t.weights;
+  }
+
 let log2 x = log (float_of_int (max 1 x)) /. log 2.
 
 let features op (p : Sketch.params) =

@@ -28,7 +28,59 @@ type outcome = {
   skipped : int;
   cache_hits : int;
   elapsed_s : float;
+  interrupted : bool;
+  resumed_from : int option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the search loop mutates, snapshotted at a generation
+   boundary.  All fields are plain data (no closures), so a checkpoint
+   marshals to disk as-is ({!Checkpoint}); [Rng.t] serializes its exact
+   draw position, which is what makes resumption bit-identical.  The
+   engine's memo tables are deliberately NOT part of the state: cached
+   artifacts are a pure function of their candidate, so a resumed run
+   on a cold cache rebuilds the same values — only the cache-ledger
+   fields of the outcome ([cache_hits], [measured_trials]) reflect the
+   executions this process actually paid for. *)
+type checkpoint = {
+  ck_format : int;
+  ck_op_key : string;  (* Engine.op_key, pins the operator identity *)
+  ck_op_name : string;
+  ck_seed : int;
+  ck_trials : int;
+  ck_strategy : strategy;
+  ck_use_cost_model : bool;
+  ck_measure_ratio : float option;
+  ck_rng : Rng.t;
+  ck_model : Cost_model.t;
+  ck_tir_model : Cost_learn.t;
+  ck_seen : (Sketch.params, unit) Hashtbl.t;
+  ck_skipped_seen : (Sketch.params, unit) Hashtbl.t;
+  ck_history : record list;  (* newest first, as the loop keeps it *)
+  ck_best : Measure.result option;
+  ck_invalid : int;
+  ck_rejections : (string, int) Hashtbl.t;
+  ck_measured : int;
+  ck_skipped : int;
+  ck_trial : int;
+  ck_population : (Sketch.params * float) list;
+  ck_measured_trials : int;  (* cumulative simulator ledger *)
+  ck_cache_hits : int;  (* cumulative engine-cache hits *)
+  ck_elapsed_s : float;  (* wall clock consumed before the snapshot *)
+}
+
+(* Bump whenever the checkpoint layout (or anything it transitively
+   contains) changes incompatibly; {!run} rejects other formats. *)
+let checkpoint_format = 1
+
+let checkpoint_trial ck = ck.ck_trial
+let checkpoint_trials ck = ck.ck_trials
+let checkpoint_op_name ck = ck.ck_op_name
+let checkpoint_seed ck = ck.ck_seed
+let checkpoint_measure_ratio ck = ck.ck_measure_ratio
 
 (* Bucket an engine error for the rejection tally: verifier rejections
    keep their constraint name (dpus/tasklets/mram/wram/iram/dma), other
@@ -89,9 +141,37 @@ let parent_pool strategy ~early population =
   else take top_k sorted
 
 let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
-    ?(use_cost_model = true) ?measure_ratio ?engine cfg op ~trials =
+    ?(use_cost_model = true) ?measure_ratio ?engine ?resume ?on_checkpoint
+    ?(checkpoint_every = 1) ?stop cfg op ~trials =
   let jobs =
     match jobs with Some j -> j | None -> Imtp_engine.Pool.default_jobs ()
+  in
+  if checkpoint_every < 1 then
+    invalid_arg "Search.run: checkpoint_every must be >= 1";
+  let op_key = Engine.op_key op in
+  (* A resumed run replays the killed run's own configuration — the
+     caller's seed/strategy/gating arguments are overridden by the
+     checkpoint, because mixing a serialized rng stream with different
+     search dynamics could not be bit-identical to anything. *)
+  let strategy, seed, use_cost_model, measure_ratio, trials =
+    match resume with
+    | None -> (strategy, seed, use_cost_model, measure_ratio, trials)
+    | Some ck ->
+        if ck.ck_format <> checkpoint_format then
+          invalid_arg
+            (Printf.sprintf
+               "Search.run: checkpoint format %d, this build speaks %d"
+               ck.ck_format checkpoint_format);
+        if ck.ck_op_key <> op_key then
+          invalid_arg
+            (Printf.sprintf
+               "Search.run: checkpoint was recorded for op %s, not %s"
+               ck.ck_op_name op.Imtp_workload.Op.opname);
+        ( ck.ck_strategy,
+          ck.ck_seed,
+          ck.ck_use_cost_model,
+          ck.ck_measure_ratio,
+          ck.ck_trials )
   in
   (match measure_ratio with
   | Some r when not (r > 0. && r <= 1.) ->
@@ -106,6 +186,8 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
         ("jobs", Obs.Int jobs);
         ( "measure_ratio",
           Obs.Float (Option.value measure_ratio ~default:1.) );
+        ( "resumed_from",
+          Obs.Int (match resume with Some ck -> ck.ck_trial | None -> -1) );
       ]
   @@ fun () ->
   let t0 = Obs.now_s () in
@@ -114,31 +196,109 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
   in
   let hits0 = (Engine.counters engine).Engine.hits in
   let costed0 = (Engine.counters engine).Engine.costed in
-  let rng = Rng.create ~seed in
-  let model = Cost_model.create () in
-  let tir_model = Cost_learn.create () in
+  (* Cumulative ledgers carried over from the killed run, so a resumed
+     outcome still reports every simulator execution it (transitively)
+     paid for. *)
+  let base_measured_trials, base_cache_hits, base_elapsed_s =
+    match resume with
+    | None -> (0, 0, 0.)
+    | Some ck -> (ck.ck_measured_trials, ck.ck_cache_hits, ck.ck_elapsed_s)
+  in
+  (* Deep-copy every piece of resumed state: the caller may resume the
+     same in-memory checkpoint several times (tests do), and a run must
+     never mutate the snapshot it started from. *)
+  let rng =
+    match resume with
+    | None -> Rng.create ~seed
+    | Some ck -> Rng.copy ck.ck_rng
+  in
+  let model =
+    match resume with
+    | None -> Cost_model.create ()
+    | Some ck -> Cost_model.copy ck.ck_model
+  in
+  let tir_model =
+    match resume with
+    | None -> Cost_learn.create ()
+    | Some ck -> Cost_learn.copy ck.ck_tir_model
+  in
   (* Params measured this run; duplicate proposals are deduplicated here
      (one history entry per candidate) while the engine cache spares
      them the re-build.  Under gating, [skipped_seen] additionally
      remembers candidates that already carry a predicted (unmeasured)
      history entry — a re-proposal may still be measured later, but
      never produces a second predicted entry. *)
-  let seen = Hashtbl.create 64 in
-  let skipped_seen = Hashtbl.create 64 in
-  let history = ref [] in
-  let best = ref None in
-  let invalid = ref 0 in
-  let rejections = Hashtbl.create 8 in
+  let seen =
+    match resume with
+    | None -> Hashtbl.create 64
+    | Some ck -> Hashtbl.copy ck.ck_seen
+  in
+  let skipped_seen =
+    match resume with
+    | None -> Hashtbl.create 64
+    | Some ck -> Hashtbl.copy ck.ck_skipped_seen
+  in
+  let history = ref (match resume with None -> [] | Some ck -> ck.ck_history) in
+  let best = ref (match resume with None -> None | Some ck -> ck.ck_best) in
+  let invalid = ref (match resume with None -> 0 | Some ck -> ck.ck_invalid) in
+  let rejections =
+    match resume with
+    | None -> Hashtbl.create 8
+    | Some ck -> Hashtbl.copy ck.ck_rejections
+  in
   let tally e =
     incr invalid;
     let k = rejection_bucket e in
     Hashtbl.replace rejections k
       (1 + Option.value (Hashtbl.find_opt rejections k) ~default:0)
   in
-  let measured = ref 0 in
-  let skipped = ref 0 in
-  let trial = ref 0 in
-  let population = ref [] in
+  let measured =
+    ref (match resume with None -> 0 | Some ck -> ck.ck_measured)
+  in
+  let skipped =
+    ref (match resume with None -> 0 | Some ck -> ck.ck_skipped)
+  in
+  let trial = ref (match resume with None -> 0 | Some ck -> ck.ck_trial) in
+  let population =
+    ref (match resume with None -> [] | Some ck -> ck.ck_population)
+  in
+  let snapshot () =
+    let c = Engine.counters engine in
+    {
+      ck_format = checkpoint_format;
+      ck_op_key = op_key;
+      ck_op_name = op.Imtp_workload.Op.opname;
+      ck_seed = seed;
+      ck_trials = trials;
+      ck_strategy = strategy;
+      ck_use_cost_model = use_cost_model;
+      ck_measure_ratio = measure_ratio;
+      ck_rng = Rng.copy rng;
+      ck_model = Cost_model.copy model;
+      ck_tir_model = Cost_learn.copy tir_model;
+      ck_seen = Hashtbl.copy seen;
+      ck_skipped_seen = Hashtbl.copy skipped_seen;
+      ck_history = !history;
+      ck_best = !best;
+      ck_invalid = !invalid;
+      ck_rejections = Hashtbl.copy rejections;
+      ck_measured = !measured;
+      ck_skipped = !skipped;
+      ck_trial = !trial;
+      ck_population = !population;
+      ck_measured_trials =
+        base_measured_trials + c.Engine.costed - costed0;
+      ck_cache_hits = base_cache_hits + c.Engine.hits - hits0;
+      ck_elapsed_s = base_elapsed_s +. (Obs.now_s () -. t0);
+    }
+  in
+  let emit_checkpoint () =
+    match on_checkpoint with
+    | None -> ()
+    | Some f ->
+        Obs.incr "search.checkpoints";
+        f (snapshot ())
+  in
   let best_so_far () =
     match !best with Some b -> b.Measure.latency_s | None -> infinity
   in
@@ -251,20 +411,31 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
     go 16
   in
   (* Initial population: random sampling (uniform across design
-     spaces, hence unaffected by the balanced sampler). *)
-  Obs.span ~name:"search.init" (fun () ->
-      let sample =
-        if measure_ratio = None then random_valid else random_valid_gated
-      in
-      while !trial < min trials population_size do
-        (match sample () with
-        | Some c -> population := c :: !population
-        | None -> ());
-        incr trial
-      done);
+     spaces, hence unaffected by the balanced sampler).  A resumed run
+     skips it — the restored state is already past it. *)
+  if resume = None then begin
+    Obs.span ~name:"search.init" (fun () ->
+        let sample =
+          if measure_ratio = None then random_valid else random_valid_gated
+        in
+        while !trial < min trials population_size do
+          (match sample () with
+          | Some c -> population := c :: !population
+          | None -> ());
+          incr trial
+        done);
+    emit_checkpoint ()
+  end;
   (* Generations: propose a whole generation against the fixed parent
-     pool, then measure it in one engine batch. *)
-  while !trial < trials do
+     pool, then measure it in one engine batch.  [stop] is polled at
+     generation boundaries only — between checkpoints the state is
+     mid-flight and not snapshot-safe. *)
+  let interrupted = ref false in
+  let generations = ref 0 in
+  let should_stop () = match stop with Some f -> f () | None -> false in
+  while !trial < trials && not !interrupted do
+    if should_stop () then interrupted := true
+    else begin
     Obs.span ~name:"search.generation"
       ~attrs:[ ("trial", Obs.Int !trial) ]
     @@ fun () ->
@@ -420,15 +591,25 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
           (match !best with
           | Some b -> b.Measure.latency_s *. 1e3
           | None -> Float.nan)
-          !invalid)
+          !invalid);
+    incr generations;
+    if !generations mod checkpoint_every = 0 then emit_checkpoint ()
+    end
   done;
+  (* An interrupted run leaves a checkpoint behind whatever
+     [checkpoint_every] said — the whole point of stopping gracefully
+     is that nothing since the last generation boundary is lost. *)
+  if !interrupted then emit_checkpoint ()
+  else if !generations mod checkpoint_every <> 0 then emit_checkpoint ();
   (* Confirmation pass (gated only): the final population may hold
      predicted-only candidates the model ranks better than anything
      measured — simulate the most promising few before declaring a
      winner, so a model that found the optimum late still cashes it
      in.  Bounded by a small budget so the simulator ledger stays
-     ~ratio-proportional. *)
+     ~ratio-proportional.  Skipped on interruption: the resumed run
+     performs it when the trial budget is actually exhausted. *)
   (match measure_ratio with
+  | _ when !interrupted -> ()
   | None -> ()
   | Some ratio ->
       Obs.span ~name:"search.confirm" @@ fun () ->
@@ -456,8 +637,12 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
   Obs.incr ~by:!measured "search.measured";
   Obs.incr ~by:!skipped "search.skipped";
   Obs.incr ~by:!invalid "search.invalid";
-  let cache_hits = (Engine.counters engine).Engine.hits - hits0 in
-  let measured_trials = (Engine.counters engine).Engine.costed - costed0 in
+  let cache_hits =
+    base_cache_hits + (Engine.counters engine).Engine.hits - hits0
+  in
+  let measured_trials =
+    base_measured_trials + (Engine.counters engine).Engine.costed - costed0
+  in
   Obs.incr ~by:cache_hits "search.cache_hits";
   Obs.incr ~by:measured_trials "search.measured_trials";
   (match Cost_learn.mean_abs_log_err tir_model with
@@ -481,5 +666,8 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
     measured_trials;
     skipped = !skipped;
     cache_hits;
-    elapsed_s;
+    elapsed_s = base_elapsed_s +. elapsed_s;
+    interrupted = !interrupted;
+    resumed_from =
+      (match resume with Some ck -> Some ck.ck_trial | None -> None);
   }

@@ -88,7 +88,15 @@ type outcome = {
           warm entries when a shared engine is passed in). *)
   elapsed_s : float;
       (** wall-clock duration of the whole run — recorded in tuning-log
-          headers so replayed logs can report trials/sec. *)
+          headers so replayed logs can report trials/sec.  For a
+          resumed run this includes the killed run's recorded time. *)
+  interrupted : bool;
+      (** the run was stopped by its [stop] callback before exhausting
+          the trial budget; a final checkpoint was emitted, and the
+          confirmation pass (if gated) was deferred to the resumption. *)
+  resumed_from : int option;
+      (** the trial count of the checkpoint this run resumed from
+          ([None] for a from-scratch run). *)
 }
 (** Everything a search run produces.  The run also emits telemetry
     through {!Imtp_obs.Obs}: a [search.run] span enclosing [search.init]
@@ -100,6 +108,46 @@ type outcome = {
     [search.trials_per_s] gauges — see DESIGN.md's "Observability"
     section for the full taxonomy. *)
 
+(** {2 Checkpoints}
+
+    A checkpoint is a complete snapshot of the search loop's state at a
+    generation boundary: the rng's exact draw position, both cost
+    models, the population, the deduplication tables, the history and
+    every tally.  Resuming from it replays the killed run's remaining
+    trials {e bit-identically} — same history records (and therefore
+    the same tuning-log lines), same best, same measured/skipped/invalid
+    counts — because everything the search does downstream is a pure
+    function of that state.  Only the engine-cache ledger differs: a
+    resumed run starts against whatever engine it is given (typically a
+    cold one), so [cache_hits] counts real hits in each process while
+    [measured_trials] still accumulates across the kill (simulator
+    executions actually paid for, before plus after).
+
+    Checkpoints are plain marshalable data; {!Checkpoint} gives them a
+    durable on-disk form. *)
+
+type checkpoint
+(** Serialized search state at a generation boundary. *)
+
+val checkpoint_format : int
+(** Layout version embedded in every checkpoint; {!run} rejects
+    checkpoints written by an incompatible build. *)
+
+val checkpoint_trial : checkpoint -> int
+(** How many trials the snapshot had consumed. *)
+
+val checkpoint_trials : checkpoint -> int
+(** The run's total trial budget. *)
+
+val checkpoint_op_name : checkpoint -> string
+(** Name of the operator the search was tuning. *)
+
+val checkpoint_seed : checkpoint -> int
+(** The run's seed. *)
+
+val checkpoint_measure_ratio : checkpoint -> float option
+(** The run's measurement-gate ratio, if gated. *)
+
 val run :
   ?strategy:strategy ->
   ?seed:int ->
@@ -109,6 +157,10 @@ val run :
   ?use_cost_model:bool ->
   ?measure_ratio:float ->
   ?engine:Imtp_engine.Engine.t ->
+  ?resume:checkpoint ->
+  ?on_checkpoint:(checkpoint -> unit) ->
+  ?checkpoint_every:int ->
+  ?stop:(unit -> bool) ->
   Imtp_upmem.Config.t ->
   Imtp_workload.Op.t ->
   trials:int ->
@@ -130,4 +182,20 @@ val run :
     search still measures (and records) each distinct candidate once
     per run.
 
-    @raise Invalid_argument if [measure_ratio] is outside (0, 1]. *)
+    [on_checkpoint] (with [checkpoint_every], default 1, in
+    generations) receives a deep snapshot after the initial population
+    and at generation boundaries; the callback runs on the search's
+    thread, so keep it cheap (write the file, return).  [resume]
+    restarts from such a snapshot: the initial-sampling phase is
+    skipped and the checkpoint's own seed, strategy, gating and trial
+    budget override the caller's (anything else could not be
+    bit-identical) — only [op], which must hash to the checkpoint's
+    recorded operator, and the execution knobs ([jobs], [engine],
+    [passes], checkpointing) are taken from the call.  [stop] is polled
+    at generation boundaries; when it returns [true] the run emits a
+    final checkpoint and returns early with
+    [outcome.interrupted = true].
+
+    @raise Invalid_argument if [measure_ratio] is outside (0, 1], if
+    [checkpoint_every < 1], or if [resume] belongs to a different
+    operator or checkpoint format. *)

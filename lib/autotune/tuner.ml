@@ -10,7 +10,8 @@ type result = {
 }
 
 let tune ?strategy ?seed ?jobs ?(trials = 128) ?passes ?skip_inputs
-    ?measure_ratio ?engine cfg op =
+    ?measure_ratio ?engine ?resume ?on_checkpoint ?checkpoint_every ?stop cfg
+    op =
   Obs.span ~name:"tuner.tune"
     ~attrs:
       [
@@ -22,7 +23,7 @@ let tune ?strategy ?seed ?jobs ?(trials = 128) ?passes ?skip_inputs
   let engine = match engine with Some e -> e | None -> Engine.create cfg in
   let search =
     Search.run ?strategy ?seed ?jobs ?passes ?skip_inputs ?measure_ratio
-      ~engine cfg op ~trials
+      ?resume ?on_checkpoint ?checkpoint_every ?stop ~engine cfg op ~trials
   in
   match search.Search.best with
   | None -> Error "autotuning found no valid candidate"

@@ -22,6 +22,10 @@ val tune :
   ?skip_inputs:string list ->
   ?measure_ratio:float ->
   ?engine:Imtp_engine.Engine.t ->
+  ?resume:Search.checkpoint ->
+  ?on_checkpoint:(Search.checkpoint -> unit) ->
+  ?checkpoint_every:int ->
+  ?stop:(unit -> bool) ->
   Imtp_upmem.Config.t ->
   Imtp_workload.Op.t ->
   (result, string) Result.t
@@ -29,7 +33,11 @@ val tune :
     [Imtp_engine.Pool.default_jobs] worker domains per generation batch
     ([jobs] — results are identical at any value).  [measure_ratio]
     (default off) enables {!Search.run}'s learned-model measurement
-    gate at the given simulator fraction.  [Error] only
+    gate at the given simulator fraction.  [resume], [on_checkpoint],
+    [checkpoint_every] and [stop] thread straight through to
+    {!Search.run} — the serving daemon's checkpointed sessions use
+    them; an interrupted run that already holds a best candidate still
+    returns [Ok] (check [result.search.interrupted]).  [Error] only
     when no valid candidate was found at all.  A cache summary (hit
     rate, per-stage build times) is logged on the [imtp.engine] source
     when tuning finishes; pass a shared [engine] to reuse builds across

@@ -119,13 +119,42 @@ let the_pool =
          List.iter Domain.join pool.domains);
      pool)
 
+(* ------------------------------------------------------------------ *)
+(* Cumulative ledger                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  maps : int;
+  tasks : int;
+  busy_s : float;
+  domains_spawned : int;
+}
+
+(* Guarded by its own mutex, not [submit_m]: [submit_m] is held for a
+   job's whole duration, and [stats] must stay readable mid-job (the
+   serving daemon polls it while tunes are running). *)
+let ledger_m = Mutex.create ()
+let ledger = ref { maps = 0; tasks = 0; busy_s = 0.; domains_spawned = 0 }
+
+let record_map per_worker =
+  let tasks = Array.fold_left (fun a (n, _) -> a + n) 0 per_worker in
+  let busy = Array.fold_left (fun a (_, b) -> a +. b) 0. per_worker in
+  Mutex.protect ledger_m @@ fun () ->
+  let l = !ledger in
+  ledger :=
+    { l with maps = l.maps + 1; tasks = l.tasks + tasks; busy_s = l.busy_s +. busy }
+
+let stats () = Mutex.protect ledger_m (fun () -> !ledger)
+
 (* Serializes submissions: one job in flight at a time.  Held while
    spawning workers too, so [domains] needs no separate guard. *)
 let submit_m = Mutex.create ()
 
 let ensure_workers pool n =
   while List.length pool.domains < n do
-    pool.domains <- Domain.spawn (fun () -> worker pool 0) :: pool.domains
+    pool.domains <- Domain.spawn (fun () -> worker pool 0) :: pool.domains;
+    Mutex.protect ledger_m (fun () ->
+        ledger := { !ledger with domains_spawned = !ledger.domains_spawned + 1 })
   done
 
 (* A task that itself maps (nested parallelism) falls back to inline
@@ -149,7 +178,7 @@ let inline_map f n =
   done;
   (Array.map unwrap results, [| (n, Obs.now_s () -. t0) |])
 
-let map_stats ~jobs f n =
+let map_stats_raw ~jobs f n =
   if n = 0 then ([||], [||])
   else
     let jobs = clamp (min jobs n) in
@@ -200,5 +229,10 @@ let map_stats ~jobs f n =
       | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ());
       (Array.map unwrap results, Array.of_list stats)
+
+let map_stats ~jobs f n =
+  let ((_, per_worker) as r) = map_stats_raw ~jobs f n in
+  if n > 0 then record_map per_worker;
+  r
 
 let map ~jobs f n = fst (map_stats ~jobs f n)

@@ -34,3 +34,19 @@ val map_stats : jobs:int -> (int -> 'a) -> int -> 'a array * (int * float) array
 (** Like {!map}, also returning one [(tasks_run, busy_seconds)] entry
     per domain that ran at least one task — the raw material for
     utilization telemetry. *)
+
+(** {2 Cumulative ledger} *)
+
+type stats = {
+  maps : int;  (** non-empty {!map}/{!map_stats} calls so far. *)
+  tasks : int;  (** tasks run across all of them. *)
+  busy_s : float;  (** summed per-worker busy seconds. *)
+  domains_spawned : int;  (** worker domains ever spawned (≤ 63). *)
+}
+(** Process-lifetime pool activity.  Monotonic — never reset. *)
+
+val stats : unit -> stats
+(** A consistent snapshot of the ledger.  Safe to call from any thread
+    at any time, including while a job is in flight (in-flight work is
+    counted when its map returns) — the serving daemon's [stats]
+    endpoint reads this. *)

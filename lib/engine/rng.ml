@@ -10,5 +10,6 @@ let pick t = function
 let float t bound = Random.State.float t bound
 let bool t = Random.State.bool t
 let split t = Random.State.make [| Random.State.bits t |]
+let copy = Random.State.copy
 let bits t = Random.State.bits t
 let stream ~base ~index = Random.State.make [| base; index; 0x494d5450 |]

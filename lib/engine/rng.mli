@@ -22,6 +22,13 @@ val bool : t -> bool
 val split : t -> t
 (** Derive an independent child source. *)
 
+val copy : t -> t
+(** A snapshot of the source's exact state: the copy and the original
+    produce the same draw sequence from this point on, independently.
+    This is what makes search checkpoints bit-identical on resume —
+    the serialized state replays the very draws the killed run would
+    have made. *)
+
 val bits : t -> int
 (** Draw 30 uniformly random bits, advancing the state — the seed
     material for {!stream}. *)

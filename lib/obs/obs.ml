@@ -677,6 +677,8 @@ let snapshot () =
   locked (fun () ->
       List.map (fun s -> Span s) (ring_spans_locked ()) @ metric_events_locked ())
 
+let metrics () = locked metric_events_locked
+
 let to_jsonl events =
   String.concat ""
     (List.map (fun e -> Json.to_string (event_to_json e) ^ "\n") events)

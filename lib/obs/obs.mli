@@ -186,6 +186,12 @@ val snapshot : unit -> event list
     registered metric (each kind sorted by name).  Pure read — the
     registry and ring are unchanged. *)
 
+val metrics : unit -> event list
+(** Just the metric readings of {!snapshot} — no spans.  This is what
+    long-running consumers (the serving daemon's [stats] endpoint)
+    poll: counters, gauges and histograms, each kind sorted by name,
+    without dragging the span ring over the wire. *)
+
 val event_to_json : event -> Json.t
 val event_of_json : Json.t -> (event, string) result
 (** Inverse of {!event_to_json}.  Integral attribute values come back

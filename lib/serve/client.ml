@@ -1,0 +1,73 @@
+(* Client side of the serving protocol: connect, do the hello
+   exchange, then strict request/response alternation.  Thin by
+   design — all encoding lives in Protocol, so tests and the CLI can
+   also drive a connection by hand (including malformed frames the
+   typed API cannot produce). *)
+
+module Json = Imtp_obs.Obs.Json
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+type error =
+  | Transport of string
+  | Server of P.error_code * string
+
+let error_to_string = function
+  | Transport m -> "transport: " ^ m
+  | Server (code, m) -> P.error_code_to_string code ^ ": " ^ m
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let roundtrip fd req =
+  match P.send_request fd req with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Transport (Unix.error_message e))
+  | () -> (
+      match P.read_frame fd with
+      | Ok None -> Error (Transport "server closed the connection")
+      | Error (_, m) -> Error (Transport m)
+      | Ok (Some payload) -> (
+          match P.response_of_string payload with
+          | Error (_, m) -> Error (Transport ("bad response: " ^ m))
+          | Ok (P.Resp_ok body) -> Ok body
+          | Ok (P.Resp_error { code; message }) ->
+              Error (Server (code, message))))
+
+let connect ~socket =
+  (* As in the daemon: a vanished server must be an EPIPE turned into
+     [Transport], not a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Transport (socket ^ ": " ^ Unix.error_message e))
+  | () -> (
+      match roundtrip fd (P.Hello P.version) with
+      | Ok _ -> Ok { fd; closed = false }
+      | Error e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error e)
+
+let request t req =
+  if t.closed then Error (Transport "connection is closed")
+  else roundtrip t.fd req
+
+let run t ~op ~sizes = request t (P.Run { op; sizes })
+let tune t spec = request t (P.Tune spec)
+let replay t ~log ~sizes = request t (P.Replay { log; sizes })
+let stats t = request t P.Stats
+
+let shutdown t =
+  match request t P.Shutdown with Ok _ -> Ok () | Error e -> Error e
+
+let with_connection ~socket f =
+  match connect ~socket with
+  | Error e -> Error e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,46 @@
+(** Client side of the serving protocol ([imtp client ...]).
+
+    A {!t} is one connection with the hello exchange already done;
+    requests and responses then alternate strictly, so a {!t} must not
+    be shared across threads without external serialization.  Server
+    failures arrive as typed {!Protocol.error_code}s; transport
+    failures (socket gone, truncated response) are the [Transport]
+    case. *)
+
+module Json = Imtp_obs.Obs.Json
+
+type t
+(** A connected client. *)
+
+type error =
+  | Transport of string  (** connection-level failure. *)
+  | Server of Protocol.error_code * string  (** typed server refusal. *)
+
+val error_to_string : error -> string
+
+val connect : socket:string -> (t, error) result
+(** Connect to a daemon and negotiate the protocol version.  A version
+    mismatch surfaces as [Server (Bad_version, _)].  Sets the process'
+    SIGPIPE disposition to ignore, so a vanished daemon is a
+    [Transport] error rather than a fatal signal. *)
+
+val close : t -> unit
+(** Close the connection; idempotent. *)
+
+val request : t -> Protocol.request -> (Json.t, error) result
+(** Send one request, wait for its response, return the [ok] body. *)
+
+val run : t -> op:string -> sizes:int list -> (Json.t, error) result
+val tune : t -> Protocol.tune_spec -> (Json.t, error) result
+(** Blocks until the session finishes — possibly queued behind other
+    clients first (the daemon's admission control), refused with
+    [Server (Busy, _)] when the queue is full. *)
+
+val replay : t -> log:string -> sizes:int list -> (Json.t, error) result
+(** [log] is a path {e on the server's} filesystem. *)
+
+val stats : t -> (Json.t, error) result
+val shutdown : t -> (unit, error) result
+
+val with_connection : socket:string -> (t -> ('a, error) result) -> ('a, error) result
+(** Connect, run [f], always close (also on exceptions). *)

@@ -286,37 +286,40 @@ let test_tuning_log_params_roundtrip () =
    dumped before the measurement gate existed.  [measure_ratio = None]
    must reproduce it bit-for-bit — latencies to all 17 digits — proving
    the gate left the default path untouched. *)
+let dump_outcome buf name ~seed ~trials (o : Se.outcome) =
+  Buffer.add_string buf
+    (Printf.sprintf "%s seed=%d trials=%d measured=%d invalid=%d\n" name seed
+       trials o.Se.measured o.Se.invalid_candidates);
+  List.iter
+    (fun (r : Se.record) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  trial=%d latency=%.17g params=%s\n" r.Se.trial
+           r.Se.latency_s
+           (Imtp_autotune.Tuning_log.params_to_string r.Se.params)))
+    o.Se.history
+
+let golden_trace () =
+  (* cwd is test/ under `dune runtest`, the project root under
+     `dune exec test/...`. *)
+  let path =
+    if Sys.file_exists "golden_search_trace.txt" then
+      "golden_search_trace.txt"
+    else Filename.concat "test" "golden_search_trace.txt"
+  in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let test_ungated_trace_matches_golden () =
   let buf = Buffer.create 4096 in
   let dump name op ~seed ~trials =
-    let o = Se.run ~seed cfg op ~trials in
-    Buffer.add_string buf
-      (Printf.sprintf "%s seed=%d trials=%d measured=%d invalid=%d\n" name seed
-         trials o.Se.measured o.Se.invalid_candidates);
-    List.iter
-      (fun (r : Se.record) ->
-        Buffer.add_string buf
-          (Printf.sprintf "  trial=%d latency=%.17g params=%s\n" r.Se.trial
-             r.Se.latency_s
-             (Imtp_autotune.Tuning_log.params_to_string r.Se.params)))
-      o.Se.history
+    dump_outcome buf name ~seed ~trials (Se.run ~seed cfg op ~trials)
   in
   dump "gemv" (Ops.gemv ~c:3 512 512) ~seed:77 ~trials:48;
   dump "mmtv" (Ops.mmtv 8 64 64) ~seed:77 ~trials:48;
   let got = Buffer.contents buf in
-  let want =
-    (* cwd is test/ under `dune runtest`, the project root under
-       `dune exec test/...`. *)
-    let path =
-      if Sys.file_exists "golden_search_trace.txt" then
-        "golden_search_trace.txt"
-      else Filename.concat "test" "golden_search_trace.txt"
-    in
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+  let want = golden_trace () in
   if got <> want then begin
     let gl = String.split_on_char '\n' got
     and wl = String.split_on_char '\n' want in
@@ -485,6 +488,168 @@ let test_pregating_log_lines_still_parse () =
       Alcotest.(check bool) "defaults to measured" true e.Tl.measured;
       Alcotest.(check bool) "no prediction" true (e.Tl.predicted_s = None)
 
+(* --- Checkpoint / resume --------------------------------------------- *)
+
+module Ck = Imtp_autotune.Checkpoint
+
+(* Everything the bit-identity contract covers.  [measured_trials] and
+   [cache_hits] are deliberately excluded: a resumed run on a cold
+   engine re-pays builds the killed run had cached, so its simulator
+   and cache ledgers legitimately differ from an uninterrupted run's. *)
+let outcome_key (o : Se.outcome) =
+  ( List.map
+      (fun (r : Se.record) ->
+        (r.Se.trial, r.Se.params, r.Se.latency_s, r.Se.best_so_far,
+         r.Se.measured, r.Se.predicted_s))
+      o.Se.history,
+    (match o.Se.best with
+    | None -> None
+    | Some b -> Some (b.Ms.params, b.Ms.latency_s)),
+    o.Se.invalid_candidates,
+    o.Se.measured,
+    o.Se.skipped )
+
+(* Run uninterrupted; then run again stopped after [k] generations and
+   resume from the emitted checkpoint; the stitched run must be
+   bit-identical.  The init snapshot is checkpoint #1 and generation g
+   emits #(1+g), so stopping once [!n_ck > k] interrupts right after
+   generation [k]'s boundary snapshot. *)
+let check_kill_resume ?measure_ratio ~k op ~trials =
+  let seed = 23 in
+  let full = Se.run ~seed ?measure_ratio cfg op ~trials in
+  let n_ck = ref 0 and last = ref None in
+  let killed =
+    Se.run ~seed ?measure_ratio cfg op ~trials
+      ~on_checkpoint:(fun ck ->
+        incr n_ck;
+        last := Some ck)
+      ~stop:(fun () -> !n_ck > k)
+  in
+  Alcotest.(check bool) "killed run reports interrupted" true
+    killed.Se.interrupted;
+  Alcotest.(check bool) "full run not interrupted" false full.Se.interrupted;
+  let ck = match !last with Some ck -> ck | None -> Alcotest.fail "no checkpoint" in
+  Alcotest.(check bool) "checkpoint mid-run" true
+    (Se.checkpoint_trial ck > 0 && Se.checkpoint_trial ck < trials);
+  Alcotest.(check int) "checkpoint keeps the budget" trials
+    (Se.checkpoint_trials ck);
+  Alcotest.(check int) "checkpoint keeps the seed" seed (Se.checkpoint_seed ck);
+  Alcotest.(check bool) "checkpoint keeps the gate" true
+    (Se.checkpoint_measure_ratio ck = measure_ratio);
+  let resumed = Se.run ~resume:ck cfg op ~trials in
+  Alcotest.(check bool) "resumed run completed" false resumed.Se.interrupted;
+  Alcotest.(check bool) "resumed_from records the snapshot" true
+    (resumed.Se.resumed_from = Some (Se.checkpoint_trial ck));
+  Alcotest.(check bool) "full run never resumed" true
+    (full.Se.resumed_from = None);
+  if outcome_key resumed <> outcome_key full then
+    Alcotest.fail "resumed outcome differs from uninterrupted run"
+
+let test_kill_resume_ungated () =
+  check_kill_resume ~k:1 (Ops.mtv 128 256) ~trials:48
+
+let test_kill_resume_gated () =
+  check_kill_resume ~measure_ratio:0.2 ~k:2 (Ops.mmtv 8 64 64) ~trials:64
+
+(* The committed acceptance criterion: a killed-then-resumed run on the
+   golden workloads reproduces the golden trace byte-for-byte — same
+   tuning-log lines, same counts — as if the kill never happened. *)
+let test_resumed_trace_matches_golden () =
+  let buf = Buffer.create 4096 in
+  let dump name op ~seed ~trials =
+    let n_ck = ref 0 and last = ref None in
+    let killed =
+      Se.run ~seed cfg op ~trials
+        ~on_checkpoint:(fun ck ->
+          incr n_ck;
+          last := Some ck)
+        ~stop:(fun () -> !n_ck > 1)
+    in
+    Alcotest.(check bool) (name ^ ": interrupted") true killed.Se.interrupted;
+    let ck = match !last with Some ck -> ck | None -> Alcotest.fail "no ckpt" in
+    dump_outcome buf name ~seed ~trials (Se.run ~resume:ck cfg op ~trials)
+  in
+  dump "gemv" (Ops.gemv ~c:3 512 512) ~seed:77 ~trials:48;
+  dump "mmtv" (Ops.mmtv 8 64 64) ~seed:77 ~trials:48;
+  Alcotest.(check bool) "resumed trace is byte-identical to the golden file"
+    true
+    (Buffer.contents buf = golden_trace ())
+
+let test_checkpoint_disk_roundtrip () =
+  let dir = Filename.temp_file "imtp_ckpt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let op = Ops.mtv 128 256 and trials = 48 in
+      let path = Filename.concat dir "mtv.ckpt" in
+      let n_ck = ref 0 and last = ref None in
+      let _killed =
+        Se.run ~seed:23 cfg op ~trials
+          ~on_checkpoint:(fun ck ->
+            incr n_ck;
+            last := Some ck;
+            Ck.save path ck)
+          ~stop:(fun () -> !n_ck > 1)
+      in
+      let mem = match !last with Some ck -> ck | None -> Alcotest.fail "no ckpt" in
+      let loaded =
+        match Ck.load path with
+        | Ok ck -> ck
+        | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check int) "loaded snapshot at the same trial"
+        (Se.checkpoint_trial mem) (Se.checkpoint_trial loaded);
+      let from_mem = Se.run ~resume:mem cfg op ~trials in
+      let from_disk = Se.run ~resume:loaded cfg op ~trials in
+      Alcotest.(check bool) "disk roundtrip resumes identically" true
+        (outcome_key from_mem = outcome_key from_disk);
+      (* a checkpoint is reusable: resuming twice gives the same run *)
+      let again = Se.run ~resume:loaded cfg op ~trials in
+      Alcotest.(check bool) "resuming the same snapshot twice is stable" true
+        (outcome_key from_disk = outcome_key again);
+      (* error paths: missing file, wrong magic, truncated payload *)
+      (match Ck.load (Filename.concat dir "absent.ckpt") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "loaded a missing file");
+      let bad = Filename.concat dir "bad.ckpt" in
+      let oc = open_out_bin bad in
+      output_string oc "not a checkpoint\n";
+      close_out oc;
+      (match Ck.load bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "loaded a wrong-magic file");
+      let trunc = Filename.concat dir "trunc.ckpt" in
+      let whole =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin trunc in
+      output_string oc (String.sub whole 0 40);
+      close_out oc;
+      match Ck.load trunc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "loaded a truncated file")
+
+let test_resume_wrong_op_rejected () =
+  let n_ck = ref 0 and last = ref None in
+  let _ =
+    Se.run ~seed:23 cfg (Ops.mtv 128 256) ~trials:48
+      ~on_checkpoint:(fun ck ->
+        incr n_ck;
+        last := Some ck)
+      ~stop:(fun () -> !n_ck > 1)
+  in
+  let ck = match !last with Some ck -> ck | None -> Alcotest.fail "no ckpt" in
+  match Se.run ~resume:ck cfg (Ops.mmtv 8 64 64) ~trials:48 with
+  | _ -> Alcotest.fail "resume accepted a different operator"
+  | exception Invalid_argument _ -> ()
+
 let test_rng_reproducible () =
   let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
   let xs = List.init 20 (fun _ -> Rng.int a 1000) in
@@ -560,6 +725,19 @@ let () =
             test_gated_tuning_log_roundtrip;
           Alcotest.test_case "pre-gating log lines parse" `Quick
             test_pregating_log_lines_still_parse;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "kill+resume = uninterrupted (ungated)" `Quick
+            test_kill_resume_ungated;
+          Alcotest.test_case "kill+resume = uninterrupted (gated)" `Quick
+            test_kill_resume_gated;
+          Alcotest.test_case "resumed trace matches golden" `Quick
+            test_resumed_trace_matches_golden;
+          Alcotest.test_case "disk roundtrip + corrupt files" `Quick
+            test_checkpoint_disk_roundtrip;
+          Alcotest.test_case "wrong operator rejected" `Quick
+            test_resume_wrong_op_rejected;
         ] );
       ("properties", q [ prop_verified_candidates_run ]);
     ]
