@@ -9,7 +9,7 @@ JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 BENCH_DATE := $(shell date +%Y%m%d)
 
 .PHONY: all test check doc bench bench-exec bench-model bench-affine \
-	bench-serve serve-smoke fuzz clean
+	bench-serve bench-islands serve-smoke fuzz clean
 
 all:
 	dune build @all
@@ -47,11 +47,21 @@ doc:
 
 # Batch-throughput benchmark: cold-engine Engine.batch over 200
 # distinct GEMM candidates at -j 1/2/4 plus the warm cache-hit path,
-# then interpreter-vs-compiled executor throughput on GEMV/MMTV.
-# Both reports land in BENCH_<date>.json (and tables on stdout).
+# interpreter-vs-compiled executor throughput on GEMV/MMTV, then the
+# island-model search at -j4/-k4 vs -j1/-k1 (pure CPU and under
+# emulated device latency).  All reports land in BENCH_<date>.json
+# (and tables on stdout).
 bench:
 	dune exec bench/main.exe -- --batch-scaling --out BENCH_$(BENCH_DATE).json
 	dune exec bench/main.exe -- --exec-throughput --out BENCH_$(BENCH_DATE).json
+	dune exec bench/main.exe -- --island-scaling --out BENCH_$(BENCH_DATE).json
+
+# Island-model search scaling on its own: equal trial budgets at
+# -j1/-k1 vs -j4/-k4, pure CPU and with IMTP_SIM_LATENCY_US emulating
+# the per-measurement device round-trip, plus an Engine.batch leg
+# under the same stall.
+bench-islands:
+	dune exec bench/main.exe -- --island-scaling --out BENCH_$(BENCH_DATE).json
 
 # Just the executor-throughput comparison.
 bench-exec:

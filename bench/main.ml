@@ -14,6 +14,8 @@
                                               # guarded vs proven ragged kernels
      dune exec bench/main.exe -- --serve-throughput [--out FILE]
                                               # daemon: N clients vs N sequential
+     dune exec bench/main.exe -- --island-scaling [--out FILE]
+                                              # sharded search: -j4/-k4 vs -j1/-k1
 
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md's experiment index); the Bechamel suite
@@ -202,21 +204,33 @@ let batch_scaling ~out () =
   match out with
   | None -> ()
   | Some path ->
+      let domains = Domain.recommended_domain_count () in
+      (* The expectation depends on the recording host, so compute the
+         caveat instead of hard-coding the single-core reading. *)
+      let note =
+        if domains = 1 then
+          "recorded on a 1-domain host: candidate evaluation is \
+           CPU-bound, so parallel runs only add coordination overhead \
+           and speedups at or below 1x are expected here; see the \
+           island-scaling report for throughput under emulated device \
+           latency, where parallelism pays even on this host"
+        else
+          Printf.sprintf
+            "recorded on a %d-domain host: cold speedup_vs_j1 should \
+             approach min(jobs, %d) as the batch is CPU-bound"
+            domains domains
+      in
       let buf = Buffer.create 1024 in
       Buffer.add_string buf "{\n";
       Printf.ksprintf (Buffer.add_string buf)
         "  \"benchmark\": \"engine.batch scaling\",\n\
         \  \"date\": %.0f,\n\
         \  \"host_recommended_domains\": %d,\n\
-        \  \"note\": \"speedup_vs_j1 reflects the recording host; with \
-         1 recommended domain, parallel runs only add coordination \
-         overhead and speedups below 1x are expected\",\n\
+        \  \"note\": %S,\n\
         \  \"op\": \"gemm 64x64x64\",\n\
         \  \"distinct_candidates\": %d,\n\
         \  \"runs\": [\n"
-        (Unix.time ())
-        (Domain.recommended_domain_count ())
-        n;
+        (Unix.time ()) domains note n;
       List.iteri
         (fun i (jobs, cold_s, warm_s, c, identical) ->
           Printf.ksprintf (Buffer.add_string buf)
@@ -577,6 +591,7 @@ let serve_throughput ~out () =
           trials;
           seed = 100 + i;
           measure_ratio = None;
+          islands = None;
           session = Some (Printf.sprintf "bench-%d" i);
         })
   in
@@ -686,6 +701,19 @@ let serve_throughput ~out () =
           (engine_counter stats "hits")
           (engine_counter stats "built")
       in
+      let domains = Domain.recommended_domain_count () in
+      let note =
+        if domains = 1 then
+          "tuning is CPU-bound in the daemon's shared domain pool and \
+           this host has a single core, so ~1x or below from client \
+           concurrency is the expected reading, not a regression"
+        else
+          Printf.sprintf
+            "tuning is CPU-bound in the daemon's shared domain pool; \
+             aggregate speedup from client concurrency is bounded by \
+             the %d host cores"
+            domains
+      in
       let buf = Buffer.create 1024 in
       Printf.ksprintf (Buffer.add_string buf)
         "{\n\
@@ -697,20 +725,206 @@ let serve_throughput ~out () =
         \  \"sequential\": %s,\n\
         \  \"concurrent\": %s,\n\
         \  \"concurrent_speedup\": %.4f,\n\
-        \  \"note\": \"tuning is CPU-bound in the daemon's shared domain \
-         pool; aggregate speedup from client concurrency is bounded by \
-         host_cores, so ~1x or below is expected on a single-core host\"\n\
+        \  \"note\": %S\n\
          }\n"
-        (Unix.time ())
-        (Domain.recommended_domain_count ())
-        n trials
+        (Unix.time ()) domains n trials
         (mode_json seq_stats seq_tps seq_elapsed)
         (mode_json conc_stats conc_tps conc_elapsed)
-        (conc_tps /. seq_tps);
+        (conc_tps /. seq_tps)
+        note;
       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
       output_string oc (Buffer.contents buf);
       close_out oc;
       Printf.printf "appended to %s\n" path
+
+(* --- Island scaling: sharded search at -j4/-k4 vs -j1/-k1 ----------- *)
+
+(* Aggregate search throughput of the island-model tuner at equal trial
+   budgets: the paper's GEMV/MMTV shapes tuned once single-population
+   single-job and once sharded four ways across a four-job pool.  Two
+   regimes per workload: pure CPU (honest host numbers — on a one-core
+   host the sharded run can only add overhead), and with
+   IMTP_SIM_LATENCY_US emulating the per-measurement device round-trip
+   that dominates tuning on real PIM hardware, where stalls overlap
+   across pool workers and the sharded run wins even on one core.  Best
+   latencies are re-measured noise-free (stall off) so the equal-budget
+   quality comparison is exact.  An Engine.batch leg under the same
+   stall records the raw batch-path overlap.  Appends a JSON report to
+   [--out] when given. *)
+let island_scaling ~out () =
+  let cfg = Util.cfg in
+  let trials = 96 and seed = 13 in
+  let stall_us = 200_000. in
+  let domains = Domain.recommended_domain_count () in
+  let set_stall us =
+    Unix.putenv "IMTP_SIM_LATENCY_US"
+      (if us > 0. then Printf.sprintf "%.0f" us else "")
+  in
+  let noise_free op params =
+    set_stall 0.;
+    let engine = Imtp.Engine.create cfg in
+    match Imtp.Engine.measure engine op params with
+    | Ok m -> m.Imtp.Engine.latency_s
+    | Error _ -> infinity
+  in
+  let search ~stall ~jobs ~islands op =
+    set_stall stall;
+    let t0 = Unix.gettimeofday () in
+    let o = Imtp.Search.run ~seed ~jobs ~islands cfg op ~trials in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    set_stall 0.;
+    let best_s =
+      match o.Imtp.Search.best with
+      | Some b -> noise_free op b.Imtp.Measure.params
+      | None -> infinity
+    in
+    (o, elapsed, best_s)
+  in
+  let migrations (o : Imtp.Search.outcome) =
+    List.fold_left
+      (fun acc s -> acc + s.Imtp.Search.island_migrations)
+      0 o.Imtp.Search.per_island
+  in
+  Util.heading
+    (Printf.sprintf
+       "Island scaling: %d trials, -j4/-k4 vs -j1/-k1 (host has %d core%s; \
+        emulated stall %.0f us/measurement)"
+       trials domains
+       (if domains = 1 then "" else "s")
+       stall_us);
+  let run_regime tag stall op =
+    let base, base_s, base_best = search ~stall ~jobs:1 ~islands:1 op in
+    let shard, shard_s, shard_best = search ~stall ~jobs:4 ~islands:4 op in
+    let tps s = float_of_int trials /. s in
+    Printf.printf
+      "  %-10s -j1/-k1: %6.2f s (%5.1f trials/s), best %.4e | -j4/-k4: \
+       %6.2f s (%5.1f trials/s), best %.4e, %d migrations | %.2fx\n\
+       %!"
+      tag base_s (tps base_s) base_best shard_s (tps shard_s) shard_best
+      (migrations shard)
+      (base_s /. shard_s);
+    let leg ~jobs (o : Imtp.Search.outcome) elapsed best =
+      Printf.sprintf
+        "{ \"jobs\": %d, \"islands\": %d, \"elapsed_s\": %.4f, \
+         \"trials_per_s\": %.2f, \"measured_trials\": %d, \
+         \"migrations\": %d, \"best_s\": %.6e }"
+        jobs o.Imtp.Search.islands elapsed (tps elapsed)
+        o.Imtp.Search.measured_trials (migrations o) best
+    in
+    ( Printf.sprintf
+        "{ \"baseline\": %s, \"sharded\": %s, \"speedup\": %.4f, \
+         \"best_ratio\": %.4f }"
+        (leg ~jobs:1 base base_s base_best)
+        (leg ~jobs:4 shard shard_s shard_best)
+        (base_s /. shard_s)
+        (shard_best /. base_best),
+      base_s /. shard_s )
+  in
+  let rows =
+    List.map
+      (fun (name, op) ->
+        Printf.printf "  %s\n%!" name;
+        let cpu_json, _ = run_regime "pure-cpu" 0. op in
+        let emu_json, emu_speedup = run_regime "emulated" stall_us op in
+        (name, cpu_json, emu_json, emu_speedup))
+      [
+        ("gemv 512x512", Imtp.Ops.gemv ~c:3 512 512);
+        ("mmtv 8x64x64", Imtp.Ops.mmtv 8 64 64);
+      ]
+  in
+  (* Raw Engine.batch leg under the same stall: distinct MTV candidates
+     evaluated cold at -j1 and -j4. *)
+  let batch_leg () =
+    let op = Imtp.Ops.mtv 128 256 in
+    let wanted = 48 in
+    let scratch = Imtp.Engine.create cfg in
+    let rng = Imtp.Rng.create ~seed:42 in
+    let seen = Hashtbl.create 64 in
+    let candidates = ref [] in
+    let attempts = ref 0 in
+    while List.length !candidates < wanted && !attempts < wanted * 100 do
+      incr attempts;
+      let p = Imtp.Sketch.random rng cfg op in
+      let key = Imtp.Engine.fingerprint op p in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        match Imtp.Engine.build scratch op p with
+        | Ok _ -> candidates := p :: !candidates
+        | Error _ -> ()
+      end
+    done;
+    let candidates = List.rev !candidates in
+    let n = List.length candidates in
+    let time jobs =
+      set_stall stall_us;
+      let engine = Imtp.Engine.create cfg in
+      let rng = Imtp.Rng.create ~seed:7 in
+      let t0 = Unix.gettimeofday () in
+      let (_ : (Imtp.Sketch.params * _) list) =
+        Imtp.Engine.batch engine ~jobs ~rng op candidates
+      in
+      let s = Unix.gettimeofday () -. t0 in
+      set_stall 0.;
+      s
+    in
+    let j1 = time 1 and j4 = time 4 in
+    Printf.printf
+      "  batch      %d candidates under stall: -j1 %.2f s, -j4 %.2f s \
+       (%.2fx)\n\
+       %!"
+      n j1 j4 (j1 /. j4);
+    (n, j1, j4)
+  in
+  let bn, b1, b4 = batch_leg () in
+  (match out with
+  | None -> ()
+  | Some path ->
+      let note =
+        if domains = 1 then
+          "pure_cpu on this 1-core host records parallel overhead \
+           honestly (at or below 1x); the emulated regime is the \
+           acceptance number — with a per-measurement device stall, \
+           island sharding overlaps measurements across the pool and \
+           the speedup holds on any host"
+        else
+          Printf.sprintf
+            "recorded on a %d-core host; both regimes should scale \
+             toward min(4, %d)"
+            domains domains
+      in
+      let buf = Buffer.create 2048 in
+      Printf.ksprintf (Buffer.add_string buf)
+        "{\n\
+        \  \"benchmark\": \"island scaling\",\n\
+        \  \"date\": %.0f,\n\
+        \  \"host_cores\": %d,\n\
+        \  \"trials\": %d,\n\
+        \  \"seed\": %d,\n\
+        \  \"stall_us\": %.0f,\n\
+        \  \"note\": %S,\n\
+        \  \"batch_emulated\": { \"op\": \"mtv 128x256\", \
+         \"distinct_candidates\": %d, \"j1_s\": %.4f, \"j4_s\": %.4f, \
+         \"speedup\": %.4f },\n\
+        \  \"workloads\": [\n"
+        (Unix.time ()) domains trials seed stall_us note bn b1 b4 (b1 /. b4);
+      List.iteri
+        (fun i (name, cpu_json, emu_json, _) ->
+          Printf.ksprintf (Buffer.add_string buf)
+            "    { \"op\": %S, \"pure_cpu\": %s, \"emulated\": %s }%s\n"
+            name cpu_json emu_json
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Buffer.add_string buf "  ]\n}\n";
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "appended to %s\n" path);
+  List.iter
+    (fun (name, _, _, s) ->
+      if s < 3. then
+        Printf.printf
+          "  note: %s emulated speedup %.2fx below the 3x target\n%!" name s)
+    rows
 
 (* Each experiment runs under a [bench.<name>] observability span; with
    IMTP_TRACE=FILE set, the spans (and the engine/search metrics they
@@ -741,6 +955,9 @@ let () =
   | [ "--serve-throughput" ] -> serve_throughput ~out:None ()
   | [ "--serve-throughput"; "--out"; path ] ->
       serve_throughput ~out:(Some path) ()
+  | [ "--island-scaling" ] -> island_scaling ~out:None ()
+  | [ "--island-scaling"; "--out"; path ] ->
+      island_scaling ~out:(Some path) ()
   | names ->
       List.iter
         (fun name ->

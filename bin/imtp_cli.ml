@@ -212,6 +212,20 @@ let measure_ratio_arg =
            forwards to the simulator (in (0,1]). Ignored under \
            $(b,--no-cost-model).")
 
+let islands_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "islands" ] ~docv:"K"
+        ~doc:
+          "Shard the evolutionary search into $(docv) independent island \
+           populations with ring migration of elites (see DESIGN.md).  \
+           Defaults to $(b,IMTP_ISLANDS) from the environment, else the \
+           effective job count.  Results are bit-identical at any \
+           $(b,--jobs) value for a fixed $(docv); different island counts \
+           are different (equally deterministic) searches, so pin \
+           $(docv) for cross-machine reproducibility.")
+
 let no_cost_model_arg =
   Arg.(
     value & flag
@@ -222,15 +236,15 @@ let no_cost_model_arg =
 
 let tune_cmd =
   let doc = "Autotune an operation and report the winning schedule." in
-  let run name sizes trials seed dpus jobs measure_ratio no_cost_model log
-      verbose trace =
+  let run name sizes trials seed dpus jobs islands measure_ratio no_cost_model
+      log verbose trace =
     setup_logging verbose;
     apply_jobs jobs;
     with_trace trace @@ fun () ->
     let op = build_op name sizes in
     let config = machine dpus in
     let measure_ratio = if no_cost_model then None else Some measure_ratio in
-    match Imtp.Tuner.tune ~trials ~seed ?measure_ratio config op with
+    match Imtp.Tuner.tune ~trials ~seed ?islands ?measure_ratio config op with
     | Error m ->
         Format.eprintf "error: %s@." m;
         exit 1
@@ -240,6 +254,14 @@ let tune_cmd =
         let s = r.Imtp.Tuner.search in
         Format.printf "search: %d measured, %d invalid candidates filtered@."
           s.Imtp.Search.measured s.Imtp.Search.invalid_candidates;
+        if s.Imtp.Search.islands > 1 then
+          Format.printf "search: %d islands (%s migrated elites)@."
+            s.Imtp.Search.islands
+            (String.concat "+"
+               (List.map
+                  (fun (i : Imtp.Search.island_stats) ->
+                    string_of_int i.Imtp.Search.island_migrations)
+                  s.Imtp.Search.per_island));
         if s.Imtp.Search.rejections <> [] then
           Format.printf "search: rejected by constraint: %s@."
             (String.concat ", "
@@ -274,8 +296,8 @@ let tune_cmd =
     (Cmd.info "tune" ~doc)
     Term.(
       const run $ op_arg $ sizes_arg $ trials_arg $ seed_arg $ dpus_arg
-      $ jobs_arg $ measure_ratio_arg $ no_cost_model_arg $ log_arg
-      $ verbose_arg $ trace_arg)
+      $ jobs_arg $ islands_arg $ measure_ratio_arg $ no_cost_model_arg
+      $ log_arg $ verbose_arg $ trace_arg)
 
 (* --- replay ---------------------------------------------------------- *)
 
@@ -573,7 +595,8 @@ let client_tune_cmd =
      admission control) and print the outcome, including the history \
      digest."
   in
-  let run socket name sizes trials seed measure_ratio no_cost_model session =
+  let run socket name sizes trials seed islands measure_ratio no_cost_model
+      session =
     let measure_ratio = if no_cost_model then None else Some measure_ratio in
     with_client socket (fun c ->
         Imtp.Serve_client.tune c
@@ -583,13 +606,14 @@ let client_tune_cmd =
             trials;
             seed;
             measure_ratio;
+            islands;
             session;
           })
   in
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ socket_arg $ op_arg $ sizes_arg $ trials_arg $ seed_arg
-      $ measure_ratio_arg $ no_cost_model_arg $ session_arg)
+      $ islands_arg $ measure_ratio_arg $ no_cost_model_arg $ session_arg)
 
 let client_replay_cmd =
   let doc =

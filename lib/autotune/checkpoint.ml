@@ -5,7 +5,11 @@
    — never sees a half-written checkpoint: the previous one survives
    until the rename commits. *)
 
-let magic = "imtp-checkpoint-v1\n"
+(* v2: island-aware checkpoints.  The magic must move in lockstep with
+   Search.checkpoint_format — Marshal is not layout-tagged, so reading
+   a v1 payload as the v2 type would be memory-unsafe, and the magic
+   check is what turns that into a clean error. *)
+let magic = "imtp-checkpoint-v2\n"
 
 let save path (ck : Search.checkpoint) =
   let dir = Filename.dirname path in

@@ -2,6 +2,7 @@ let log_src = Logs.Src.create "imtp.search" ~doc:"IMTP evolutionary search"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 module Engine = Imtp_engine.Engine
+module Pool = Imtp_engine.Pool
 module Obs = Imtp_obs.Obs
 
 type strategy = { balanced_sampling : bool; adaptive_epsilon : bool }
@@ -11,11 +12,23 @@ let imtp_default = { balanced_sampling = true; adaptive_epsilon = true }
 
 type record = {
   trial : int;
+  island : int;
   params : Sketch.params;
   latency_s : float;
   best_so_far : float;
   measured : bool;
   predicted_s : float option;
+}
+
+type island_stats = {
+  island : int;
+  island_trials : int;
+  island_generations : int;
+  island_measured : int;
+  island_skipped : int;
+  island_invalid : int;
+  island_migrations : int;
+  island_best_s : float option;
 }
 
 type outcome = {
@@ -30,21 +43,48 @@ type outcome = {
   elapsed_s : float;
   interrupted : bool;
   resumed_from : int option;
+  islands : int;
+  per_island : island_stats list;
 }
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoints                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Everything the search loop mutates, snapshotted at a generation
-   boundary.  All fields are plain data (no closures), so a checkpoint
-   marshals to disk as-is ({!Checkpoint}); [Rng.t] serializes its exact
-   draw position, which is what makes resumption bit-identical.  The
-   engine's memo tables are deliberately NOT part of the state: cached
-   artifacts are a pure function of their candidate, so a resumed run
-   on a cold cache rebuilds the same values — only the cache-ledger
-   fields of the outcome ([cache_hits], [measured_trials]) reflect the
+(* Everything one island's loop mutates, snapshotted at a generation
+   (single-island) or migration (multi-island) boundary.  All fields
+   are plain data (no closures), so a checkpoint marshals to disk
+   as-is ({!Checkpoint}); [Rng.t] serializes its exact draw position,
+   which is what makes resumption bit-identical.  The engine's memo
+   tables are deliberately NOT part of the state: cached artifacts are
+   a pure function of their candidate, so a resumed run on a cold
+   cache rebuilds the same values — only the cache-ledger fields of
+   the outcome ([cache_hits], [measured_trials]) reflect the
    executions this process actually paid for. *)
+type island_state = {
+  il_island : int;
+  il_trials : int;  (* this island's trial budget *)
+  il_rng : Rng.t;
+  il_model : Cost_model.t;
+  il_seen : (Sketch.params, unit) Hashtbl.t;
+  il_skipped_seen : (Sketch.params, unit) Hashtbl.t;
+  il_history : record list;  (* newest first, as the loop keeps it *)
+  il_best : Measure.result option;
+  il_invalid : int;
+  il_rejections : (string, int) Hashtbl.t;
+  il_measured : int;
+  il_skipped : int;
+  il_trial : int;
+  il_population : (Sketch.params * float) list;
+  il_generations : int;
+  il_migrations : int;
+  il_done : bool;  (* trial budget exhausted *)
+  il_migrated : bool;
+      (* whether the migration of the snapshot's boundary has already
+         been applied to [il_population]; a resumed island replays the
+         migration when this is false. *)
+}
+
 type checkpoint = {
   ck_format : int;
   ck_op_key : string;  (* Engine.op_key, pins the operator identity *)
@@ -54,33 +94,31 @@ type checkpoint = {
   ck_strategy : strategy;
   ck_use_cost_model : bool;
   ck_measure_ratio : float option;
-  ck_rng : Rng.t;
-  ck_model : Cost_model.t;
+  ck_islands : int;
+  ck_migrate_every : int;
+  ck_boundary : int;  (* generations (k=1) or migration boundary (k>1) *)
   ck_tir_model : Cost_learn.t;
-  ck_seen : (Sketch.params, unit) Hashtbl.t;
-  ck_skipped_seen : (Sketch.params, unit) Hashtbl.t;
-  ck_history : record list;  (* newest first, as the loop keeps it *)
-  ck_best : Measure.result option;
-  ck_invalid : int;
-  ck_rejections : (string, int) Hashtbl.t;
-  ck_measured : int;
-  ck_skipped : int;
-  ck_trial : int;
-  ck_population : (Sketch.params * float) list;
+      (* k=1: the island's working model; k>1: the shared model merged
+         from every island's observations through [ck_boundary]. *)
+  ck_states : island_state array;  (* length ck_islands, island order *)
   ck_measured_trials : int;  (* cumulative simulator ledger *)
   ck_cache_hits : int;  (* cumulative engine-cache hits *)
   ck_elapsed_s : float;  (* wall clock consumed before the snapshot *)
 }
 
 (* Bump whenever the checkpoint layout (or anything it transitively
-   contains) changes incompatibly; {!run} rejects other formats. *)
-let checkpoint_format = 1
+   contains) changes incompatibly; {!run} rejects other formats.
+   Format 2: island-aware checkpoints (PR 9). *)
+let checkpoint_format = 2
 
-let checkpoint_trial ck = ck.ck_trial
+let checkpoint_trial ck =
+  Array.fold_left (fun a s -> a + s.il_trial) 0 ck.ck_states
+
 let checkpoint_trials ck = ck.ck_trials
 let checkpoint_op_name ck = ck.ck_op_name
 let checkpoint_seed ck = ck.ck_seed
 let checkpoint_measure_ratio ck = ck.ck_measure_ratio
+let checkpoint_islands ck = ck.ck_islands
 
 (* Bucket an engine error for the rejection tally: verifier rejections
    keep their constraint name (dpus/tasklets/mram/wram/iram/dma), other
@@ -95,6 +133,8 @@ let population_size = 16
 let top_k = 8
 let mutations_per_pick = 4
 let exploration_fraction = 0.4
+let migration_elites = 2
+let max_islands = 64
 
 let epsilon strategy ~trial ~trials =
   if strategy.adaptive_epsilon then begin
@@ -140,22 +180,106 @@ let parent_pool strategy ~early population =
   end
   else take top_k sorted
 
-let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
-    ?(use_cost_model = true) ?measure_ratio ?engine ?resume ?on_checkpoint
-    ?(checkpoint_every = 1) ?stop cfg op ~trials =
+let elites population = take migration_elites (List.sort by_latency population)
+
+(* ------------------------------------------------------------------ *)
+(* Islands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let clamp_islands k = max 1 (min max_islands k)
+
+let env_islands () =
+  match Sys.getenv_opt "IMTP_ISLANDS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> Some (clamp_islands k)
+      | Some _ | None -> None)
+
+(* The mutable working state of one island — the multi-island run keeps
+   [k] of these, the single-island run exactly one. *)
+type island_ctx = {
+  ix : int;
+  ix_trials : int;
+  rng : Rng.t;
+  model : Cost_model.t;
+  mutable tir : Cost_learn.t;  (* working copy of the learned model *)
+  seen : (Sketch.params, unit) Hashtbl.t;
+  skipped_seen : (Sketch.params, unit) Hashtbl.t;
+  mutable history : record list;  (* newest first *)
+  mutable best : Measure.result option;
+  mutable invalid : int;
+  rejections : (string, int) Hashtbl.t;
+  mutable measured : int;
+  mutable skipped : int;
+  mutable trial : int;
+  mutable population : (Sketch.params * float) list;
+  mutable generations : int;
+  mutable migrations : int;
+  mutable epoch_obs : (float array * float) list;
+      (* newest first: (features, latency) observed since the last
+         model merge — published at the next boundary (k>1, gated). *)
+  mutable done_ : bool;
+}
+
+(* Pre-migration snapshot one island publishes at a boundary, plus its
+   epoch's model observations in chronological order. *)
+type publication = {
+  pub_state : island_state;
+  pub_obs : (float array * float) list;
+}
+
+(* Rendezvous state shared by all islands of one run.  [shared_tir] is
+   the one mutex-guarded learned cost model: at every boundary the
+   first island past the rendezvous folds all islands' epoch
+   observations into it in (boundary, island) order — a deterministic
+   merge — and every island then continues from a copy. *)
+type island_shared = {
+  sm : Mutex.t;
+  scv : Condition.t;
+  pubs : (int * int, publication) Hashtbl.t;  (* (island, boundary) *)
+  final : island_state option array;  (* post-migration state once done *)
+  done_at : int option array;
+  shared_tir : Cost_learn.t;
+  mutable merged_boundary : int;
+  mutable stop_boundary : int option;
+  mutable failed : exn option;
+}
+
+exception Island_aborted
+
+let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?islands
+    ?(migrate_every = 2) ?passes ?skip_inputs ?(use_cost_model = true)
+    ?measure_ratio ?engine ?resume ?on_checkpoint ?(checkpoint_every = 1)
+    ?stop cfg op ~trials =
   let jobs =
     match jobs with Some j -> j | None -> Imtp_engine.Pool.default_jobs ()
   in
   if checkpoint_every < 1 then
     invalid_arg "Search.run: checkpoint_every must be >= 1";
+  if migrate_every < 1 then
+    invalid_arg "Search.run: migrate_every must be >= 1";
   let op_key = Engine.op_key op in
   (* A resumed run replays the killed run's own configuration — the
-     caller's seed/strategy/gating arguments are overridden by the
-     checkpoint, because mixing a serialized rng stream with different
-     search dynamics could not be bit-identical to anything. *)
-  let strategy, seed, use_cost_model, measure_ratio, trials =
+     caller's seed/strategy/gating/island arguments are overridden by
+     the checkpoint, because mixing a serialized rng stream with
+     different search dynamics could not be bit-identical to
+     anything. *)
+  let strategy, seed, use_cost_model, measure_ratio, trials, islands,
+      migrate_every =
     match resume with
-    | None -> (strategy, seed, use_cost_model, measure_ratio, trials)
+    | None ->
+        let k =
+          match islands with
+          | Some k -> clamp_islands k
+          | None -> (
+              match env_islands () with Some k -> k | None -> jobs)
+        in
+        (* Every island needs at least an initial population's worth of
+           budget to evolve anything, so tiny runs shed islands. *)
+        let k = min k (max 1 (trials / population_size)) in
+        (strategy, seed, use_cost_model, measure_ratio, trials, k,
+         migrate_every)
     | Some ck ->
         if ck.ck_format <> checkpoint_format then
           invalid_arg
@@ -171,12 +295,15 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
           ck.ck_seed,
           ck.ck_use_cost_model,
           ck.ck_measure_ratio,
-          ck.ck_trials )
+          ck.ck_trials,
+          ck.ck_islands,
+          ck.ck_migrate_every )
   in
   (match measure_ratio with
   | Some r when not (r > 0. && r <= 1.) ->
       invalid_arg "Search.run: measure_ratio must be in (0, 1]"
   | Some _ | None -> ());
+  let k = islands in
   Obs.span ~name:"search.run"
     ~attrs:
       [
@@ -184,10 +311,12 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
         ("trials", Obs.Int trials);
         ("seed", Obs.Int seed);
         ("jobs", Obs.Int jobs);
+        ("islands", Obs.Int k);
         ( "measure_ratio",
           Obs.Float (Option.value measure_ratio ~default:1.) );
         ( "resumed_from",
-          Obs.Int (match resume with Some ck -> ck.ck_trial | None -> -1) );
+          Obs.Int
+            (match resume with Some ck -> checkpoint_trial ck | None -> -1) );
       ]
   @@ fun () ->
   let t0 = Obs.now_s () in
@@ -204,66 +333,95 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
     | None -> (0, 0, 0.)
     | Some ck -> (ck.ck_measured_trials, ck.ck_cache_hits, ck.ck_elapsed_s)
   in
+  let gated = measure_ratio <> None in
+  (* Epoch observations are only tracked when there is a shared model
+     to merge them into. *)
+  let track_obs = k > 1 && gated in
+  (* Per-island trial budgets: the total splits as evenly as possible,
+     earlier islands taking the remainder. *)
+  let budget i = (trials / k) + if i < trials mod k then 1 else 0 in
+  let fresh_ctx i =
+    {
+      ix = i;
+      ix_trials = budget i;
+      (* The single-island rng derivation is the historical one so
+         [~islands:1] reproduces every pre-island trace byte-for-byte;
+         multi-island runs give each island its own substream. *)
+      rng = (if k = 1 then Rng.create ~seed else Rng.stream ~base:seed ~index:i);
+      model = Cost_model.create ();
+      tir = Cost_learn.create ();
+      seen = Hashtbl.create 64;
+      skipped_seen = Hashtbl.create 64;
+      history = [];
+      best = None;
+      invalid = 0;
+      rejections = Hashtbl.create 8;
+      measured = 0;
+      skipped = 0;
+      trial = 0;
+      population = [];
+      generations = 0;
+      migrations = 0;
+      epoch_obs = [];
+      done_ = false;
+    }
+  in
   (* Deep-copy every piece of resumed state: the caller may resume the
      same in-memory checkpoint several times (tests do), and a run must
      never mutate the snapshot it started from. *)
-  let rng =
-    match resume with
-    | None -> Rng.create ~seed
-    | Some ck -> Rng.copy ck.ck_rng
+  let ctx_of_state ~tir (st : island_state) =
+    {
+      ix = st.il_island;
+      ix_trials = st.il_trials;
+      rng = Rng.copy st.il_rng;
+      model = Cost_model.copy st.il_model;
+      tir;
+      seen = Hashtbl.copy st.il_seen;
+      skipped_seen = Hashtbl.copy st.il_skipped_seen;
+      history = st.il_history;
+      best = st.il_best;
+      invalid = st.il_invalid;
+      rejections = Hashtbl.copy st.il_rejections;
+      measured = st.il_measured;
+      skipped = st.il_skipped;
+      trial = st.il_trial;
+      population = st.il_population;
+      generations = st.il_generations;
+      migrations = st.il_migrations;
+      epoch_obs = [];
+      done_ = st.il_done;
+    }
   in
-  let model =
-    match resume with
-    | None -> Cost_model.create ()
-    | Some ck -> Cost_model.copy ck.ck_model
+  let state_of_ctx ?(migrated = false) cx =
+    {
+      il_island = cx.ix;
+      il_trials = cx.ix_trials;
+      il_rng = Rng.copy cx.rng;
+      il_model = Cost_model.copy cx.model;
+      il_seen = Hashtbl.copy cx.seen;
+      il_skipped_seen = Hashtbl.copy cx.skipped_seen;
+      il_history = cx.history;
+      il_best = cx.best;
+      il_invalid = cx.invalid;
+      il_rejections = Hashtbl.copy cx.rejections;
+      il_measured = cx.measured;
+      il_skipped = cx.skipped;
+      il_trial = cx.trial;
+      il_population = cx.population;
+      il_generations = cx.generations;
+      il_migrations = cx.migrations;
+      il_done = cx.done_;
+      il_migrated = migrated;
+    }
   in
-  let tir_model =
-    match resume with
-    | None -> Cost_learn.create ()
-    | Some ck -> Cost_learn.copy ck.ck_tir_model
-  in
-  (* Params measured this run; duplicate proposals are deduplicated here
-     (one history entry per candidate) while the engine cache spares
-     them the re-build.  Under gating, [skipped_seen] additionally
-     remembers candidates that already carry a predicted (unmeasured)
-     history entry — a re-proposal may still be measured later, but
-     never produces a second predicted entry. *)
-  let seen =
-    match resume with
-    | None -> Hashtbl.create 64
-    | Some ck -> Hashtbl.copy ck.ck_seen
-  in
-  let skipped_seen =
-    match resume with
-    | None -> Hashtbl.create 64
-    | Some ck -> Hashtbl.copy ck.ck_skipped_seen
-  in
-  let history = ref (match resume with None -> [] | Some ck -> ck.ck_history) in
-  let best = ref (match resume with None -> None | Some ck -> ck.ck_best) in
-  let invalid = ref (match resume with None -> 0 | Some ck -> ck.ck_invalid) in
-  let rejections =
-    match resume with
-    | None -> Hashtbl.create 8
-    | Some ck -> Hashtbl.copy ck.ck_rejections
-  in
-  let tally e =
-    incr invalid;
-    let k = rejection_bucket e in
-    Hashtbl.replace rejections k
-      (1 + Option.value (Hashtbl.find_opt rejections k) ~default:0)
-  in
-  let measured =
-    ref (match resume with None -> 0 | Some ck -> ck.ck_measured)
-  in
-  let skipped =
-    ref (match resume with None -> 0 | Some ck -> ck.ck_skipped)
-  in
-  let trial = ref (match resume with None -> 0 | Some ck -> ck.ck_trial) in
-  let population =
-    ref (match resume with None -> [] | Some ck -> ck.ck_population)
-  in
-  let snapshot () =
+  let ledger_counters () =
     let c = Engine.counters engine in
+    ( base_measured_trials + c.Engine.costed - costed0,
+      base_cache_hits + c.Engine.hits - hits0,
+      base_elapsed_s +. (Obs.now_s () -. t0) )
+  in
+  let make_checkpoint ~boundary ~tir states =
+    let measured_trials, cache_hits, elapsed_s = ledger_counters () in
     {
       ck_format = checkpoint_format;
       ck_op_key = op_key;
@@ -273,101 +431,96 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
       ck_strategy = strategy;
       ck_use_cost_model = use_cost_model;
       ck_measure_ratio = measure_ratio;
-      ck_rng = Rng.copy rng;
-      ck_model = Cost_model.copy model;
-      ck_tir_model = Cost_learn.copy tir_model;
-      ck_seen = Hashtbl.copy seen;
-      ck_skipped_seen = Hashtbl.copy skipped_seen;
-      ck_history = !history;
-      ck_best = !best;
-      ck_invalid = !invalid;
-      ck_rejections = Hashtbl.copy rejections;
-      ck_measured = !measured;
-      ck_skipped = !skipped;
-      ck_trial = !trial;
-      ck_population = !population;
-      ck_measured_trials =
-        base_measured_trials + c.Engine.costed - costed0;
-      ck_cache_hits = base_cache_hits + c.Engine.hits - hits0;
-      ck_elapsed_s = base_elapsed_s +. (Obs.now_s () -. t0);
+      ck_islands = k;
+      ck_migrate_every = migrate_every;
+      ck_boundary = boundary;
+      ck_tir_model = Cost_learn.copy tir;
+      ck_states = states;
+      ck_measured_trials = measured_trials;
+      ck_cache_hits = cache_hits;
+      ck_elapsed_s = elapsed_s;
     }
   in
-  let emit_checkpoint () =
-    match on_checkpoint with
-    | None -> ()
-    | Some f ->
-        Obs.incr "search.checkpoints";
-        f (snapshot ())
+  let tally cx e =
+    cx.invalid <- cx.invalid + 1;
+    let b = rejection_bucket e in
+    Hashtbl.replace cx.rejections b
+      (1 + Option.value (Hashtbl.find_opt cx.rejections b) ~default:0)
   in
-  let best_so_far () =
-    match !best with Some b -> b.Measure.latency_s | None -> infinity
+  let best_so_far cx =
+    match cx.best with Some b -> b.Measure.latency_s | None -> infinity
   in
-  let record ?predicted_s ~trial params (m : Engine.measurement) =
-    incr measured;
-    Hashtbl.replace seen params ();
-    Hashtbl.remove skipped_seen params;
+  let record cx ?predicted_s ~trial params (m : Engine.measurement) =
+    cx.measured <- cx.measured + 1;
+    Hashtbl.replace cx.seen params ();
+    Hashtbl.remove cx.skipped_seen params;
     let latency_s = m.Engine.latency_s in
-    Cost_model.observe model (Cost_model.features op params) latency_s;
-    if measure_ratio <> None then
-      Cost_learn.observe tir_model
-        (Cost_learn.features m.Engine.artifact.Engine.program)
-        latency_s;
+    Cost_model.observe cx.model (Cost_model.features op params) latency_s;
+    if gated then begin
+      let x = Cost_learn.features m.Engine.artifact.Engine.program in
+      Cost_learn.observe cx.tir x latency_s;
+      if track_obs then cx.epoch_obs <- (x, latency_s) :: cx.epoch_obs
+    end;
     let r =
       { Measure.params; stats = m.Engine.artifact.Engine.stats; latency_s }
     in
-    (match !best with
+    (match cx.best with
     | Some b when b.Measure.latency_s <= latency_s -> ()
     | Some _ | None ->
-        best := Some r;
+        cx.best <- Some r;
         Obs.set_gauge "search.best_latency_s" latency_s);
     Obs.observe "search.trial_latency_s" latency_s;
-    history :=
+    cx.history <-
       {
         trial;
+        island = cx.ix;
         params;
         latency_s;
-        best_so_far = best_so_far ();
+        best_so_far = best_so_far cx;
         measured = true;
         predicted_s;
       }
-      :: !history
+      :: cx.history
   in
-  let record_skipped ~trial params ~predicted_s =
-    incr skipped;
-    Hashtbl.replace skipped_seen params ();
-    history :=
+  let record_skipped cx ~trial params ~predicted_s =
+    cx.skipped <- cx.skipped + 1;
+    Hashtbl.replace cx.skipped_seen params ();
+    cx.history <-
       {
         trial;
+        island = cx.ix;
         params;
         latency_s = predicted_s;
-        best_so_far = best_so_far ();
+        best_so_far = best_so_far cx;
         measured = false;
         predicted_s = Some predicted_s;
       }
-      :: !history
+      :: cx.history
   in
   (* One proposal consumes one trial; invalid candidates (typed engine
      errors, cached after first rejection) and duplicate proposals burn
      the trial without contributing offspring. *)
-  let consume ~trial (params, result) =
+  let consume cx ~trial (params, result) =
     match result with
     | Error e ->
-        tally e;
+        tally cx e;
         None
     | Ok m ->
-        if Hashtbl.mem seen params then None
+        if Hashtbl.mem cx.seen params then None
         else begin
-          record ~trial params m;
+          record cx ~trial params m;
           Some (params, m.Engine.latency_s)
         end
   in
-  let random_valid () =
+  let random_valid cx =
     let rec go attempts =
       if attempts = 0 then None
       else begin
-        let params = Sketch.random rng cfg op in
-        let result = Engine.measure engine ~rng ?passes ?skip_inputs op params in
-        match consume ~trial:!trial (params, result) with
+        let params = Sketch.random cx.rng cfg op in
+        let result =
+          Engine.measure engine ~rng:cx.rng ?passes ?skip_inputs op params
+        in
+        match consume cx ~trial:cx.trial (params, result) with
         | Some c -> Some c
         | None -> go (attempts - 1)
       end
@@ -377,32 +530,32 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
   (* Initial population under gating: measure until the TIR model has
      its ground truth, then admit the rest of the population on
      predicted fitness alone. *)
-  let random_valid_gated () =
+  let random_valid_gated cx =
     let rec go attempts =
       if attempts = 0 then None
       else begin
-        let params = Sketch.random rng cfg op in
-        if Hashtbl.mem seen params || Hashtbl.mem skipped_seen params then
-          go (attempts - 1)
+        let params = Sketch.random cx.rng cfg op in
+        if Hashtbl.mem cx.seen params || Hashtbl.mem cx.skipped_seen params
+        then go (attempts - 1)
         else begin
           match Engine.prepare engine ?passes ?skip_inputs op params with
           | Error e ->
-              tally e;
+              tally cx e;
               go (attempts - 1)
           | Ok prep ->
               let x = Cost_learn.features prep.Engine.pprogram in
-              if not (Cost_learn.trained tir_model) then begin
-                match Engine.simulate engine ~rng prep with
+              if not (Cost_learn.trained cx.tir) then begin
+                match Engine.simulate engine ~rng:cx.rng prep with
                 | Error e ->
-                    tally e;
+                    tally cx e;
                     go (attempts - 1)
                 | Ok m ->
-                    record ~trial:!trial params m;
+                    record cx ~trial:cx.trial params m;
                     Some (params, m.Engine.latency_s)
               end
               else begin
-                let predicted_s = Cost_learn.predict tir_model x in
-                record_skipped ~trial:!trial params ~predicted_s;
+                let predicted_s = Cost_learn.predict cx.tir x in
+                record_skipped cx ~trial:cx.trial params ~predicted_s;
                 Some (params, predicted_s)
               end
         end
@@ -413,54 +566,52 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
   (* Initial population: random sampling (uniform across design
      spaces, hence unaffected by the balanced sampler).  A resumed run
      skips it — the restored state is already past it. *)
-  if resume = None then begin
-    Obs.span ~name:"search.init" (fun () ->
-        let sample =
-          if measure_ratio = None then random_valid else random_valid_gated
-        in
-        while !trial < min trials population_size do
-          (match sample () with
-          | Some c -> population := c :: !population
+  let init_island cx =
+    Obs.span ~name:"search.init" ~attrs:[ ("island", Obs.Int cx.ix) ]
+      (fun () ->
+        let sample = if gated then random_valid_gated else random_valid in
+        while cx.trial < min cx.ix_trials population_size do
+          (match sample cx with
+          | Some c -> cx.population <- c :: cx.population
           | None -> ());
-          incr trial
-        done);
-    emit_checkpoint ()
-  end;
-  (* Generations: propose a whole generation against the fixed parent
-     pool, then measure it in one engine batch.  [stop] is polled at
-     generation boundaries only — between checkpoints the state is
-     mid-flight and not snapshot-safe. *)
-  let interrupted = ref false in
-  let generations = ref 0 in
-  let should_stop () = match stop with Some f -> f () | None -> false in
-  while !trial < trials && not !interrupted do
-    if should_stop () then interrupted := true
-    else begin
+          cx.trial <- cx.trial + 1
+        done)
+  in
+  (* One generation: propose against the fixed parent pool, then
+     measure — as one engine batch when ungated, or prepared / ranked /
+     gate-measured when gated.  Gated simulations go through the pool
+     too: per-slot noise streams make the values independent of how
+     many workers (or islands) run concurrently. *)
+  let step_generation cx =
     Obs.span ~name:"search.generation"
-      ~attrs:[ ("trial", Obs.Int !trial) ]
+      ~attrs:[ ("trial", Obs.Int cx.trial); ("island", Obs.Int cx.ix) ]
     @@ fun () ->
     let early =
-      float_of_int !trial < exploration_fraction *. float_of_int trials
+      float_of_int cx.trial
+      < exploration_fraction *. float_of_int cx.ix_trials
     in
-    let parents = parent_pool strategy ~early !population in
-    let gen_size = min population_size (trials - !trial) in
+    let parents = parent_pool strategy ~early cx.population in
+    let gen_size = min population_size (cx.ix_trials - cx.trial) in
     let propose i =
-      let eps = epsilon strategy ~trial:(!trial + i) ~trials in
-      if Rng.float rng 1. < eps || parents = [] then Sketch.random rng cfg op
+      let eps =
+        epsilon strategy ~trial:(cx.trial + i) ~trials:cx.ix_trials
+      in
+      if Rng.float cx.rng 1. < eps || parents = [] then
+        Sketch.random cx.rng cfg op
       else begin
-        let parent, _ = Rng.pick rng parents in
+        let parent, _ = Rng.pick cx.rng parents in
         let muts =
           (* mostly single-field mutations, occasionally two fields
              at once to escape coordinate-wise local optima. *)
           List.init mutations_per_pick (fun _ ->
-              let m = Sketch.mutate rng cfg op parent in
-              if Rng.float rng 1. < 0.3 then Sketch.mutate rng cfg op m
+              let m = Sketch.mutate cx.rng cfg op parent in
+              if Rng.float cx.rng 1. < 0.3 then Sketch.mutate cx.rng cfg op m
               else m)
         in
-        if use_cost_model && Cost_model.trained model then
+        if use_cost_model && Cost_model.trained cx.model then
           List.fold_left
             (fun acc c ->
-              let s = Cost_model.predict model (Cost_model.features op c) in
+              let s = Cost_model.predict cx.model (Cost_model.features op c) in
               match acc with
               | Some (_, s') when s' <= s -> acc
               | _ -> Some (c, s))
@@ -475,9 +626,10 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
       match measure_ratio with
       | None ->
           let results =
-            Engine.batch engine ~jobs ~rng ?passes ?skip_inputs op candidates
+            Engine.batch engine ~jobs ~rng:cx.rng ?passes ?skip_inputs op
+              candidates
           in
-          List.mapi (fun i r -> consume ~trial:(!trial + i) r) results
+          List.mapi (fun i r -> consume cx ~trial:(cx.trial + i) r) results
           |> List.filter_map Fun.id
       | Some ratio ->
           (* Prepare the whole generation (no simulator, no rng), rank
@@ -488,7 +640,8 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
              draw plus per-candidate noise streams mirror the
              [Engine.batch] contract. *)
           let prepped =
-            Engine.prepare_batch engine ~jobs ?passes ?skip_inputs op candidates
+            Engine.prepare_batch engine ~jobs ?passes ?skip_inputs op
+              candidates
           in
           Obs.span ~name:"search.rank"
             ~attrs:[ ("size", Obs.Int gen_size) ]
@@ -497,27 +650,27 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
             List.mapi (fun i (params, r) -> (i, params, r)) prepped
             |> List.filter_map (fun (i, params, r) ->
                    match r with
-                   | Ok prep when not (Hashtbl.mem seen params) ->
+                   | Ok prep when not (Hashtbl.mem cx.seen params) ->
                        Some (i, params, prep)
                    | Ok _ | Error _ -> None)
           in
           List.iter
             (fun (_, r) ->
-              match r with Error e -> tally e | Ok _ -> ())
+              match r with Error e -> tally cx e | Ok _ -> ())
             prepped;
           let feats =
             List.map
               (fun (_, _, prep) -> Cost_learn.features prep.Engine.pprogram)
               fresh
           in
-          let order = Cost_learn.rank tir_model feats in
+          let order = Cost_learn.rank cx.tir feats in
           (* Snapshot predictions at ranking time — the model refits as
              measurements are observed below, and the recorded
              [predicted_s] must be the values the selection was made
              from (the re-rank invariant tests hold the log to this). *)
-          let trained_at_rank = Cost_learn.trained tir_model in
+          let trained_at_rank = Cost_learn.trained cx.tir in
           let pred_arr =
-            Array.of_list (List.map (Cost_learn.predict tir_model) feats)
+            Array.of_list (List.map (Cost_learn.predict cx.tir) feats)
           in
           let n_sel =
             if trained_at_rank then
@@ -531,41 +684,65 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
             (* measure in proposal order so the noise-stream indices
                below are independent of the ranking. *)
           in
-          let base = Rng.bits rng in
+          let base = Rng.bits cx.rng in
+          (* Duplicate proposals of one candidate keep only their first
+             slot (exactly the set the sequential loop used to measure);
+             the simulations then run through the pool, each drawing
+             noise from its own slot-indexed stream. *)
+          let sel_fresh =
+            let dup = Hashtbl.create 16 in
+            List.filter
+              (fun idx ->
+                let _, params, _ = fresh_arr.(idx) in
+                if Hashtbl.mem dup params || Hashtbl.mem cx.seen params then
+                  false
+                else begin
+                  Hashtbl.replace dup params ();
+                  true
+                end)
+              selected
+          in
+          let sel_arr = Array.of_list sel_fresh in
+          let sim_results =
+            Pool.map ~jobs
+              (fun si ->
+                let i, _, prep = fresh_arr.(sel_arr.(si)) in
+                let noise = Rng.stream ~base ~index:i in
+                Engine.simulate engine ~rng:noise prep)
+              (Array.length sel_arr)
+          in
           let measured_now = Hashtbl.create 16 in
-          List.iter
-            (fun k ->
-              let i, params, prep = fresh_arr.(k) in
-              if Hashtbl.mem seen params then ()
-              else begin
+          Array.iteri
+            (fun si result ->
+              let idx = sel_arr.(si) in
+              let i, params, _ = fresh_arr.(idx) in
               let predicted_s =
-                if trained_at_rank then Some pred_arr.(k) else None
+                if trained_at_rank then Some pred_arr.(idx) else None
               in
-              let noise = Rng.stream ~base ~index:i in
-              match Engine.simulate engine ~rng:noise prep with
-              | Error e -> tally e
+              match result with
+              | Error e -> tally cx e
               | Ok m ->
-                  record ?predicted_s ~trial:(!trial + i) params m;
-                  Hashtbl.replace measured_now k (params, m.Engine.latency_s)
-              end)
-            selected;
+                  record cx ?predicted_s ~trial:(cx.trial + i) params m;
+                  Hashtbl.replace measured_now idx (params, m.Engine.latency_s))
+            sim_results;
           Obs.add_attr "selected" (Obs.Int (List.length selected));
           Obs.incr ~by:(List.length selected) "search.gate.measured";
           let offspring = ref [] in
           List.iteri
-            (fun k (i, params, _prep) ->
-              match Hashtbl.find_opt measured_now k with
+            (fun idx (i, params, _prep) ->
+              match Hashtbl.find_opt measured_now idx with
               | Some c -> offspring := c :: !offspring
               | None ->
                   (* a duplicate slot of a candidate measured just above
                      (or skip-recorded before) burns its trial silently *)
                   if
-                    (not (Hashtbl.mem skipped_seen params))
-                    && not (Hashtbl.mem seen params)
+                    (not (Hashtbl.mem cx.skipped_seen params))
+                    && not (Hashtbl.mem cx.seen params)
                   then begin
-                    let predicted_s = pred_arr.(k) in
+                    let predicted_s = pred_arr.(idx) in
                     if Float.is_finite predicted_s then begin
-                      record_skipped ~trial:(!trial + i) params ~predicted_s;
+                      record_skipped cx ~trial:(cx.trial + i) params
+                        ~predicted_s;
                       offspring := (params, predicted_s) :: !offspring
                     end
                   end)
@@ -575,99 +752,406 @@ let run ?(strategy = imtp_default) ?(seed = 2024) ?jobs ?passes ?skip_inputs
             "search.gate.skipped";
           List.rev !offspring
     in
-    trial := !trial + gen_size;
-    population :=
-      truncate_population strategy ~early (!population @ offspring);
+    cx.trial <- cx.trial + gen_size;
+    cx.population <-
+      truncate_population strategy ~early (cx.population @ offspring);
     Obs.add_attr "size" (Obs.Int gen_size);
     Obs.add_attr "accepted" (Obs.Int (List.length offspring));
-    Obs.add_attr "population" (Obs.Int (List.length !population));
-    (match !best with
+    Obs.add_attr "population" (Obs.Int (List.length cx.population));
+    (match cx.best with
     | Some b -> Obs.add_attr "best_s" (Obs.Float b.Measure.latency_s)
     | None -> ());
     Log.debug (fun m ->
-        m "trial %d/%d: population %d, best %.6f ms, %d invalid so far" !trial
-          trials
-          (List.length !population)
-          (match !best with
+        m "island %d trial %d/%d: population %d, best %.6f ms, %d invalid so far"
+          cx.ix cx.trial cx.ix_trials
+          (List.length cx.population)
+          (match cx.best with
           | Some b -> b.Measure.latency_s *. 1e3
           | None -> Float.nan)
-          !invalid);
-    incr generations;
-    if !generations mod checkpoint_every = 0 then emit_checkpoint ()
-    end
-  done;
-  (* An interrupted run leaves a checkpoint behind whatever
-     [checkpoint_every] said — the whole point of stopping gracefully
-     is that nothing since the last generation boundary is lost. *)
-  if !interrupted then emit_checkpoint ()
-  else if !generations mod checkpoint_every <> 0 then emit_checkpoint ();
+          cx.invalid);
+    cx.generations <- cx.generations + 1
+  in
   (* Confirmation pass (gated only): the final population may hold
      predicted-only candidates the model ranks better than anything
      measured — simulate the most promising few before declaring a
      winner, so a model that found the optimum late still cashes it
      in.  Bounded by a small budget so the simulator ledger stays
-     ~ratio-proportional.  Skipped on interruption: the resumed run
-     performs it when the trial budget is actually exhausted. *)
-  (match measure_ratio with
-  | _ when !interrupted -> ()
-  | None -> ()
-  | Some ratio ->
-      Obs.span ~name:"search.confirm" @@ fun () ->
-      let budget = max 3 (Cost_learn.select_count ~ratio population_size) in
-      let promising =
-        List.filter
-          (fun (p, l) -> (not (Hashtbl.mem seen p)) && l < best_so_far ())
-          !population
-        |> List.stable_sort by_latency |> take budget
+     ~ratio-proportional. *)
+  let confirm cx =
+    match measure_ratio with
+    | None -> ()
+    | Some ratio ->
+        Obs.span ~name:"search.confirm"
+          ~attrs:[ ("island", Obs.Int cx.ix) ]
+        @@ fun () ->
+        let budget = max 3 (Cost_learn.select_count ~ratio population_size) in
+        let promising =
+          List.filter
+            (fun (p, l) ->
+              (not (Hashtbl.mem cx.seen p)) && l < best_so_far cx)
+            cx.population
+          |> List.stable_sort by_latency |> take budget
+        in
+        Obs.add_attr "candidates" (Obs.Int (List.length promising));
+        List.iter
+          (fun (params, predicted_s) ->
+            match Engine.prepare engine ?passes ?skip_inputs op params with
+            | Error e -> tally cx e
+            | Ok prep -> (
+                match Engine.simulate engine ~rng:cx.rng prep with
+                | Error e -> tally cx e
+                | Ok m ->
+                    record cx ~predicted_s ~trial:cx.trial params m;
+                    cx.trial <- cx.trial + 1))
+          promising
+  in
+  let should_stop () = match stop with Some f -> f () | None -> false in
+  let apply_migration cx migrants =
+    let fresh =
+      List.filter
+        (fun (p, _) ->
+          not (List.exists (fun (q, _) -> q = p) cx.population))
+        migrants
+    in
+    if fresh <> [] then begin
+      cx.migrations <- cx.migrations + List.length fresh;
+      Obs.incr ~by:(List.length fresh) "search.migrations";
+      let early =
+        float_of_int cx.trial
+        < exploration_fraction *. float_of_int cx.ix_trials
       in
-      Obs.add_attr "candidates" (Obs.Int (List.length promising));
-      List.iter
-        (fun (params, predicted_s) ->
-          match Engine.prepare engine ?passes ?skip_inputs op params with
-          | Error e -> tally e
-          | Ok prep -> (
-              match Engine.simulate engine ~rng prep with
-              | Error e -> tally e
-              | Ok m ->
-                  record ~predicted_s ~trial:!trial params m;
-                  incr trial))
-        promising);
+      cx.population <-
+        truncate_population strategy ~early (cx.population @ fresh)
+    end
+  in
+  (* ---------------- single island: the historical loop -------------- *)
+  let interrupted = ref false in
+  let ctxs =
+    if k = 1 then begin
+      let cx =
+        match resume with
+        | None -> fresh_ctx 0
+        | Some ck ->
+            ctx_of_state ~tir:(Cost_learn.copy ck.ck_tir_model)
+              ck.ck_states.(0)
+      in
+      let emit_checkpoint () =
+        match on_checkpoint with
+        | None -> ()
+        | Some f ->
+            Obs.incr "search.checkpoints";
+            f
+              (make_checkpoint ~boundary:cx.generations ~tir:cx.tir
+                 [| state_of_ctx ~migrated:true cx |])
+      in
+      if resume = None then begin
+        init_island cx;
+        emit_checkpoint ()
+      end;
+      (* [stop] is polled at generation boundaries only — between
+         checkpoints the state is mid-flight and not snapshot-safe. *)
+      let since = ref 0 in
+      while cx.trial < cx.ix_trials && not !interrupted do
+        if should_stop () then interrupted := true
+        else begin
+          step_generation cx;
+          incr since;
+          if !since mod checkpoint_every = 0 then emit_checkpoint ()
+        end
+      done;
+      (* An interrupted run leaves a checkpoint behind whatever
+         [checkpoint_every] said — the whole point of stopping
+         gracefully is that nothing since the last boundary is lost. *)
+      if !interrupted then emit_checkpoint ()
+      else if !since mod checkpoint_every <> 0 then emit_checkpoint ();
+      if not !interrupted then confirm cx;
+      cx.done_ <- cx.trial >= cx.ix_trials;
+      [ cx ]
+    end
+    else begin
+      (* ---------------- the island model ---------------------------- *)
+      let sh =
+        {
+          sm = Mutex.create ();
+          scv = Condition.create ();
+          pubs = Hashtbl.create 64;
+          final = Array.make k None;
+          done_at = Array.make k None;
+          shared_tir =
+            (match resume with
+            | None -> Cost_learn.create ()
+            | Some ck -> Cost_learn.copy ck.ck_tir_model);
+          merged_boundary =
+            (match resume with None -> -1 | Some ck -> ck.ck_boundary);
+          stop_boundary = None;
+          failed = None;
+        }
+      in
+      let ctxs =
+        match resume with
+        | None -> List.init k fresh_ctx
+        | Some ck ->
+            (* Seed the rendezvous as if every island had just
+               published the checkpoint's boundary: the states stand in
+               for the publications, the shared model is already merged
+               through it, and each island replays whatever tail of the
+               boundary (model adoption, migration) its snapshot
+               predates. *)
+            Array.iteri
+              (fun i st ->
+                Hashtbl.replace sh.pubs (i, ck.ck_boundary)
+                  { pub_state = st; pub_obs = [] };
+                if st.il_done && st.il_migrated then begin
+                  sh.done_at.(i) <- Some ck.ck_boundary;
+                  sh.final.(i) <- Some st
+                end)
+              ck.ck_states;
+            Array.to_list
+              (Array.map
+                 (fun st ->
+                   ctx_of_state ~tir:(Cost_learn.copy ck.ck_tir_model) st)
+                 ck.ck_states)
+      in
+      let all_ready b =
+        sh.failed <> None
+        || (let ready = ref true in
+            for j = 0 to k - 1 do
+              let ok =
+                Hashtbl.mem sh.pubs (j, b)
+                || (match sh.done_at.(j) with
+                   | Some d -> d < b && sh.final.(j) <> None
+                   | None -> false)
+              in
+              if not ok then ready := false
+            done;
+            !ready)
+      in
+      (* Under [sh.sm].  Assembles the boundary's checkpoint from the
+         published (pre-migration) snapshots; islands done at an
+         earlier boundary contribute their final post-migration
+         state. *)
+      let emit_island_checkpoint b =
+        match on_checkpoint with
+        | None -> ()
+        | Some f ->
+            let states =
+              Array.init k (fun j ->
+                  match Hashtbl.find_opt sh.pubs (j, b) with
+                  | Some p -> p.pub_state
+                  | None -> (
+                      match sh.final.(j) with
+                      | Some st -> st
+                      | None -> assert false))
+            in
+            Obs.incr "search.checkpoints";
+            f (make_checkpoint ~boundary:b ~tir:sh.shared_tir states)
+      in
+      (* The boundary rendezvous: publish, wait for the ring, merge the
+         shared model once (deterministic (boundary, island) fold),
+         checkpoint, then migrate from the ring predecessor.  Returns
+         true when the run is stopping. *)
+      let island_boundary cx b =
+        let pub =
+          { pub_state = state_of_ctx cx; pub_obs = List.rev cx.epoch_obs }
+        in
+        cx.epoch_obs <- [];
+        Mutex.lock sh.sm;
+        Hashtbl.replace sh.pubs (cx.ix, b) pub;
+        if cx.done_ then sh.done_at.(cx.ix) <- Some b;
+        Condition.broadcast sh.scv;
+        while not (all_ready b) do
+          Condition.wait sh.scv sh.sm
+        done;
+        if sh.failed <> None then begin
+          Mutex.unlock sh.sm;
+          raise Island_aborted
+        end;
+        if sh.merged_boundary < b then begin
+          for bb = max 0 (sh.merged_boundary + 1) to b do
+            for j = 0 to k - 1 do
+              match Hashtbl.find_opt sh.pubs (j, bb) with
+              | Some p ->
+                  List.iter
+                    (fun (x, y) -> Cost_learn.observe sh.shared_tir x y)
+                    p.pub_obs
+              | None -> ()
+            done
+          done;
+          sh.merged_boundary <- b;
+          (* One stop poll per boundary, made by the merge leader so
+             every island agrees on where the run ends. *)
+          if should_stop () then sh.stop_boundary <- Some b;
+          if sh.stop_boundary = Some b || b = 0 || b mod checkpoint_every = 0
+          then emit_island_checkpoint b
+        end;
+        let stopping = sh.stop_boundary <> None in
+        if gated then cx.tir <- Cost_learn.copy sh.shared_tir;
+        let migrants =
+          if b = 0 || stopping then []
+          else begin
+            let p = (cx.ix + k - 1) mod k in
+            let src =
+              match Hashtbl.find_opt sh.pubs (p, b) with
+              | Some pb -> Some pb.pub_state
+              | None -> sh.final.(p)
+            in
+            match src with
+            | None -> []
+            | Some st -> elites st.il_population
+          end
+        in
+        Mutex.unlock sh.sm;
+        if migrants <> [] then apply_migration cx migrants;
+        if cx.done_ && not stopping then begin
+          (* Export the post-migration state: later boundaries take
+             this island's elites (and checkpoints its state) from
+             here. *)
+          Mutex.lock sh.sm;
+          sh.final.(cx.ix) <- Some (state_of_ctx ~migrated:true cx);
+          Condition.broadcast sh.scv;
+          Mutex.unlock sh.sm
+        end;
+        stopping
+      in
+      let island_main cx =
+        Obs.span ~name:"search.island"
+          ~attrs:
+            [ ("island", Obs.Int cx.ix); ("trials", Obs.Int cx.ix_trials) ]
+        @@ fun () ->
+        let b = ref 0 in
+        let stopping = ref false in
+        (match resume with
+        | Some ck ->
+            b := ck.ck_boundary;
+            (* Replay the tail of the checkpointed boundary for a
+               snapshot taken before its migration. *)
+            let st = ck.ck_states.(cx.ix) in
+            if not st.il_migrated then begin
+              let migrants =
+                if !b = 0 then []
+                else
+                  elites ck.ck_states.((cx.ix + k - 1) mod k).il_population
+              in
+              if migrants <> [] then apply_migration cx migrants;
+              if cx.done_ then begin
+                Mutex.lock sh.sm;
+                sh.done_at.(cx.ix) <- Some !b;
+                sh.final.(cx.ix) <- Some (state_of_ctx ~migrated:true cx);
+                Condition.broadcast sh.scv;
+                Mutex.unlock sh.sm
+              end
+            end
+        | None ->
+            init_island cx;
+            if cx.trial >= cx.ix_trials then cx.done_ <- true;
+            stopping := island_boundary cx 0);
+        while (not cx.done_) && not !stopping do
+          let g = ref 0 in
+          while !g < migrate_every && cx.trial < cx.ix_trials do
+            step_generation cx;
+            incr g
+          done;
+          if cx.trial >= cx.ix_trials then cx.done_ <- true;
+          incr b;
+          stopping := island_boundary cx !b
+        done;
+        if not !stopping then confirm cx
+      in
+      let guarded cx () =
+        try island_main cx with
+        | Island_aborted -> ()
+        | e ->
+            Mutex.lock sh.sm;
+            if sh.failed = None then sh.failed <- Some e;
+            Condition.broadcast sh.scv;
+            Mutex.unlock sh.sm
+      in
+      let rest =
+        List.filter (fun cx -> cx.ix > 0) ctxs
+        |> List.map (fun cx -> Thread.create (guarded cx) ())
+      in
+      guarded (List.hd ctxs) ();
+      List.iter Thread.join rest;
+      (match sh.failed with Some e -> raise e | None -> ());
+      interrupted := sh.stop_boundary <> None;
+      ctxs
+    end
+  in
+  (* ---------------- outcome --------------------------------------- *)
   let elapsed_s = Obs.now_s () -. t0 in
-  Obs.incr ~by:!trial "search.trials";
-  Obs.incr ~by:!measured "search.measured";
-  Obs.incr ~by:!skipped "search.skipped";
-  Obs.incr ~by:!invalid "search.invalid";
-  let cache_hits =
-    base_cache_hits + (Engine.counters engine).Engine.hits - hits0
-  in
-  let measured_trials =
-    base_measured_trials + (Engine.counters engine).Engine.costed - costed0
-  in
+  let total f = List.fold_left (fun a cx -> a + f cx) 0 ctxs in
+  let trials_used = total (fun cx -> cx.trial) in
+  let measured = total (fun cx -> cx.measured) in
+  let skipped = total (fun cx -> cx.skipped) in
+  let invalid = total (fun cx -> cx.invalid) in
+  Obs.incr ~by:trials_used "search.trials";
+  Obs.incr ~by:measured "search.measured";
+  Obs.incr ~by:skipped "search.skipped";
+  Obs.incr ~by:invalid "search.invalid";
+  let measured_trials, cache_hits, _ = ledger_counters () in
   Obs.incr ~by:cache_hits "search.cache_hits";
   Obs.incr ~by:measured_trials "search.measured_trials";
-  (match Cost_learn.mean_abs_log_err tir_model with
+  (match Cost_learn.mean_abs_log_err (List.hd ctxs).tir with
   | Some e -> Obs.set_gauge "search.model_abs_log_err" e
   | None -> ());
   if elapsed_s > 0. then
-    Obs.set_gauge "search.trials_per_s" (float_of_int !trial /. elapsed_s);
+    Obs.set_gauge "search.trials_per_s"
+      (float_of_int trials_used /. elapsed_s);
   let rejections =
-    Hashtbl.fold (fun k n acc -> (k, n) :: acc) rejections []
+    let merged = Hashtbl.create 8 in
+    List.iter
+      (fun cx ->
+        Hashtbl.iter
+          (fun key n ->
+            Hashtbl.replace merged key
+              (n + Option.value (Hashtbl.find_opt merged key) ~default:0))
+          cx.rejections)
+      ctxs;
+    Hashtbl.fold (fun key n acc -> (key, n) :: acc) merged []
     |> List.sort (fun (ka, na) (kb, nb) ->
            match Int.compare nb na with
            | 0 -> String.compare ka kb
            | c -> c)
   in
+  let best =
+    List.fold_left
+      (fun acc cx ->
+        match (acc, cx.best) with
+        | None, b -> b
+        | Some a, Some b when b.Measure.latency_s < a.Measure.latency_s ->
+            Some b
+        | acc, _ -> acc)
+      None ctxs
+  in
+  let per_island =
+    List.map
+      (fun cx ->
+        {
+          island = cx.ix;
+          island_trials = cx.trial;
+          island_generations = cx.generations;
+          island_measured = cx.measured;
+          island_skipped = cx.skipped;
+          island_invalid = cx.invalid;
+          island_migrations = cx.migrations;
+          island_best_s =
+            Option.map (fun b -> b.Measure.latency_s) cx.best;
+        })
+      ctxs
+  in
   {
-    best = !best;
-    history = List.rev !history;
-    invalid_candidates = !invalid;
+    best;
+    history = List.concat_map (fun cx -> List.rev cx.history) ctxs;
+    invalid_candidates = invalid;
     rejections;
-    measured = !measured;
+    measured;
     measured_trials;
-    skipped = !skipped;
+    skipped;
     cache_hits;
     elapsed_s = base_elapsed_s +. elapsed_s;
     interrupted = !interrupted;
     resumed_from =
-      (match resume with Some ck -> Some ck.ck_trial | None -> None);
+      (match resume with Some ck -> Some (checkpoint_trial ck) | None -> None);
+    islands = k;
+    per_island;
   }

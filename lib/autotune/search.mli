@@ -1,5 +1,6 @@
 (** Balanced evolutionary search (§5.2.3), optionally measurement-gated
-    by a learned cost model over lowered TIR ({!Cost_learn}).
+    by a learned cost model over lowered TIR ({!Cost_learn}), sharded
+    island-model style across the domain pool.
 
     The joint host+kernel space contains two design-space families —
     with and without [rfactor] — whose early measurements differ
@@ -19,6 +20,34 @@
     generation is measured as one engine batch, and duplicate proposals
     (common under mutation) are served from the engine's
     content-addressed cache instead of being re-lowered.
+
+    {2 Islands}
+
+    With [islands = k > 1] the trial budget splits across [k]
+    sub-populations ("islands"), each evolving independently on its own
+    thread with its own deterministic rng substream
+    ([Rng.stream ~base:seed ~index:island]).  Islands step generations
+    {e asynchronously} — there is no global per-generation barrier —
+    and rendezvous only every [migrate_every] generations at a
+    {e migration boundary}, where each island:
+
+    - publishes a snapshot of its state,
+    - merges its epoch's model observations into the one shared
+      {!Cost_learn} model (folded in deterministic (boundary, island)
+      order by whichever island reaches the boundary first) and adopts
+      a copy of the merged model,
+    - imports the top {e elites} of its ring predecessor
+      (island [(i+k-1) mod k]) into its population.
+
+    Determinism contract: for a fixed [islands] value the outcome is a
+    pure function of the seed — [~islands:k ~jobs:n] is bit-identical
+    to [~islands:k ~jobs:1], because every island's evolution depends
+    only on its own substream and on snapshots exchanged at fixed
+    boundaries.  [~islands:1] takes the historical single-population
+    code path and reproduces pre-island traces byte-for-byte.  Note
+    that {e different} island counts are different searches: since
+    [islands] defaults to [jobs], pin [~islands] explicitly wherever
+    cross-machine reproducibility matters.
 
     {2 Measurement gating}
 
@@ -46,12 +75,17 @@ val imtp_default : strategy
 (** Both techniques. *)
 
 type record = {
-  trial : int;  (** 0-based trial index the candidate was proposed at. *)
+  trial : int;
+      (** 0-based trial index the candidate was proposed at, local to
+          its island. *)
+  island : int;  (** which island proposed it (0 when [islands = 1]). *)
   params : Sketch.params;  (** the candidate. *)
   latency_s : float;
       (** its (noisy) measured latency — or, for a gated-out candidate
           ([measured = false]), the model's predicted latency. *)
-  best_so_far : float;  (** running best {e measured} latency, inclusive. *)
+  best_so_far : float;
+      (** running best {e measured} latency on the proposing island,
+          inclusive. *)
   measured : bool;
       (** whether the simulator actually ran for this record (always
           [true] in an ungated search). *)
@@ -63,9 +97,23 @@ type record = {
 (** One trial, as recorded in the search history (and in
     {!Tuning_log} files). *)
 
+type island_stats = {
+  island : int;
+  island_trials : int;  (** trials this island consumed. *)
+  island_generations : int;
+  island_measured : int;
+  island_skipped : int;
+  island_invalid : int;
+  island_migrations : int;  (** elites imported from the ring. *)
+  island_best_s : float option;  (** island-local best measured latency. *)
+}
+(** Per-island tallies, reported in {!outcome.per_island}. *)
+
 type outcome = {
   best : Measure.result option;  (** best measured candidate, if any. *)
-  history : record list;  (** chronological, one per recorded trial. *)
+  history : record list;
+      (** chronological within each island, islands concatenated in
+          index order (with [islands = 1]: plain chronological). *)
   invalid_candidates : int;  (** candidates rejected by the verifier. *)
   rejections : (string * int) list;
       (** rejection tally grouped by verifier constraint name
@@ -97,29 +145,34 @@ type outcome = {
   resumed_from : int option;
       (** the trial count of the checkpoint this run resumed from
           ([None] for a from-scratch run). *)
+  islands : int;  (** the effective island count the run used. *)
+  per_island : island_stats list;  (** one entry per island, in order. *)
 }
 (** Everything a search run produces.  The run also emits telemetry
     through {!Imtp_obs.Obs}: a [search.run] span enclosing [search.init]
     and per-generation [search.generation] spans (with population /
-    acceptance attributes), a per-generation [search.rank] span under
+    acceptance / island attributes), per-island [search.island] spans
+    when [islands > 1], a per-generation [search.rank] span under
     gating (with size/selected attributes), the [search.*] counters
-    (including [search.measured_trials] and [search.skipped]), and the
-    [search.best_latency_s] / [search.model_abs_log_err] /
-    [search.trials_per_s] gauges — see DESIGN.md's "Observability"
-    section for the full taxonomy. *)
+    (including [search.measured_trials], [search.skipped] and
+    [search.migrations]), and the [search.best_latency_s] /
+    [search.model_abs_log_err] / [search.trials_per_s] gauges — see
+    DESIGN.md's "Observability" section for the full taxonomy. *)
 
 (** {2 Checkpoints}
 
-    A checkpoint is a complete snapshot of the search loop's state at a
-    generation boundary: the rng's exact draw position, both cost
-    models, the population, the deduplication tables, the history and
-    every tally.  Resuming from it replays the killed run's remaining
-    trials {e bit-identically} — same history records (and therefore
-    the same tuning-log lines), same best, same measured/skipped/invalid
-    counts — because everything the search does downstream is a pure
-    function of that state.  Only the engine-cache ledger differs: a
-    resumed run starts against whatever engine it is given (typically a
-    cold one), so [cache_hits] counts real hits in each process while
+    A checkpoint is a complete snapshot of the search's state at a
+    boundary — a generation boundary when [islands = 1], a migration
+    boundary when [islands > 1]: every island's rng draw position, cost
+    model, population, deduplication tables, history and tallies, plus
+    the shared learned model as merged through that boundary.  Resuming
+    from it replays the killed run's remaining trials {e bit-identically}
+    — same history records (and therefore the same tuning-log lines),
+    same best, same measured/skipped/invalid counts — because
+    everything the search does downstream is a pure function of that
+    state.  Only the engine-cache ledger differs: a resumed run starts
+    against whatever engine it is given (typically a cold one), so
+    [cache_hits] counts real hits in each process while
     [measured_trials] still accumulates across the kill (simulator
     executions actually paid for, before plus after).
 
@@ -127,14 +180,14 @@ type outcome = {
     durable on-disk form. *)
 
 type checkpoint
-(** Serialized search state at a generation boundary. *)
+(** Serialized search state at a boundary. *)
 
 val checkpoint_format : int
 (** Layout version embedded in every checkpoint; {!run} rejects
     checkpoints written by an incompatible build. *)
 
 val checkpoint_trial : checkpoint -> int
-(** How many trials the snapshot had consumed. *)
+(** How many trials the snapshot had consumed (summed over islands). *)
 
 val checkpoint_trials : checkpoint -> int
 (** The run's total trial budget. *)
@@ -148,10 +201,15 @@ val checkpoint_seed : checkpoint -> int
 val checkpoint_measure_ratio : checkpoint -> float option
 (** The run's measurement-gate ratio, if gated. *)
 
+val checkpoint_islands : checkpoint -> int
+(** The run's effective island count. *)
+
 val run :
   ?strategy:strategy ->
   ?seed:int ->
   ?jobs:int ->
+  ?islands:int ->
+  ?migrate_every:int ->
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
   ?use_cost_model:bool ->
@@ -165,37 +223,46 @@ val run :
   Imtp_workload.Op.t ->
   trials:int ->
   outcome
-(** Run [trials] measurements.  Deterministic for a given seed at any
-    [jobs] value: generation batches go through {!Imtp_engine.Engine.batch}
-    (or {!Imtp_engine.Engine.prepare_batch} under gating), whose results
-    are independent of how many domains build them.
-    [jobs] (default {!Imtp_engine.Pool.default_jobs}) bounds the worker
-    domains per generation batch.  [use_cost_model] (default true) lets
-    the parameter-space {!Cost_model} rank candidate mutations before
-    proposal; disabling it falls back to unguided mutation (an ablation
-    of Fig. 5's "evolutionary search guided by a cost model").
-    [measure_ratio] (default [None]: measure everything, pre-gating
-    behaviour preserved bit-for-bit) turns on TIR-level measurement
-    gating at the given simulator fraction; must be in (0, 1].
-    [engine] (default: a fresh engine for [cfg]) carries the build
-    cache; pass a shared engine to reuse builds across runs — the
-    search still measures (and records) each distinct candidate once
-    per run.
+(** Run [trials] measurements.  Deterministic for a given seed and
+    island count at any [jobs] value: generation batches go through
+    {!Imtp_engine.Engine.batch} (or {!Imtp_engine.Engine.prepare_batch}
+    plus pooled {!Imtp_engine.Engine.simulate} under gating), whose
+    results are independent of how many domains build them, and islands
+    exchange state only at fixed migration boundaries.
 
-    [on_checkpoint] (with [checkpoint_every], default 1, in
-    generations) receives a deep snapshot after the initial population
-    and at generation boundaries; the callback runs on the search's
-    thread, so keep it cheap (write the file, return).  [resume]
-    restarts from such a snapshot: the initial-sampling phase is
-    skipped and the checkpoint's own seed, strategy, gating and trial
-    budget override the caller's (anything else could not be
-    bit-identical) — only [op], which must hash to the checkpoint's
-    recorded operator, and the execution knobs ([jobs], [engine],
-    [passes], checkpointing) are taken from the call.  [stop] is polled
-    at generation boundaries; when it returns [true] the run emits a
+    [jobs] (default {!Imtp_engine.Pool.default_jobs}) bounds the worker
+    domains per engine batch.  [islands] (default: [IMTP_ISLANDS] from
+    the environment, else [jobs]; clamped to [1, 64] and to at most
+    [trials / 16] so every island can seed an initial population)
+    shards the search island-model style; [migrate_every] (default 2,
+    generations) sets the migration cadence.  [use_cost_model] (default
+    true) lets the parameter-space {!Cost_model} rank candidate
+    mutations before proposal; disabling it falls back to unguided
+    mutation (an ablation of Fig. 5's "evolutionary search guided by a
+    cost model").  [measure_ratio] (default [None]: measure everything,
+    pre-gating behaviour preserved bit-for-bit) turns on TIR-level
+    measurement gating at the given simulator fraction; must be in
+    (0, 1].  [engine] (default: a fresh engine for [cfg]) carries the
+    build cache; pass a shared engine to reuse builds across runs — the
+    search still measures (and records) each distinct candidate once
+    per run.  The engine must be domain-safe when [islands > 1] (the
+    default engine is).
+
+    [on_checkpoint] (with [checkpoint_every], default 1, in generations
+    for [islands = 1] and migration boundaries otherwise) receives a
+    deep snapshot after the initial population and at boundaries; the
+    callback runs holding the islands' rendezvous lock, so keep it
+    cheap (write the file, return).  [resume] restarts from such a
+    snapshot: the initial-sampling phase is skipped and the
+    checkpoint's own seed, strategy, gating, island count, migration
+    cadence and trial budget override the caller's (anything else could
+    not be bit-identical) — only [op], which must hash to the
+    checkpoint's recorded operator, and the execution knobs ([jobs],
+    [engine], [passes], checkpointing) are taken from the call.  [stop]
+    is polled at boundaries; when it returns [true] the run emits a
     final checkpoint and returns early with
     [outcome.interrupted = true].
 
     @raise Invalid_argument if [measure_ratio] is outside (0, 1], if
-    [checkpoint_every < 1], or if [resume] belongs to a different
-    operator or checkpoint format. *)
+    [checkpoint_every < 1] or [migrate_every < 1], or if [resume]
+    belongs to a different operator or checkpoint format. *)

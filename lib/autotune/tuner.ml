@@ -9,9 +9,9 @@ type result = {
   cache : Engine.counters;
 }
 
-let tune ?strategy ?seed ?jobs ?(trials = 128) ?passes ?skip_inputs
-    ?measure_ratio ?engine ?resume ?on_checkpoint ?checkpoint_every ?stop cfg
-    op =
+let tune ?strategy ?seed ?jobs ?islands ?migrate_every ?(trials = 128) ?passes
+    ?skip_inputs ?measure_ratio ?engine ?resume ?on_checkpoint
+    ?checkpoint_every ?stop cfg op =
   Obs.span ~name:"tuner.tune"
     ~attrs:
       [
@@ -22,8 +22,9 @@ let tune ?strategy ?seed ?jobs ?(trials = 128) ?passes ?skip_inputs
   Obs.incr "tuner.tunes";
   let engine = match engine with Some e -> e | None -> Engine.create cfg in
   let search =
-    Search.run ?strategy ?seed ?jobs ?passes ?skip_inputs ?measure_ratio
-      ?resume ?on_checkpoint ?checkpoint_every ?stop ~engine cfg op ~trials
+    Search.run ?strategy ?seed ?jobs ?islands ?migrate_every ?passes
+      ?skip_inputs ?measure_ratio ?resume ?on_checkpoint ?checkpoint_every
+      ?stop ~engine cfg op ~trials
   in
   match search.Search.best with
   | None -> Error "autotuning found no valid candidate"

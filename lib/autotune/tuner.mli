@@ -17,6 +17,8 @@ val tune :
   ?strategy:Search.strategy ->
   ?seed:int ->
   ?jobs:int ->
+  ?islands:int ->
+  ?migrate_every:int ->
   ?trials:int ->
   ?passes:Imtp_passes.Pipeline.config ->
   ?skip_inputs:string list ->
@@ -31,7 +33,10 @@ val tune :
   (result, string) Result.t
 (** Defaults: IMTP strategy, 128 trials, a fresh engine, and
     [Imtp_engine.Pool.default_jobs] worker domains per generation batch
-    ([jobs] — results are identical at any value).  [measure_ratio]
+    ([jobs] — results are identical at any value for a fixed
+    [islands]).  [islands] and [migrate_every] shard the search
+    island-model style across the pool (see {!Search.run}; [islands]
+    defaults to the effective job count).  [measure_ratio]
     (default off) enables {!Search.run}'s learned-model measurement
     gate at the given simulator fraction.  [resume], [on_checkpoint],
     [checkpoint_every] and [stop] thread straight through to

@@ -1,11 +1,12 @@
 type entry = {
   trial : int;
+  island : int;
   params : Sketch.params;
   latency_s : float;
   measured : bool;
   predicted_s : float option;
 }
-type header = { op_name : string; duration_s : float option }
+type header = { op_name : string; duration_s : float option; islands : int }
 
 let params_to_string (p : Sketch.params) =
   Printf.sprintf "sd=%d rd=%d t=%d c=%d rows=%d unroll=%d ht=%d"
@@ -50,16 +51,21 @@ let params_of_string s =
       host_threads = ht;
     }
 
-(* [measured]/[predicted_cost] ride at the end of the line so parsers
-   that only know the required keys (and [params_of_string], which
-   ignores unknown keys) still read gated logs. *)
+(* [measured]/[predicted_cost]/[island] ride at the end of the line so
+   parsers that only know the required keys (and [params_of_string],
+   which ignores unknown keys) still read gated and island logs.
+   [island] is only emitted when non-zero, so single-island logs stay
+   byte-identical to their pre-island form — the golden-trace and
+   replay fixtures depend on that. *)
 let entry_to_string e =
-  Printf.sprintf "trial=%d latency=%.9e %s measured=%d%s" e.trial e.latency_s
+  Printf.sprintf "trial=%d latency=%.9e %s measured=%d%s%s" e.trial
+    e.latency_s
     (params_to_string e.params)
     (if e.measured then 1 else 0)
     (match e.predicted_s with
     | Some p -> Printf.sprintf " predicted_cost=%.9e" p
     | None -> "")
+    (if e.island > 0 then Printf.sprintf " island=%d" e.island else "")
 
 let entry_of_string line =
   let ( let* ) = Result.bind in
@@ -96,7 +102,14 @@ let entry_of_string line =
       let predicted_s =
         Option.bind (List.assoc_opt "predicted_cost" kvs) float_of_string_opt
       in
-      Ok { trial; params; latency_s; measured; predicted_s }
+      (* Pre-island logs carry no island key: everything came from the
+         one population. *)
+      let island =
+        match Option.bind (List.assoc_opt "island" kvs) int_of_string_opt with
+        | Some i when i >= 0 -> i
+        | Some _ | None -> 0
+      in
+      Ok { trial; island; params; latency_s; measured; predicted_s }
   | _ -> Error "malformed log line"
 
 let save path ~op_name (o : Search.outcome) =
@@ -104,14 +117,20 @@ let save path ~op_name (o : Search.outcome) =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      Printf.fprintf oc "# imtp-tuning-log op=%s duration_s=%.6f\n" op_name
-        o.Search.elapsed_s;
+      (* The islands key is only written for sharded runs, keeping
+         single-island headers byte-identical to pre-island ones. *)
+      Printf.fprintf oc "# imtp-tuning-log op=%s duration_s=%.6f%s\n" op_name
+        o.Search.elapsed_s
+        (if o.Search.islands > 1 then
+           Printf.sprintf " islands=%d" o.Search.islands
+         else "");
       List.iter
         (fun (r : Search.record) ->
           output_string oc
             (entry_to_string
                {
                  trial = r.Search.trial;
+                 island = r.Search.island;
                  params = r.Search.params;
                  latency_s = r.Search.latency_s;
                  measured = r.Search.measured;
@@ -145,6 +164,13 @@ let load path =
           let duration_s =
             Option.bind (List.assoc_opt "duration_s" kvs) float_of_string_opt
           in
+          let islands =
+            match
+              Option.bind (List.assoc_opt "islands" kvs) int_of_string_opt
+            with
+            | Some k when k >= 1 -> k
+            | Some _ | None -> 1
+          in
           if op_name = "" then Error "missing or malformed header"
           else begin
             let entries = ref [] and err = ref None in
@@ -159,7 +185,7 @@ let load path =
              with End_of_file -> ());
             match !err with
             | Some m -> Error m
-            | None -> Ok ({ op_name; duration_s }, List.rev !entries)
+            | None -> Ok ({ op_name; duration_s; islands }, List.rev !entries)
           end)
 
 (* Only simulator-backed entries can win: a gated log's predicted-cost

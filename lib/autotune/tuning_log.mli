@@ -4,7 +4,10 @@
     without re-running the search. *)
 
 type entry = {
-  trial : int;  (** trial index within the run. *)
+  trial : int;  (** trial index within the run (island-local). *)
+  island : int;
+      (** island that proposed the trial ([island=] key; 0 — and not
+          serialized — for single-island and pre-island logs). *)
   params : Sketch.params;  (** the candidate. *)
   latency_s : float;
       (** measured (noisy) latency, seconds — or the model's predicted
@@ -24,6 +27,9 @@ type header = {
       (** wall-clock duration of the tuning run, when the log was
           written by a version that records it — lets reports derive
           trials/sec for replayed logs. *)
+  islands : int;
+      (** island count of the run ([islands=] header key; 1 — and not
+          serialized — for single-island and pre-island logs). *)
 }
 (** Parsed log header (the leading [# imtp-tuning-log ...] line). *)
 
@@ -36,7 +42,8 @@ val params_of_string : string -> (Sketch.params, string) Result.t
 val entry_to_string : entry -> string
 (** One log line: [trial=N latency=L] followed by the parameters, then
     the gating fields ([measured=0|1] and, when present,
-    [predicted_cost=P]) — trailing so older readers still parse. *)
+    [predicted_cost=P]) and, for sharded runs, [island=I] — all
+    trailing so older readers still parse. *)
 
 val entry_of_string : string -> (entry, string) Result.t
 (** Inverse of {!entry_to_string}; malformed lines are [Error]. *)

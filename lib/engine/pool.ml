@@ -3,9 +3,18 @@
    count ever requested; each [map] gates how many workers may
    participate, so [~jobs:2] uses exactly two domains even when the
    pool holds more.  Tasks are claimed from an atomic counter (work
-   stealing at task granularity), the submitting domain participates
+   stealing at task granularity), the submitting thread participates
    as the first worker, and idle workers block on a condition variable
-   — no spinning. *)
+   — no spinning.
+
+   Multiple jobs may be in flight at once: submissions append to a
+   queue and idle workers claim tasks from whichever queued job still
+   has both work and participation tickets left.  This is what lets
+   independent island searches overlap their generation batches — one
+   island blocked in the simulator never parks the whole pool.  A task
+   that itself calls [map] simply submits a nested job; the nested
+   submitter participates in its own job, so nested maps always make
+   progress and cannot deadlock the queue. *)
 
 module Obs = Imtp_obs.Obs
 
@@ -38,7 +47,6 @@ let default_jobs () =
 (* ------------------------------------------------------------------ *)
 
 type job = {
-  gen : int;  (** generation number; a worker runs each job once. *)
   run : int -> unit;  (** task body; must not raise. *)
   total : int;
   next : int Atomic.t;  (** next unclaimed task index. *)
@@ -52,15 +60,55 @@ type pool = {
   m : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
-  mutable job : job option;
-  mutable gen : int;
+  mutable jobs : job list;  (** in-flight jobs, submission order. *)
   mutable domains : unit Domain.t list;
   mutable shutting_down : bool;
 }
 
-(* Pulled tasks until the queue is dry, then report the participant's
+(* ------------------------------------------------------------------ *)
+(* Cumulative ledger                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  maps : int;
+  tasks : int;
+  busy_s : float;
+  domains_spawned : int;
+  peak_busy : int;
+}
+
+let ledger_m = Mutex.create ()
+
+let ledger =
+  ref { maps = 0; tasks = 0; busy_s = 0.; domains_spawned = 0; peak_busy = 0 }
+
+(* Participants currently inside a map (inline runs included), tracked
+   so [peak_busy] reports real concurrency rather than the cumulative
+   task ledger. *)
+let busy_now = ref 0
+
+let enter_busy () =
+  Mutex.protect ledger_m @@ fun () ->
+  incr busy_now;
+  if !busy_now > !ledger.peak_busy then
+    ledger := { !ledger with peak_busy = !busy_now }
+
+let exit_busy () = Mutex.protect ledger_m (fun () -> decr busy_now)
+
+let record_map per_worker =
+  let tasks = Array.fold_left (fun a (n, _) -> a + n) 0 per_worker in
+  let busy = Array.fold_left (fun a (_, b) -> a +. b) 0. per_worker in
+  Mutex.protect ledger_m @@ fun () ->
+  let l = !ledger in
+  ledger :=
+    { l with maps = l.maps + 1; tasks = l.tasks + tasks; busy_s = l.busy_s +. busy }
+
+let stats () = Mutex.protect ledger_m (fun () -> !ledger)
+
+(* Pulls tasks until the queue is dry, then reports the participant's
    tally; the last participant to report completes the job. *)
 let participate pool j =
+  enter_busy ();
   let t0 = Obs.now_s () in
   let count = ref 0 in
   let rec loop () =
@@ -73,20 +121,29 @@ let participate pool j =
   in
   loop ();
   let busy = Obs.now_s () -. t0 in
+  exit_busy ();
   Mutex.lock pool.m;
   if !count > 0 then j.stats <- (!count, busy) :: j.stats;
   j.completed <- j.completed + !count;
   if j.completed >= j.total then Condition.broadcast pool.work_done;
   Mutex.unlock pool.m
 
-let rec worker pool last_gen =
+(* A job is worth joining while it still has unclaimed tasks and a
+   participation ticket; jobs whose tickets are spoken for stay queued
+   until their submitter finishes them. *)
+let claimable jobs =
+  List.find_opt
+    (fun j -> Atomic.get j.tickets > 0 && Atomic.get j.next < j.total)
+    jobs
+
+let rec worker pool =
   Mutex.lock pool.m;
   let rec await () =
     if pool.shutting_down then None
     else
-      match pool.job with
-      | Some j when j.gen <> last_gen -> Some j
-      | Some _ | None ->
+      match claimable pool.jobs with
+      | Some j -> Some j
+      | None ->
           Condition.wait pool.work_ready pool.m;
           await ()
   in
@@ -95,8 +152,10 @@ let rec worker pool last_gen =
   match j with
   | None -> ()
   | Some j ->
+      (* The ticket check is a race against other workers; losing it
+         just sends this worker back to the queue. *)
       if Atomic.fetch_and_add j.tickets (-1) > 0 then participate pool j;
-      worker pool j.gen
+      worker pool
 
 let the_pool =
   lazy
@@ -105,8 +164,7 @@ let the_pool =
          m = Mutex.create ();
          work_ready = Condition.create ();
          work_done = Condition.create ();
-         job = None;
-         gen = 0;
+         jobs = [];
          domains = [];
          shutting_down = false;
        }
@@ -119,58 +177,20 @@ let the_pool =
          List.iter Domain.join pool.domains);
      pool)
 
-(* ------------------------------------------------------------------ *)
-(* Cumulative ledger                                                   *)
-(* ------------------------------------------------------------------ *)
-
-type stats = {
-  maps : int;
-  tasks : int;
-  busy_s : float;
-  domains_spawned : int;
-}
-
-(* Guarded by its own mutex, not [submit_m]: [submit_m] is held for a
-   job's whole duration, and [stats] must stay readable mid-job (the
-   serving daemon polls it while tunes are running). *)
-let ledger_m = Mutex.create ()
-let ledger = ref { maps = 0; tasks = 0; busy_s = 0.; domains_spawned = 0 }
-
-let record_map per_worker =
-  let tasks = Array.fold_left (fun a (n, _) -> a + n) 0 per_worker in
-  let busy = Array.fold_left (fun a (_, b) -> a +. b) 0. per_worker in
-  Mutex.protect ledger_m @@ fun () ->
-  let l = !ledger in
-  ledger :=
-    { l with maps = l.maps + 1; tasks = l.tasks + tasks; busy_s = l.busy_s +. busy }
-
-let stats () = Mutex.protect ledger_m (fun () -> !ledger)
-
-(* Serializes submissions: one job in flight at a time.  Held while
-   spawning workers too, so [domains] needs no separate guard. *)
-let submit_m = Mutex.create ()
-
+(* Called under [pool.m]. *)
 let ensure_workers pool n =
   while List.length pool.domains < n do
-    pool.domains <- Domain.spawn (fun () -> worker pool 0) :: pool.domains;
+    pool.domains <- Domain.spawn (fun () -> worker pool) :: pool.domains;
     Mutex.protect ledger_m (fun () ->
         ledger := { !ledger with domains_spawned = !ledger.domains_spawned + 1 })
   done
 
-(* A task that itself maps (nested parallelism) falls back to inline
-   execution: the pool's workers are already busy with the outer job,
-   and a second in-flight job would deadlock the submission path. *)
-let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
-
-let with_in_task f =
-  let r = Domain.DLS.get in_task in
-  let saved = !r in
-  r := true;
-  Fun.protect ~finally:(fun () -> r := saved) f
-
 let unwrap = function Some v -> v | None -> assert false
 
 let inline_map f n =
+  enter_busy ();
+  let finally () = exit_busy () in
+  Fun.protect ~finally @@ fun () ->
   let results = Array.make n None in
   let t0 = Obs.now_s () in
   for i = 0 to n - 1 do
@@ -182,30 +202,25 @@ let map_stats_raw ~jobs f n =
   if n = 0 then ([||], [||])
   else
     let jobs = clamp (min jobs n) in
-    if jobs = 1 || !(Domain.DLS.get in_task) then inline_map f n
-    else
-      Mutex.protect submit_m @@ fun () ->
+    if jobs = 1 then inline_map f n
+    else begin
       let pool = Lazy.force the_pool in
-      ensure_workers pool (jobs - 1);
       let results = Array.make n None in
       let first_error = ref None in
-      let body i =
+      let error_m = Mutex.create () in
+      let run i =
         match f i with
         | v -> results.(i) <- Some v
         | exception e ->
             let bt = Printexc.get_raw_backtrace () in
-            Mutex.lock pool.m;
+            Mutex.lock error_m;
             (match !first_error with
             | Some (i0, _, _) when i0 < i -> ()
             | Some _ | None -> first_error := Some (i, e, bt));
-            Mutex.unlock pool.m
+            Mutex.unlock error_m
       in
-      let run i = with_in_task (fun () -> body i) in
-      Mutex.lock pool.m;
-      pool.gen <- pool.gen + 1;
       let j =
         {
-          gen = pool.gen;
           run;
           total = n;
           next = Atomic.make 0;
@@ -214,7 +229,9 @@ let map_stats_raw ~jobs f n =
           stats = [];
         }
       in
-      pool.job <- Some j;
+      Mutex.lock pool.m;
+      ensure_workers pool (jobs - 1);
+      pool.jobs <- pool.jobs @ [ j ];
       Condition.broadcast pool.work_ready;
       Mutex.unlock pool.m;
       participate pool j;
@@ -222,17 +239,25 @@ let map_stats_raw ~jobs f n =
       while j.completed < j.total do
         Condition.wait pool.work_done pool.m
       done;
-      pool.job <- None;
+      pool.jobs <- List.filter (fun j' -> j' != j) pool.jobs;
       let stats = List.rev j.stats in
       Mutex.unlock pool.m;
       (match !first_error with
       | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ());
       (Array.map unwrap results, Array.of_list stats)
+    end
 
 let map_stats ~jobs f n =
+  let t0 = Obs.now_s () in
   let ((_, per_worker) as r) = map_stats_raw ~jobs f n in
-  if n > 0 then record_map per_worker;
+  if n > 0 then begin
+    record_map per_worker;
+    let wall = Obs.now_s () -. t0 in
+    let busy = Array.fold_left (fun a (_, b) -> a +. b) 0. per_worker in
+    let denom = wall *. float_of_int (clamp (min jobs n)) in
+    if denom > 0. then Obs.set_gauge "pool.utilization" (min 1. (busy /. denom))
+  end;
   r
 
 let map ~jobs f n = fst (map_stats ~jobs f n)

@@ -128,6 +128,7 @@ type tune_spec = {
   trials : int;
   seed : int;
   measure_ratio : float option;
+  islands : int option;
   session : string option;
 }
 
@@ -149,7 +150,7 @@ let request_to_json = function
           ("op", Json.Str op);
           ("sizes", Json.List (List.map (fun s -> Json.Num (float_of_int s)) sizes));
         ]
-  | Tune { op; sizes; trials; seed; measure_ratio; session } ->
+  | Tune { op; sizes; trials; seed; measure_ratio; islands; session } ->
       Json.Obj
         ([
            ("type", Json.Str "tune");
@@ -162,6 +163,9 @@ let request_to_json = function
         @ (match measure_ratio with
           | None -> []
           | Some r -> [ ("measure_ratio", Json.Num r) ])
+        @ (match islands with
+          | None -> []
+          | Some k -> [ ("islands", Json.Num (float_of_int k)) ])
         @ match session with
           | None -> []
           | Some s -> [ ("session", Json.Str s) ])
@@ -230,6 +234,13 @@ let request_of_json j =
         | Some (Json.Num r) -> Ok (Some r)
         | Some _ -> err "field \"measure_ratio\" must be a number"
       in
+      let* islands =
+        match Json.member "islands" j with
+        | None | Some Json.Null -> Ok None
+        | Some v ->
+            let* k = as_int "islands" v in
+            if k < 1 then err "islands must be >= 1" else Ok (Some k)
+      in
       let* session =
         match Json.member "session" j with
         | None | Some Json.Null -> Ok None
@@ -237,7 +248,7 @@ let request_of_json j =
         | Some _ -> err "field \"session\" must be a string"
       in
       if trials < 1 then err "trials must be >= 1"
-      else Ok (Tune { op; sizes; trials; seed; measure_ratio; session })
+      else Ok (Tune { op; sizes; trials; seed; measure_ratio; islands; session })
   | "replay" ->
       let* log = str_field "log" j in
       let* sizes = sizes_field j in
@@ -303,6 +314,7 @@ let history_digest (o : Imtp_autotune.Search.outcome) =
     Imtp_autotune.Tuning_log.entry_to_string
       {
         Imtp_autotune.Tuning_log.trial = r.Imtp_autotune.Search.trial;
+        island = r.Imtp_autotune.Search.island;
         params = r.Imtp_autotune.Search.params;
         latency_s = r.Imtp_autotune.Search.latency_s;
         measured = r.Imtp_autotune.Search.measured;

@@ -63,6 +63,10 @@ type tune_spec = {
   trials : int;  (** trial budget, >= 1. *)
   seed : int;  (** search seed. *)
   measure_ratio : float option;  (** measurement-gate ratio, if gated. *)
+  islands : int option;
+      (** island count for the search, >= 1; defaults to the daemon's
+          worker count when omitted.  Pin it (along with the seed) when
+          the history digest must reproduce across daemons. *)
   session : string option;
       (** checkpoint session name; derived from the other fields when
           omitted.  Restricted to [A-Za-z0-9._-]. *)

@@ -254,12 +254,15 @@ let valid_session_name s =
        s
 
 let derived_session (t : P.tune_spec) =
-  Printf.sprintf "%s-%s-s%d-t%d%s" t.op
+  Printf.sprintf "%s-%s-s%d-t%d%s%s" t.op
     (String.concat "x" (List.map string_of_int t.sizes))
     t.seed t.trials
     (match t.measure_ratio with
     | None -> ""
     | Some r -> Printf.sprintf "-r%.0f" (100. *. r))
+    (match t.islands with
+    | None -> ""
+    | Some k -> Printf.sprintf "-k%d" k)
 
 let handle_tune state ~client (t : P.tune_spec) =
   let* op_t = build_op t.op t.sizes in
@@ -312,11 +315,15 @@ let handle_tune state ~client (t : P.tune_spec) =
     Obs.incr "serve.sessions.started";
     if resume <> None then Obs.incr "serve.sessions.resumed";
     Log.info (fun m ->
-        m "session %s: op=%s trials=%d seed=%d%s" session t.op t.trials t.seed
+        m "session %s: op=%s trials=%d seed=%d%s%s" session t.op t.trials
+          t.seed
+          (match t.islands with
+          | None -> ""
+          | Some k -> Printf.sprintf " islands=%d" k)
           (if resume = None then "" else " (resumed)"));
     match
       Search.run ~seed:t.seed ?measure_ratio:t.measure_ratio
-        ~engine:state.engine ?resume
+        ?islands:t.islands ~engine:state.engine ?resume
         ~on_checkpoint:(fun ck -> Checkpoint.save ckpt_path ck)
         ~checkpoint_every:state.cfg.checkpoint_every
         ~stop:(fun () -> state.stopping)
@@ -359,6 +366,7 @@ let handle_tune state ~client (t : P.tune_spec) =
                  match outcome.Search.resumed_from with
                  | None -> Json.Null
                  | Some k -> jint k );
+               ("islands", jint outcome.Search.islands);
                ("measured_trials", jint outcome.Search.measured_trials);
                ("cache_hits", jint outcome.Search.cache_hits);
                ("elapsed_s", jfloat outcome.Search.elapsed_s);
@@ -434,6 +442,7 @@ let stats_body state =
             ("tasks", jint p.Pool.tasks);
             ("busy_s", jfloat p.Pool.busy_s);
             ("domains_spawned", jint p.Pool.domains_spawned);
+            ("peak_busy", jint p.Pool.peak_busy);
             ("default_jobs", jint (Pool.default_jobs ()));
           ] );
       ( "sessions",

@@ -1,0 +1,49 @@
+(* CI smoke for the island-model search, part of `dune build @check`:
+   a 2-island tune must produce the same history digest at -j 1 and
+   -j 2 (jobs never change the trajectory at a fixed island count),
+   and a run killed at a mid-run migration-boundary checkpoint then
+   resumed must land on the uninterrupted run's digest bit-for-bit. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let cfg = Imtp.default_config in
+  let op = Imtp.Ops.mtv 128 256 in
+  let trials = 128 and seed = 23 in
+  let run ?jobs ?resume ?on_checkpoint ?stop () =
+    Imtp.Search.run ~seed ?jobs ~islands:2 ~migrate_every:1 ?resume
+      ?on_checkpoint ?stop cfg op ~trials
+  in
+  let full_j1 = run ~jobs:1 () in
+  let full_j2 = run ~jobs:2 () in
+  let digest = Imtp.Protocol.history_digest in
+  if digest full_j1 <> digest full_j2 then
+    fail "island smoke: -j1 and -j2 digests differ at islands=2";
+  let n_ck = ref 0 and last = ref None in
+  let killed =
+    run ~jobs:2
+      ~on_checkpoint:(fun ck ->
+        incr n_ck;
+        last := Some ck)
+      ~stop:(fun () -> !n_ck > 1)
+      ()
+  in
+  if not killed.Imtp.Search.interrupted then
+    fail "island smoke: stop callback did not interrupt the run";
+  let ck =
+    match !last with Some ck -> ck | None -> fail "island smoke: no checkpoint"
+  in
+  let at = Imtp.Search.checkpoint_trial ck in
+  if at <= 0 || at >= trials then
+    fail "island smoke: checkpoint at trial %d is not mid-run" at;
+  if Imtp.Search.checkpoint_islands ck <> 2 then
+    fail "island smoke: checkpoint lost the island count";
+  let resumed = run ~jobs:2 ~resume:ck () in
+  if resumed.Imtp.Search.interrupted then
+    fail "island smoke: resumed run did not complete";
+  if digest resumed <> digest full_j2 then
+    fail "island smoke: resumed digest differs from the uninterrupted run";
+  Printf.printf
+    "island smoke ok: islands=2, %d trials, killed at trial %d, resumed \
+     digest %s\n"
+    trials at (digest resumed)

@@ -69,6 +69,7 @@ let () =
             trials;
             seed;
             measure_ratio = None;
+          islands = None;
             session = Some session;
           })
   in

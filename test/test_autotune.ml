@@ -209,7 +209,9 @@ let test_search_deterministic_per_seed () =
 
 let test_search_history_monotone_best () =
   let op = Ops.mtv 128 256 in
-  let o = Se.run ~seed:13 cfg op ~trials:32 in
+  (* best_so_far is island-local, so the global monotonicity check only
+     holds for a single population. *)
+  let o = Se.run ~seed:13 ~islands:1 cfg op ~trials:32 in
   let rec check prev = function
     | [] -> ()
     | r :: rest ->
@@ -314,7 +316,9 @@ let golden_trace () =
 let test_ungated_trace_matches_golden () =
   let buf = Buffer.create 4096 in
   let dump name op ~seed ~trials =
-    dump_outcome buf name ~seed ~trials (Se.run ~seed cfg op ~trials)
+    (* ~islands:1 is the historical single-population path; the trace
+       predates the island model and must survive it untouched. *)
+    dump_outcome buf name ~seed ~trials (Se.run ~seed ~islands:1 cfg op ~trials)
   in
   dump "gemv" (Ops.gemv ~c:3 512 512) ~seed:77 ~trials:48;
   dump "mmtv" (Ops.mmtv 8 64 64) ~seed:77 ~trials:48;
@@ -347,8 +351,8 @@ let noise_free op params =
    simulator executions. *)
 let check_gate_acceptance name op =
   let seed = 13 and trials = 200 and ratio = 0.05 in
-  let full = Se.run ~seed cfg op ~trials in
-  let gated = Se.run ~seed ~measure_ratio:ratio cfg op ~trials in
+  let full = Se.run ~seed ~islands:1 cfg op ~trials in
+  let gated = Se.run ~seed ~islands:1 ~measure_ratio:ratio cfg op ~trials in
   let best o =
     match o.Se.best with
     | Some b -> noise_free op b.Ms.params
@@ -373,20 +377,27 @@ let test_gate_acceptance_gemv () =
 let test_gate_acceptance_mmtv () =
   check_gate_acceptance "mmtv 8x64x64" (Ops.mmtv 8 64 64)
 
+let history_key (o : Se.outcome) =
+  List.map
+    (fun (r : Se.record) ->
+      ( r.Se.trial,
+        r.Se.island,
+        r.Se.params,
+        r.Se.latency_s,
+        r.Se.measured,
+        r.Se.predicted_s ))
+    o.Se.history
+
 let test_gated_jobs_equivalence () =
   let op = Ops.mtv 128 256 in
+  (* islands must be pinned: it defaults to [jobs], and a different
+     island count is a different (equally deterministic) search. *)
   let run jobs =
-    Se.run ~seed:9 ~jobs ~measure_ratio:0.2 cfg op ~trials:48
+    Se.run ~seed:9 ~jobs ~islands:1 ~measure_ratio:0.2 cfg op ~trials:48
   in
   let a = run 1 and b = run 4 in
-  let key o =
-    List.map
-      (fun (r : Se.record) ->
-        (r.Se.trial, r.Se.params, r.Se.latency_s, r.Se.measured, r.Se.predicted_s))
-      o.Se.history
-  in
   Alcotest.(check bool) "history identical at any job count" true
-    (key a = key b);
+    (history_key a = history_key b);
   Alcotest.(check int) "same simulator ledger" a.Se.measured_trials
     b.Se.measured_trials;
   Alcotest.(check int) "same skips" a.Se.skipped b.Se.skipped
@@ -398,7 +409,9 @@ let test_gated_jobs_equivalence () =
 let test_gated_log_reranks_identically () =
   let module Tl = Imtp_autotune.Tuning_log in
   let trials = 96 in
-  let o = Se.run ~seed:5 ~measure_ratio:0.2 cfg (Ops.mmtv 8 64 64) ~trials in
+  let o =
+    Se.run ~seed:5 ~islands:1 ~measure_ratio:0.2 cfg (Ops.mmtv 8 64 64) ~trials
+  in
   let path = Filename.temp_file "imtp_gated_log" ".txt" in
   Tl.save path ~op_name:"mmtv" o;
   (match Tl.load path with
@@ -514,12 +527,13 @@ let outcome_key (o : Se.outcome) =
    bit-identical.  The init snapshot is checkpoint #1 and generation g
    emits #(1+g), so stopping once [!n_ck > k] interrupts right after
    generation [k]'s boundary snapshot. *)
-let check_kill_resume ?measure_ratio ~k op ~trials =
+let check_kill_resume ?measure_ratio ?(islands = 1) ?migrate_every ~k op
+    ~trials =
   let seed = 23 in
-  let full = Se.run ~seed ?measure_ratio cfg op ~trials in
+  let full = Se.run ~seed ?measure_ratio ~islands ?migrate_every cfg op ~trials in
   let n_ck = ref 0 and last = ref None in
   let killed =
-    Se.run ~seed ?measure_ratio cfg op ~trials
+    Se.run ~seed ?measure_ratio ~islands ?migrate_every cfg op ~trials
       ~on_checkpoint:(fun ck ->
         incr n_ck;
         last := Some ck)
@@ -536,6 +550,8 @@ let check_kill_resume ?measure_ratio ~k op ~trials =
   Alcotest.(check int) "checkpoint keeps the seed" seed (Se.checkpoint_seed ck);
   Alcotest.(check bool) "checkpoint keeps the gate" true
     (Se.checkpoint_measure_ratio ck = measure_ratio);
+  Alcotest.(check int) "checkpoint keeps the island count" islands
+    (Se.checkpoint_islands ck);
   let resumed = Se.run ~resume:ck cfg op ~trials in
   Alcotest.(check bool) "resumed run completed" false resumed.Se.interrupted;
   Alcotest.(check bool) "resumed_from records the snapshot" true
@@ -550,6 +566,17 @@ let test_kill_resume_ungated () =
 
 let test_kill_resume_gated () =
   check_kill_resume ~measure_ratio:0.2 ~k:2 (Ops.mmtv 8 64 64) ~trials:64
+
+let test_kill_resume_islands () =
+  (* kill a 2-island run right after a migration boundary's checkpoint
+     and resume it: the stitched run must be bit-identical to the
+     uninterrupted one, migrations included. *)
+  check_kill_resume ~islands:2 ~migrate_every:1 ~k:1 (Ops.mtv 128 256)
+    ~trials:128
+
+let test_kill_resume_islands_gated () =
+  check_kill_resume ~islands:2 ~migrate_every:1 ~measure_ratio:0.2 ~k:2
+    (Ops.mmtv 8 64 64) ~trials:160
 
 (* The committed acceptance criterion: a killed-then-resumed run on the
    golden workloads reproduces the golden trace byte-for-byte — same
@@ -650,6 +677,104 @@ let test_resume_wrong_op_rejected () =
   | _ -> Alcotest.fail "resume accepted a different operator"
   | exception Invalid_argument _ -> ()
 
+(* --- Island model ----------------------------------------------------- *)
+
+let test_islands_jobs_equivalence () =
+  let op = Ops.mtv 128 256 in
+  let run ~jobs ?measure_ratio () =
+    Se.run ~seed:9 ~jobs ~islands:4 ?measure_ratio cfg op ~trials:96
+  in
+  let a = run ~jobs:1 () and b = run ~jobs:4 () in
+  Alcotest.(check int) "4 islands in effect" 4 a.Se.islands;
+  Alcotest.(check bool) "ungated: islands:4 jobs:4 = islands:4 jobs:1" true
+    (history_key a = history_key b);
+  let c = run ~jobs:1 ~measure_ratio:0.25 ()
+  and d = run ~jobs:4 ~measure_ratio:0.25 () in
+  Alcotest.(check bool) "gated: islands:4 jobs:4 = islands:4 jobs:1" true
+    (history_key c = history_key d);
+  Alcotest.(check int) "gated: same simulator ledger" c.Se.measured_trials
+    d.Se.measured_trials
+
+let prop_islands_jobs_equivalence =
+  QCheck2.Test.make
+    ~name:"islands:2 search is identical at jobs:1 and jobs:3 for any seed"
+    ~count:4
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let op = Ops.mtv 128 256 in
+      let run jobs =
+        Se.run ~seed ~jobs ~islands:2 ~measure_ratio:0.25 cfg op ~trials:64
+      in
+      history_key (run 1) = history_key (run 3))
+
+let test_migration_determinism () =
+  (* migration happens at fixed generation boundaries, so two runs of
+     the same seed produce identical histories, migration traffic
+     included — and the ring actually moves elites. *)
+  let op = Ops.mtv 128 256 in
+  let run () = Se.run ~seed:17 ~islands:3 ~migrate_every:1 cfg op ~trials:96 in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "two same-seed island runs identical" true
+    (history_key a = history_key b);
+  Alcotest.(check int) "three islands reported" 3 (List.length a.Se.per_island);
+  let migrations =
+    List.fold_left (fun n s -> n + s.Se.island_migrations) 0 a.Se.per_island
+  in
+  Alcotest.(check bool) "ring migration moved elites" true (migrations > 0);
+  Alcotest.(check bool) "same migration traffic" true
+    (List.map (fun s -> s.Se.island_migrations) a.Se.per_island
+    = List.map (fun s -> s.Se.island_migrations) b.Se.per_island)
+
+let test_island_outcome_shape () =
+  let op = Ops.mtv 128 256 in
+  let o = Se.run ~seed:29 ~islands:3 cfg op ~trials:96 in
+  Alcotest.(check int) "per-island entries" 3 (List.length o.Se.per_island);
+  let sum f = List.fold_left (fun n s -> n + f s) 0 o.Se.per_island in
+  Alcotest.(check int) "measured sums across islands" o.Se.measured
+    (sum (fun s -> s.Se.island_measured));
+  Alcotest.(check int) "invalid sums across islands" o.Se.invalid_candidates
+    (sum (fun s -> s.Se.island_invalid));
+  (* history: chronological within each island, islands in index order *)
+  let rec well_ordered prev = function
+    | [] -> true
+    | (r : Se.record) :: rest ->
+        (match prev with
+        | Some (pi, pt) ->
+            (r.Se.island = pi && r.Se.trial >= pt) || r.Se.island > pi
+        | None -> true)
+        && well_ordered (Some (r.Se.island, r.Se.trial)) rest
+  in
+  Alcotest.(check bool) "history grouped by island, chronological within" true
+    (well_ordered None o.Se.history);
+  let island_best =
+    List.filter_map (fun s -> s.Se.island_best_s) o.Se.per_island
+    |> List.fold_left Float.min infinity
+  in
+  match o.Se.best with
+  | Some b ->
+      Alcotest.(check (float 1e-15)) "best is the min across islands"
+        island_best b.Ms.latency_s
+  | None -> Alcotest.fail "no best"
+
+let test_island_defaults () =
+  let op = Ops.mtv 128 256 in
+  (* explicit wins *)
+  let o = Se.run ~seed:3 ~jobs:1 ~islands:2 cfg op ~trials:64 in
+  Alcotest.(check int) "explicit islands" 2 o.Se.islands;
+  (* defaults to the effective job count *)
+  let o = Se.run ~seed:3 ~jobs:2 cfg op ~trials:64 in
+  Alcotest.(check int) "defaults to jobs" 2 o.Se.islands;
+  (* IMTP_ISLANDS fills in when no explicit count is given *)
+  Unix.putenv "IMTP_ISLANDS" "3";
+  let o = Se.run ~seed:3 ~jobs:1 cfg op ~trials:64 in
+  Unix.putenv "IMTP_ISLANDS" "";
+  Alcotest.(check int) "IMTP_ISLANDS respected" 3 o.Se.islands;
+  (* tiny budgets shed islands so each can seed a population *)
+  let o = Se.run ~seed:3 ~islands:8 cfg op ~trials:32 in
+  Alcotest.(check int) "auto-shrunk to trials/16" 2 o.Se.islands;
+  let o = Se.run ~seed:3 ~islands:8 cfg op ~trials:8 in
+  Alcotest.(check int) "never below one island" 1 o.Se.islands
+
 let test_rng_reproducible () =
   let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
   let xs = List.init 20 (fun _ -> Rng.int a 1000) in
@@ -732,6 +857,10 @@ let () =
             test_kill_resume_ungated;
           Alcotest.test_case "kill+resume = uninterrupted (gated)" `Quick
             test_kill_resume_gated;
+          Alcotest.test_case "kill+resume = uninterrupted (2 islands)" `Quick
+            test_kill_resume_islands;
+          Alcotest.test_case "kill+resume = uninterrupted (2 islands, gated)"
+            `Quick test_kill_resume_islands_gated;
           Alcotest.test_case "resumed trace matches golden" `Quick
             test_resumed_trace_matches_golden;
           Alcotest.test_case "disk roundtrip + corrupt files" `Quick
@@ -739,5 +868,15 @@ let () =
           Alcotest.test_case "wrong operator rejected" `Quick
             test_resume_wrong_op_rejected;
         ] );
-      ("properties", q [ prop_verified_candidates_run ]);
+      ( "islands",
+        [
+          Alcotest.test_case "islands:4 identical at jobs:1 and jobs:4" `Quick
+            test_islands_jobs_equivalence;
+          Alcotest.test_case "migration boundaries deterministic" `Quick
+            test_migration_determinism;
+          Alcotest.test_case "outcome shape" `Quick test_island_outcome_shape;
+          Alcotest.test_case "defaults and clamps" `Quick test_island_defaults;
+        ] );
+      ( "properties",
+        q [ prop_verified_candidates_run; prop_islands_jobs_equivalence ] );
     ]

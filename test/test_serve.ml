@@ -114,6 +114,7 @@ let test_request_json_roundtrip () =
           trials = 24;
           seed = 7;
           measure_ratio = Some 0.2;
+          islands = Some 4;
           session = Some "sess-a";
         };
       P.Tune
@@ -123,6 +124,7 @@ let test_request_json_roundtrip () =
           trials = 48;
           seed = 11;
           measure_ratio = None;
+          islands = None;
           session = None;
         };
       P.Replay { log = "/tmp/x.log"; sizes = [ 8; 64; 64 ] };
@@ -267,6 +269,7 @@ let quick_tune ?(trials = 24) ?measure_ratio ~session c =
       trials;
       seed = 5;
       measure_ratio;
+      islands = None;
       session = Some session;
     }
 
@@ -294,7 +297,11 @@ let test_daemon_run_and_stats () =
           | Ok _ -> Alcotest.fail "missing log accepted");
           let stats = ok (Client.stats c) in
           ignore (jobj stats "engine");
-          ignore (jobj stats "pool");
+          let pool = jobj stats "pool" in
+          (match Json.member "peak_busy" pool with
+          | Some (Json.Num n) ->
+              Alcotest.(check bool) "peak_busy is a sane gauge" true (n >= 0.)
+          | _ -> Alcotest.fail "pool stats missing peak_busy");
           ignore (jobj stats "sessions");
           ignore (jobj stats "metrics")))
 
@@ -499,6 +506,7 @@ let test_daemon_resume_after_interrupt () =
           trials;
           seed = 5;
           measure_ratio = None;
+          islands = None;
           session = Some session;
         }
       in
