@@ -9,7 +9,7 @@ JOBS ?= $(shell nproc 2>/dev/null || echo 1)
 BENCH_DATE := $(shell date +%Y%m%d)
 
 .PHONY: all test check doc bench bench-exec bench-model bench-affine \
-	bench-serve bench-islands serve-smoke fuzz clean
+	bench-serve bench-islands bench-graph serve-smoke fuzz clean
 
 all:
 	dune build @all
@@ -55,6 +55,14 @@ bench:
 	dune exec bench/main.exe -- --batch-scaling --out BENCH_$(BENCH_DATE).json
 	dune exec bench/main.exe -- --exec-throughput --out BENCH_$(BENCH_DATE).json
 	dune exec bench/main.exe -- --island-scaling --out BENCH_$(BENCH_DATE).json
+	dune exec bench/main.exe -- --graph --out BENCH_$(BENCH_DATE).json
+
+# Whole-model graph pipeline: MLP forward pass and the attention block
+# compiled fused + MRAM-resident vs per-op (fixed seeds, pinned island
+# count), asserting the fused plan wins on modeled latency AND
+# host-transfer volume, and recording both into BENCH_<date>.json.
+bench-graph:
+	dune exec bench/main.exe -- --graph --out BENCH_$(BENCH_DATE).json
 
 # Island-model search scaling on its own: equal trial budgets at
 # -j1/-k1 vs -j4/-k4, pure CPU and with IMTP_SIM_LATENCY_US emulating

@@ -16,6 +16,9 @@
                                               # daemon: N clients vs N sequential
      dune exec bench/main.exe -- --island-scaling [--out FILE]
                                               # sharded search: -j4/-k4 vs -j1/-k1
+     dune exec bench/main.exe -- --graph [--out FILE]
+                                              # whole-model graphs: fused +
+                                              # MRAM-resident vs per-op
 
    Each experiment regenerates one table or figure of the paper's
    evaluation (see DESIGN.md's experiment index); the Bechamel suite
@@ -926,6 +929,138 @@ let island_scaling ~out () =
           "  note: %s emulated speedup %.2fx below the 3x target\n%!" name s)
     rows
 
+(* --- Graph pipeline: fused + MRAM-resident vs per-op ---------------- *)
+
+(* The whole-model scenarios (MLP forward pass, transformer attention
+   block) through the graph compiler, fused + resident vs the per-op
+   baseline (no fusion, no residency, every intermediate round-tripped
+   through the host).  Both variants share one engine, run on the same
+   inputs, and are validated against the per-op reference chain; the
+   report records modeled latency/bytes (cost model over the linked
+   program) and executed transfer volumes (the functional executor's
+   dynamic counters).  Trial budgets are sized so the joint search
+   converges: the MLP's two mtv+epilogue kernels need a deeper search
+   than the attention block's four smaller ones.  Appends a JSON
+   report to [--out] when given. *)
+let graph_pipeline ~out () =
+  let cfg = Util.cfg in
+  (* Island count pinned: searches are bit-identical at any -j for a
+     fixed island count, so these rows reproduce on any host. *)
+  let islands = 2 in
+  let nets =
+    [
+      (Imtp.Nets.mlp (), 160, 11);
+      (Imtp.Nets.attention (), 64, 11);
+    ]
+  in
+  Util.heading
+    "Graph pipeline: epilogue fusion + MRAM residency vs per-op execution";
+  let rows =
+    List.map
+      (fun ((spec : Imtp.Nets.t), trials, seed) ->
+        let g, ids = Imtp.Graph.of_spec spec in
+        let engine = Imtp.Engine.create cfg in
+        let compile ~fuse ~resident =
+          match
+            Imtp.Graph.Compiled.compile ~trials ~seed ~islands ~fuse ~resident
+              ~engine cfg g
+          with
+          | Ok c -> c
+          | Error m ->
+              Printf.eprintf "graph compile failed for %s: %s\n"
+                spec.Imtp.Nets.sname m;
+              exit 1
+        in
+        let fused = compile ~fuse:true ~resident:true in
+        let base = compile ~fuse:false ~resident:false in
+        let inputs = Imtp.Nets.random_inputs spec in
+        let refs = Imtp.Nets.reference spec ~inputs in
+        let check c =
+          let outs, counters = Imtp.Graph.Compiled.run_counted c ~inputs in
+          List.iter
+            (fun (id, want) ->
+              match
+                List.assoc_opt (Imtp.Graph.tid_name (List.assoc id ids)) outs
+              with
+              | None -> ()
+              | Some got -> assert (Imtp.Tensor.equal got want))
+            refs;
+          counters
+        in
+        let fc = check fused and bc = check base in
+        let fs = Imtp.Graph.Compiled.estimate fused in
+        let bs = Imtp.Graph.Compiled.estimate base in
+        let fbytes = fs.Imtp.Stats.bytes_h2d + fs.Imtp.Stats.bytes_d2h in
+        let bbytes = bs.Imtp.Stats.bytes_h2d + bs.Imtp.Stats.bytes_d2h in
+        let speedup = Imtp.Stats.speedup ~baseline:bs fs in
+        Printf.printf
+          "  %-22s fused: %d kernels (%d fused away, %d resident edges)\n"
+          spec.Imtp.Nets.sname
+          (Imtp.Graph.node_count g - Imtp.Graph.Compiled.fused_count fused)
+          (Imtp.Graph.Compiled.fused_count fused)
+          (Imtp.Graph.Compiled.resident_count fused);
+        Printf.printf
+          "    modeled:  fused %.3f ms / %d B transferred, per-op %.3f ms \
+           / %d B (%.2fx)\n"
+          (1e3 *. Imtp.Stats.total_s fs)
+          fbytes
+          (1e3 *. Imtp.Stats.total_s bs)
+          bbytes speedup;
+        Printf.printf
+          "    executed: fused %d h2d + %d d2h elems, per-op %d h2d + %d \
+           d2h elems\n%!"
+          fc.Imtp.Eval.xfer_elems_h2d fc.Imtp.Eval.xfer_elems_d2h
+          bc.Imtp.Eval.xfer_elems_h2d bc.Imtp.Eval.xfer_elems_d2h;
+        (* The acceptance bar: fusion + residency must win on modeled
+           latency AND on host-transfer volume. *)
+        assert (Imtp.Stats.total_s fs < Imtp.Stats.total_s bs);
+        assert (fbytes < bbytes);
+        assert (
+          fc.Imtp.Eval.xfer_elems_h2d + fc.Imtp.Eval.xfer_elems_d2h
+          < bc.Imtp.Eval.xfer_elems_h2d + bc.Imtp.Eval.xfer_elems_d2h);
+        (spec.Imtp.Nets.sname, trials, seed, fused, fs, fc, bs, bc, speedup))
+      nets
+  in
+  match out with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      Printf.ksprintf (Buffer.add_string buf)
+        "  \"benchmark\": \"graph pipeline\",\n\
+        \  \"date\": %.0f,\n\
+        \  \"nets\": [\n"
+        (Unix.time ());
+      let variant_json (s : Imtp.Stats.t) (c : Imtp.Eval.counters) =
+        Printf.sprintf
+          "{ \"modeled_total_s\": %.6f, \"modeled_bytes_h2d\": %d, \
+           \"modeled_bytes_d2h\": %d, \"xfer_elems_h2d\": %d, \
+           \"xfer_elems_d2h\": %d }"
+          (Imtp.Stats.total_s s) s.Imtp.Stats.bytes_h2d
+          s.Imtp.Stats.bytes_d2h c.Imtp.Eval.xfer_elems_h2d
+          c.Imtp.Eval.xfer_elems_d2h
+      in
+      List.iteri
+        (fun i (name, trials, seed, fused, fs, fc, bs, bc, speedup) ->
+          Printf.ksprintf (Buffer.add_string buf)
+            "    { \"net\": %S, \"trials\": %d, \"seed\": %d, \
+             \"fused_away\": %d, \"resident_edges\": %d,\n\
+            \      \"fused\": %s,\n\
+            \      \"per_op\": %s,\n\
+            \      \"modeled_speedup\": %.2f, \"valid\": true }%s\n"
+            name trials seed
+            (Imtp.Graph.Compiled.fused_count fused)
+            (Imtp.Graph.Compiled.resident_count fused)
+            (variant_json fs fc) (variant_json bs bc) speedup
+            (if i = List.length rows - 1 then "" else ",")
+        )
+        rows;
+      Buffer.add_string buf "  ]\n}\n";
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "appended to %s\n" path
+
 (* Each experiment runs under a [bench.<name>] observability span; with
    IMTP_TRACE=FILE set, the spans (and the engine/search metrics they
    enclose) stream to a JSONL trace readable by `imtp report`. *)
@@ -958,6 +1093,8 @@ let () =
   | [ "--island-scaling" ] -> island_scaling ~out:None ()
   | [ "--island-scaling"; "--out"; path ] ->
       island_scaling ~out:(Some path) ()
+  | [ "--graph" ] -> graph_pipeline ~out:None ()
+  | [ "--graph"; "--out"; path ] -> graph_pipeline ~out:(Some path) ()
   | names ->
       List.iter
         (fun name ->

@@ -5,6 +5,9 @@
      lower   <op> <sizes..>   print the lowered host+kernel TIR
      run     <op> <sizes..>   compile, execute, validate, and time
      tune    <op> <sizes..>   autotune and report the best schedule
+     graph   <net> <sizes..>  fuse/tune/link a whole-model graph, execute
+                              and validate it (--baseline for the per-op
+                              comparison)
      baseline <op> <sizes..>  measure PrIM / PrIM(E) / PrIM+search / SimplePIM
      report  <trace>          summarize an observability trace (--trace)
      serve   --socket PATH    tuning-as-a-service daemon (docs/PROTOCOL.md)
@@ -299,6 +302,168 @@ let tune_cmd =
       $ jobs_arg $ islands_arg $ measure_ratio_arg $ no_cost_model_arg
       $ log_arg $ verbose_arg $ trace_arg)
 
+(* --- graph ----------------------------------------------------------- *)
+
+let graph_cmd =
+  let doc =
+    "Compile a whole-model graph: fuse elementwise epilogues into their \
+     producers, tune the distinct fused ops jointly under one shared \
+     engine, keep compatible intermediates resident in MRAM, link one \
+     combined program, execute it and validate every materialized \
+     output against the reference chain."
+  in
+  let net_conv =
+    let parse s =
+      if List.mem s Imtp.Nets.all_names then Ok s
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "unknown net %s (expected one of: %s)" s
+               (String.concat ", " Imtp.Nets.all_names)))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let net_arg =
+    Arg.(
+      required
+      & pos 0 (some net_conv) None
+      & info [] ~docv:"NET"
+          ~doc:"Model name: mlp (sizes d_in d_hidden d_out) or attention \
+                (sizes heads tokens dim).")
+  in
+  let net_sizes_arg =
+    Arg.(
+      value
+      & pos_right 0 int []
+      & info [] ~docv:"SIZES"
+          ~doc:"Optional dimension overrides, e.g. 'mlp 256 256 128'.")
+  in
+  let graph_trials_arg =
+    Arg.(
+      value & opt int 96
+      & info [ "trials" ]
+          ~doc:
+            "Joint tuning budget, split across the graph's distinct \
+             (structurally deduplicated) fused ops.")
+  in
+  let no_fuse_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fuse" ] ~doc:"Disable epilogue fusion (one kernel per node).")
+  in
+  let no_resident_arg =
+    Arg.(
+      value & flag
+      & info [ "no-resident" ]
+          ~doc:"Disable MRAM residency planning (host round-trip between \
+                every pair of nodes).")
+  in
+  let graph_baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:
+            "Also compile the per-op baseline (no fusion, no residency) \
+             on the same engine and report the modeled-latency and \
+             host-transfer comparison.")
+  in
+  let graph_cmd_run name sizes trials seed dpus jobs islands measure_ratio
+      no_cost_model no_fuse no_resident baseline verbose trace =
+    setup_logging verbose;
+    apply_jobs jobs;
+    with_trace trace @@ fun () ->
+    let sizes = match sizes with [] -> None | s -> Some s in
+    let spec = Imtp.Nets.by_name ?sizes name in
+    let g, ids = Imtp.Graph.of_spec spec in
+    let config = machine dpus in
+    let measure_ratio = if no_cost_model then None else Some measure_ratio in
+    let engine = Imtp.Engine.create config in
+    let compile ~fuse ~resident =
+      Imtp.Graph.Compiled.compile ~trials ~seed ?jobs ?islands ?measure_ratio
+        ~fuse ~resident ~engine config g
+    in
+    let transfers outs_counters =
+      let _, (c : Imtp.Eval.counters) = outs_counters in
+      (c.Imtp.Eval.xfer_elems_h2d, c.Imtp.Eval.xfer_elems_d2h)
+    in
+    match compile ~fuse:(not no_fuse) ~resident:(not no_resident) with
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        exit 1
+    | Ok c ->
+        Format.printf "net:    %s (%d nodes, %d fused away, %d resident \
+                       edges)@."
+          spec.Imtp.Nets.sname (Imtp.Graph.node_count g)
+          (Imtp.Graph.Compiled.fused_count c)
+          (Imtp.Graph.Compiled.resident_count c);
+        List.iter
+          (fun line -> Format.printf "  %s@." line)
+          (Imtp.Graph.Compiled.describe c);
+        Format.printf "per-node estimates:@.";
+        List.iter
+          (fun (key, stats) ->
+            Format.printf "  %-24s %a@." key Imtp.Stats.pp stats)
+          (Imtp.Graph.Compiled.node_stats c);
+        let total = Imtp.Graph.Compiled.estimate c in
+        Format.printf "combined: %a@." Imtp.Stats.pp total;
+        let inputs = Imtp.Nets.random_inputs spec in
+        let outs, counters = Imtp.Graph.Compiled.run_counted c ~inputs in
+        let refs = Imtp.Nets.reference spec ~inputs in
+        let checked = ref 0 and bad = ref 0 in
+        List.iter
+          (fun (id, want) ->
+            let gname = Imtp.Graph.tid_name (List.assoc id ids) in
+            match List.assoc_opt gname outs with
+            | None -> ()
+            | Some got ->
+                incr checked;
+                if Imtp.Tensor.to_value_list got
+                   <> Imtp.Tensor.to_value_list want
+                then begin
+                  incr bad;
+                  Format.eprintf "MISMATCH at %s (%s)@." id gname
+                end)
+          refs;
+        Format.printf "result: %s (%d materialized outputs checked)@."
+          (if !bad = 0 then "VALID" else "MISMATCH")
+          !checked;
+        Format.printf
+          "executed transfers: %d elems host->DPU, %d elems DPU->host@."
+          counters.Imtp.Eval.xfer_elems_h2d counters.Imtp.Eval.xfer_elems_d2h;
+        let cache = Imtp.Engine.counters engine in
+        Format.printf "engine: %d programs built, %d cache hits@."
+          cache.Imtp.Engine.built cache.Imtp.Engine.hits;
+        if !bad > 0 then exit 1;
+        if baseline then begin
+          match compile ~fuse:false ~resident:false with
+          | Error m ->
+              Format.eprintf "error compiling baseline: %s@." m;
+              exit 1
+          | Ok b ->
+              let btotal = Imtp.Graph.Compiled.estimate b in
+              let bh2d, bd2h =
+                transfers (Imtp.Graph.Compiled.run_counted b ~inputs)
+              in
+              Format.printf "baseline (per-op): %a@." Imtp.Stats.pp btotal;
+              Format.printf
+                "baseline transfers: %d elems host->DPU, %d elems DPU->host@."
+                bh2d bd2h;
+              Format.printf
+                "graph vs per-op: %.2fx modeled latency, %+d h2d elems, \
+                 %+d d2h elems@."
+                (Imtp.Stats.speedup ~baseline:btotal total)
+                (counters.Imtp.Eval.xfer_elems_h2d - bh2d)
+                (counters.Imtp.Eval.xfer_elems_d2h - bd2h)
+        end
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc)
+    Term.(
+      const graph_cmd_run $ net_arg $ net_sizes_arg $ graph_trials_arg
+      $ seed_arg $ dpus_arg $ jobs_arg $ islands_arg $ measure_ratio_arg
+      $ no_cost_model_arg $ no_fuse_arg $ no_resident_arg
+      $ graph_baseline_arg $ verbose_arg $ trace_arg)
+
 (* --- replay ---------------------------------------------------------- *)
 
 let replay_cmd =
@@ -380,10 +545,32 @@ let fuzz_cmd =
       value & flag
       & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
   in
-  let run seed cases case no_shrink jobs verbose trace =
+  let fuzz_graph_arg =
+    Arg.(
+      value & flag
+      & info [ "graph" ]
+          ~doc:
+            "Graph mode: random small dataflow graphs through the graph \
+             compiler (fused + resident and per-op), checked bit-exactly \
+             against the per-op reference chain and across both \
+             executors.  Budget with a smaller $(b,--cases) — each case \
+             compiles and tunes a whole graph twice.")
+  in
+  let run seed cases case no_shrink graph jobs verbose trace =
     setup_logging verbose;
     apply_jobs jobs;
     with_trace trace @@ fun () ->
+    if graph then begin
+      Format.printf "graph fuzzing: seed=%d cases=%d@." seed cases;
+      let progress i =
+        if (i + 1) mod 10 = 0 then
+          Format.printf "  ... %d/%d cases@.%!" (i + 1) cases
+      in
+      let outcome = Imtp.Fuzz_graph.run ~progress ~seed ~cases () in
+      print_string (Imtp.Fuzz_graph.summary ~seed outcome);
+      if outcome.Imtp.Fuzz_graph.failures <> [] then exit 1
+    end
+    else
     match case with
     | Some index -> (
         match Imtp.Fuzz.case_of_seed ~seed ~index with
@@ -422,7 +609,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ fuzz_seed_arg $ cases_arg $ case_arg $ no_shrink_arg
-      $ jobs_arg $ verbose_arg $ trace_arg)
+      $ fuzz_graph_arg $ jobs_arg $ verbose_arg $ trace_arg)
 
 (* --- report ---------------------------------------------------------- *)
 
@@ -683,6 +870,7 @@ let () =
             codegen_cmd;
             run_cmd;
             tune_cmd;
+            graph_cmd;
             replay_cmd;
             baseline_cmd;
             fuzz_cmd;

@@ -223,7 +223,7 @@ let sketch_params (op : Op.t) p =
     }
   in
   match Sk.family_of op with
-  | Sk.Elementwise | Sk.Mat_vec | Sk.Mat_mat -> base
+  | Sk.Elementwise | Sk.Mat_vec | Sk.Mat_mat | Sk.Grid_map -> base
   | Sk.Batched ->
       (* PrIM-style MMTV/TTV distribute DPUs across the flattened outer
          spatial dimensions. *)
@@ -242,7 +242,7 @@ let build ?skip_inputs cfg (op : Op.t) p =
       match Imtp_autotune.Verifier.check cfg prog with
       | Error r -> Error ("verifier: " ^ r.Imtp_autotune.Verifier.reason)
       | Ok () -> Ok prog)
-  | Sk.Elementwise | Sk.Mat_vec | Sk.Batched | Sk.Mat_mat ->
+  | Sk.Elementwise | Sk.Mat_vec | Sk.Batched | Sk.Mat_mat | Sk.Grid_map ->
       Imtp_autotune.Measure.build ~passes:prim_passes ?skip_inputs cfg op
         (sketch_params op p)
 

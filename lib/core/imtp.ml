@@ -23,6 +23,7 @@ module Exec = Imtp_tir.Exec
 module Cost = Imtp_tir.Cost
 module Op = Imtp_workload.Op
 module Ops = Imtp_workload.Ops
+module Nets = Imtp_workload.Nets
 module Gptj = Imtp_workload.Gptj
 module Sched = Imtp_schedule.Sched
 module Lowering = Imtp_lower.Lowering
@@ -52,6 +53,7 @@ module Fuzz_oracle = Imtp_fuzz.Oracle
 module Fuzz_shrink = Imtp_fuzz.Shrink
 module Gen_workload = Imtp_fuzz.Gen_workload
 module Gen_sched = Imtp_fuzz.Gen_sched
+module Fuzz_graph = Imtp_fuzz.Graph_fuzz
 module Gen_passes = Imtp_fuzz.Gen_passes
 module Graph = Imtp_graph.Graph
 module Hbm_pim = Imtp_hbmpim.Hbm_pim

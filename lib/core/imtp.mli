@@ -49,6 +49,7 @@ module Cost = Imtp_tir.Cost
 (* Workloads, schedules, lowering, passes *)
 module Op = Imtp_workload.Op
 module Ops = Imtp_workload.Ops
+module Nets = Imtp_workload.Nets
 module Gptj = Imtp_workload.Gptj
 module Sched = Imtp_schedule.Sched
 module Lowering = Imtp_lower.Lowering
@@ -86,6 +87,7 @@ module Fuzz_oracle = Imtp_fuzz.Oracle
 module Fuzz_shrink = Imtp_fuzz.Shrink
 module Gen_workload = Imtp_fuzz.Gen_workload
 module Gen_sched = Imtp_fuzz.Gen_sched
+module Fuzz_graph = Imtp_fuzz.Graph_fuzz
 module Gen_passes = Imtp_fuzz.Gen_passes
 
 (* Baselines *)

@@ -125,8 +125,17 @@ let noise_amplitude = 0.02
 let rec elem_key = function
   | Op.Ref t -> "R" ^ t
   | Op.Const v -> "K" ^ Imtp_tensor.Value.to_string v
+  | Op.Acc -> "@"
   | Op.Bin (b, x, y) ->
-      let o = match b with Op.Add -> "+" | Op.Sub -> "-" | Op.Mul -> "*" in
+      let o =
+        match b with
+        | Op.Add -> "+"
+        | Op.Sub -> "-"
+        | Op.Mul -> "*"
+        | Op.Div -> "/"
+        | Op.Min -> "<"
+        | Op.Max -> ">"
+      in
       Printf.sprintf "(%s%s%s)" (elem_key x) o (elem_key y)
 
 let axis_key (a : Op.axis) =
@@ -145,6 +154,9 @@ let op_key (op : Op.t) =
       tensor_key op.Op.output;
       elem_key op.Op.body;
     ]
+  (* Appended only when present so pre-epilogue keys stay unchanged
+     (golden search traces depend on them). *)
+  ^ match op.Op.epilogue with None -> "" | Some e -> ";epi" ^ elem_key e
 
 let params_key (p : Sketch.params) =
   Printf.sprintf "sd%d;rd%d;t%d;c%d;rows%d;u%b;ht%d" p.Sketch.spatial_dpus
@@ -155,6 +167,8 @@ let options_key (o : L.options) =
   Printf.sprintf "bulk%b;par%b;hrt%d;af%b;skip%s" o.L.bulk_transfer
     o.L.parallel_transfer o.L.host_reduce_threads o.L.affine_guards
     (String.concat "," (List.sort String.compare o.L.skip_input_transfer))
+  (* conditional so pre-residency keys stay byte-identical. *)
+  ^ if o.L.skip_output_transfer then ";skipout" else ""
 
 let digest_parts parts = Digest.to_hex (Digest.string (String.concat "|" parts))
 

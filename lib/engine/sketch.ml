@@ -23,7 +23,7 @@ let default_params =
     host_threads = 1;
   }
 
-type family = Elementwise | Tasklet_reduce | Mat_vec | Batched | Mat_mat
+type family = Elementwise | Tasklet_reduce | Mat_vec | Batched | Mat_mat | Grid_map
 
 let family_of (op : Op.t) =
   match
@@ -32,6 +32,7 @@ let family_of (op : Op.t) =
   | 1, 0 -> Elementwise
   | 0, 1 -> Tasklet_reduce
   | 1, 1 -> Mat_vec
+  | 2, 0 -> Grid_map
   | 2, 1 ->
       if
         List.exists
@@ -51,12 +52,14 @@ let ceil_div a b = (a + b - 1) / b
 
 let maybe_unroll s p loop = if p.unroll_inner then S.unroll s loop
 
+(* Only body-referenced inputs get read caches: epilogue-only inputs
+   are staged by the lowering at the write-cache site instead. *)
 let cache_all_inputs s at =
   List.iter
-    (fun (t, _) ->
+    (fun t ->
       let c = S.cache_read s t in
       S.compute_at s c at)
-    (S.op s).Op.inputs
+    (Op.body_refs (S.op s))
 
 let cache_output s at =
   let c = S.cache_write s (fst (S.op s).Op.output) in
@@ -257,9 +260,32 @@ let mat_mat op p =
     | _ -> assert false
   end
 
+(* i -> Block_x; j -> [dpu][thread][chunk][inner]: two spatial axes, no
+   reduction (rowdiv, 2-D scaling) — the outer axis maps whole to the
+   X grid dimension, the inner axis tiles like the elementwise family. *)
+let grid_map op p =
+  let s = S.create op in
+  let i = List.nth (S.order s) 0 and j = List.nth (S.order s) 1 in
+  S.bind s i S.Block_x;
+  let j_dpus = max 1 (p.spatial_dpus / max 1 i.S.extent) in
+  let t_eff, chunk, cache_eff =
+    derive_1d ~n:j.S.extent ~dpus:j_dpus ~tasklets:p.tasklets
+      ~cache_elems:p.cache_elems
+  in
+  match S.split s j ~factors:[ t_eff; chunk; cache_eff ] with
+  | [ j_dpu; j_th; j_chunk; j_in ] ->
+      S.bind s j_dpu S.Block_y;
+      S.bind s j_th S.Thread_x;
+      cache_all_inputs s j_chunk;
+      cache_output s j_chunk;
+      maybe_unroll s p j_in;
+      s
+  | _ -> assert false
+
 let instantiate op p =
   match family_of op with
   | Elementwise -> elementwise op p
+  | Grid_map -> grid_map op p
   | Tasklet_reduce -> tasklet_reduce op p
   | Mat_vec -> mat_vec op p
   | Batched -> batched op p
@@ -340,7 +366,7 @@ let space cfg op =
       sd
   in
   match fam with
-  | Elementwise ->
+  | Elementwise | Grid_map ->
       List.filter (fun p -> p.reduction_dpus = 1) base
   | Tasklet_reduce ->
       (* the rfactor'd reduction split is the only DPU dimension. *)
@@ -366,7 +392,7 @@ let random rng cfg op =
     }
   in
   match fam with
-  | Elementwise -> { p with reduction_dpus = 1; rows_per_tasklet = 1 }
+  | Elementwise | Grid_map -> { p with reduction_dpus = 1; rows_per_tasklet = 1 }
   | Tasklet_reduce ->
       {
         p with
@@ -386,7 +412,7 @@ let mutate rng cfg op p =
      DPU count within the same family. *)
   let fields =
     match fam with
-    | Elementwise -> [ `Sd; `T; `C; `U; `H ]
+    | Elementwise | Grid_map -> [ `Sd; `T; `C; `U; `H ]
     | Tasklet_reduce -> [ `Sd; `Rd; `T; `C; `U ]
     | Mat_vec | Mat_mat ->
         if uses_rfactor p then [ `Sd; `Rd; `T; `C; `U; `H ]

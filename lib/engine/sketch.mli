@@ -37,9 +37,12 @@ type family =
   | Mat_mat  (** two spatial + one reduction axis over rank-2 inputs
                  (GEMM) — an extension family beyond the paper's
                  evaluation. *)
+  | Grid_map  (** two spatial axes, no reduction (rowdiv, 2-D scaling):
+                  outer axis on the X grid dimension, inner axis tiled
+                  like {!Elementwise} along Y. *)
 
 val family_of : Imtp_workload.Op.t -> family
-(** @raise Invalid_argument for iteration domains outside the four
+(** @raise Invalid_argument for iteration domains outside the
     supported families. *)
 
 val instantiate : Imtp_workload.Op.t -> params -> Imtp_schedule.Sched.t

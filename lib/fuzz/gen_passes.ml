@@ -12,6 +12,7 @@ let random_options rng =
     parallel_transfer = Rng.bool rng;
     host_reduce_threads = Rng.pick rng [ 1; 1; 2; 4 ];
     skip_input_transfer = [];
+    skip_output_transfer = false;
     affine_guards = Rng.bool rng;
   }
 

@@ -47,7 +47,7 @@ let rec random_elem rng depth =
 
 let rec refs_input = function
   | Op.Ref _ -> true
-  | Op.Const _ -> false
+  | Op.Const _ | Op.Acc -> false
   | Op.Bin (_, a, b) -> refs_input a || refs_input b
 
 let random_body rng =
@@ -121,8 +121,17 @@ let kind_name = function
 let rec elem_str = function
   | Op.Ref t -> t
   | Op.Const v -> Imtp_tensor.Value.to_string v
+  | Op.Acc -> "@acc"
   | Op.Bin (o, a, b) ->
-      let os = match o with Op.Add -> "+" | Op.Sub -> "-" | Op.Mul -> "*" in
+      let os =
+        match o with
+        | Op.Add -> "+"
+        | Op.Sub -> "-"
+        | Op.Mul -> "*"
+        | Op.Div -> "//"
+        | Op.Min -> "min"
+        | Op.Max -> "max"
+      in
       Printf.sprintf "(%s %s %s)" (elem_str a) os (elem_str b)
 
 let describe t =

@@ -1,0 +1,45 @@
+(** Graph mode for the differential fuzzer.
+
+    Each case draws a small random dataflow graph — chains of
+    elementwise ops with matrix-vector transitions, odd extents, and
+    deliberate fan-out that must block fusion — compiles it through
+    the graph compiler twice (fused + MRAM-resident, and per-op), and
+    demands
+
+    - every node of the unfused variant bit-identical to the per-op
+      reference chain ({!Imtp_workload.Nets.reference}),
+    - every materialized output of the fused variant bit-identical to
+      the same reference, and
+    - the interpreter and the compiled executor in agreement
+      buffer-by-buffer (outputs and counters) on the fused combined
+      program.
+
+    Cases are fully determined by [(seed, index)] — a failure
+    reproduces from the campaign seed alone.  Graphs the compiler
+    refuses at the tiny per-case trial budget are counted as rejected,
+    never as failures. *)
+
+type outcome = {
+  cases : int;
+  rejected : int;  (** cases the compiler refused (no valid candidate). *)
+  fused_total : int;  (** nodes fused away, summed over the campaign. *)
+  resident_total : int;  (** resident edges, summed over the campaign. *)
+  failures : (int * string) list;  (** (case index, diagnosis). *)
+}
+
+val spec_of_seed : seed:int -> index:int -> Imtp_workload.Nets.t
+(** The spec a campaign with [seed] checks at [index]. *)
+
+val run :
+  ?trials:int ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  outcome
+(** Run a campaign of [cases] graph cases ([trials] defaults to 12 per
+    case, split across each graph's distinct ops; island count is
+    pinned to 1 so outcomes do not depend on the host's core count). *)
+
+val summary : seed:int -> outcome -> string
+(** One-line campaign summary plus a reproducer line per failure. *)

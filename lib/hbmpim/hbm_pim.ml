@@ -136,12 +136,10 @@ let rec eval_elem (op : Op.t) inputs point (e : Op.elem) =
       let dims = List.assoc name op.Op.inputs in
       let idx = Array.of_list (List.map (fun d -> List.assoc d point) dims) in
       T.Tensor.get (find_input inputs name) idx
-  | Op.Bin (b, x, y) -> (
+  | Op.Acc -> raise (Exec_error "epilogue Acc outside a fused graph kernel")
+  | Op.Bin (b, x, y) ->
       let vx = eval_elem op inputs point x and vy = eval_elem op inputs point y in
-      match b with
-      | Op.Add -> T.Value.add vx vy
-      | Op.Sub -> T.Value.sub vx vy
-      | Op.Mul -> T.Value.mul vx vy)
+      Op.value_bin b vx vy
 
 let execute p inputs =
   let op = p.op in

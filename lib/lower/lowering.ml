@@ -16,6 +16,11 @@ type options = {
   parallel_transfer : bool;
   host_reduce_threads : int;
   skip_input_transfer : string list;
+  skip_output_transfer : bool;
+      (* Omit the device-to-host gather of the output: the graph
+         compiler's MRAM-residency path, where a consumer kernel in the
+         same combined program reads the tile in place.  Ignored for
+         rfactor schedules (partials must reach the host). *)
   affine_guards : bool;
       (* Boundary-check elimination at the source: clamp partial-tile
          loop extents and consult the affine bound context at every
@@ -30,6 +35,7 @@ let default_options =
     parallel_transfer = true;
     host_reduce_threads = 1;
     skip_input_transfer = [];
+    skip_output_transfer = false;
     affine_guards = false;
   }
 
@@ -118,6 +124,19 @@ let thread_reduction ctx =
   match S.thread_loop ctx.sched with
   | Some l -> (Op.axis ctx.op l.S.axis).Op.kind = Op.Reduction
   | None -> false
+
+let hierarchical ctx = S.rfactor_loop ctx.sched <> None
+
+(* The epilogue runs inside the kernel (at the write-cache flush) unless
+   the schedule is hierarchical — rfactor partials only become the full
+   accumulated value on the host — or a tasklet-level reduction, whose
+   combine step applies it instead. *)
+let epi_in_kernel ctx =
+  ctx.op.Op.epilogue <> None
+  && (not (hierarchical ctx))
+  && not (thread_reduction ctx)
+
+let epi_wram_name t = t ^ "_we"
 
 let cache_of ctx t =
   match
@@ -212,7 +231,10 @@ let check_structure ctx =
             t loc.S.lname a)
       (tensor_dims ctx t)
   in
-  List.iter (fun (t, _) -> check_cache t S.Read) ctx.op.Op.inputs;
+  (* Only body-referenced inputs must be read-cached: epilogue-only
+     inputs are staged by dedicated DMAs at the write-cache site, and
+     unreferenced inputs never reach the kernel. *)
+  List.iter (fun t -> check_cache t S.Read) (Op.body_refs ctx.op);
   check_cache (output_name ctx) S.Write;
   (* write cache must enclose all non-block reduction segments. *)
   let wc = cache_of ctx (output_name ctx) in
@@ -271,8 +293,11 @@ let kernel_ctx ctx loc =
       else acc)
     Aff.empty (S.order ctx.sched)
 
-(* Per-element guarded DMA between a cache tile and the MRAM tile. *)
-let cache_dma ctx (dir : St.dma_dir) t loc =
+(* Per-element guarded DMA between a cache tile and the MRAM tile.
+   [wname] overrides the WRAM buffer name (epilogue staging tiles live
+   beside any regular read cache of the same tensor). *)
+let cache_dma ?wname ctx (dir : St.dma_dir) t loc =
+  let wram_buf = match wname with Some w -> w | None -> wram_name t in
   let dims = tensor_dims ctx t in
   let cexts = List.map (cache_dim ctx loc) dims in
   let mexts = List.map (mram_ext ctx) dims in
@@ -337,7 +362,7 @@ let cache_dma ctx (dir : St.dma_dir) t loc =
     St.Dma
       {
         dir;
-        wram = wram_name t;
+        wram = wram_buf;
         wram_off;
         mram = mram_name t;
         mram_off;
@@ -363,17 +388,113 @@ let wram_index ctx t =
     (fun acc a ws -> acc +: (seg_sum (kvar ctx) (deeper_segs ctx loc a) *: ei ws))
     (ei 0) dims wstrides
 
+let bin_to_e = function
+  | Op.Add -> E.Add
+  | Op.Sub -> E.Sub
+  | Op.Mul -> E.Mul
+  | Op.Div -> E.Div
+  | Op.Min -> E.Min
+  | Op.Max -> E.Max
+
+let const_expr v =
+  match v with
+  | Imtp_tensor.Value.Int n -> ei n
+  | Imtp_tensor.Value.Float f -> E.float f
+
 let rec elem_expr ctx (e : Op.elem) : E.t =
   match e with
-  | Op.Const v -> (
-      match v with
-      | Imtp_tensor.Value.Int n -> ei n
-      | Imtp_tensor.Value.Float f -> E.float f)
+  | Op.Const v -> const_expr v
+  | Op.Acc -> err "Acc is only valid in an epilogue"
   | Op.Ref t -> E.load (wram_name t) (wram_index ctx t)
   | Op.Bin (op, a, b) ->
       let x = elem_expr ctx a and y = elem_expr ctx b in
-      let o = match op with Op.Add -> E.Add | Op.Sub -> E.Sub | Op.Mul -> E.Mul in
-      E.Binop (o, x, y)
+      E.Binop (bin_to_e op, x, y)
+
+(* Epilogue expression: [acc] is the fully accumulated output value at
+   the current point; [ref_of] resolves an input reference to a load. *)
+let rec epi_expr ~acc ~ref_of (e : Op.elem) : E.t =
+  match e with
+  | Op.Const v -> const_expr v
+  | Op.Acc -> acc
+  | Op.Ref t -> ref_of t
+  | Op.Bin (op, a, b) ->
+      E.Binop (bin_to_e op, epi_expr ~acc ~ref_of a, epi_expr ~acc ~ref_of b)
+
+(* In-kernel epilogue: a loop nest over the write-cache tile applying
+   the epilogue to each output element right before the tile is flushed
+   to MRAM.  Guarded exactly like the flush DMA so padding elements of
+   partial tiles are never touched (they may hold poison, and [Div]
+   must not see a garbage denominator). *)
+let epilogue_kernel_stmt ctx (e : Op.elem) (wloc : S.loop) =
+  let out = output_name ctx in
+  let out_dims = tensor_dims ctx out in
+  let cexts = List.map (cache_dim ctx wloc) out_dims in
+  let wstrides = strides_of cexts in
+  let rvars = List.map (fun a -> V.fresh ("e" ^ a)) out_dims in
+  let rv_of a =
+    let rec go ds rs =
+      match (ds, rs) with
+      | d :: _, r :: _ when String.equal d a -> r
+      | _ :: ds', _ :: rs' -> go ds' rs'
+      | _, _ -> assert false
+    in
+    go out_dims rvars
+  in
+  let fixed_global a =
+    seg_sum (kvar ctx)
+      (List.filter (fun l -> pos ctx l <= pos ctx wloc) (segs ctx a))
+  in
+  let woff =
+    List.fold_left2
+      (fun acc a ws -> acc +: (E.var (rv_of a) *: ei ws))
+      (ei 0) out_dims wstrides
+  in
+  let ref_of t =
+    let tdims = tensor_dims ctx t in
+    let tcexts = List.map (cache_dim ctx wloc) tdims in
+    let tstrides = strides_of tcexts in
+    let off =
+      List.fold_left2
+        (fun acc a ts -> acc +: (E.var (rv_of a) *: ei ts))
+        (ei 0) tdims tstrides
+    in
+    E.load (epi_wram_name t) off
+  in
+  let acc = E.load (wram_name out) woff in
+  let stored = St.store (wram_name out) woff (epi_expr ~acc ~ref_of e) in
+  let guard_axes = misaligned_axes ctx out_dims in
+  let guards =
+    List.map
+      (fun a -> fixed_global a +: E.var (rv_of a) <: ei (axis_extent ctx a))
+      guard_axes
+  in
+  let ext_exprs =
+    List.map2
+      (fun a ce ->
+        if ctx.opts.affine_guards && misaligned ctx a then
+          E.min_e (ei ce) (ei (axis_extent ctx a) -: fixed_global a)
+        else ei ce)
+      out_dims cexts
+  in
+  let guards =
+    if ctx.opts.affine_guards then begin
+      let actx =
+        List.fold_left2
+          (fun acc rv ext -> Aff.assume_loop acc rv ext)
+          (kernel_ctx ctx wloc) rvars ext_exprs
+      in
+      List.filter (fun g -> not (Aff.prove actx g)) guards
+    end
+    else guards
+  in
+  let guarded =
+    match guards with
+    | [] -> stored
+    | gs -> St.if_ (Imtp_tir.Analysis.conjoin gs) stored
+  in
+  List.fold_right2
+    (fun rv ext body -> St.for_ rv ext body)
+    rvars ext_exprs guarded
 
 let compute_stmt ctx =
   let out = output_name ctx in
@@ -407,11 +528,12 @@ let compute_stmt ctx =
   | [] -> stored
   | gs -> St.if_ (Imtp_tir.Analysis.conjoin gs) stored
 
-let wram_buffer ctx t loc =
+let wram_buffer ?wname ctx t loc =
   let elems =
     List.fold_left (fun acc a -> acc * cache_dim ctx loc a) 1 (tensor_dims ctx t)
   in
-  B.create (wram_name t) ctx.op.Op.dtype ~elems:(max 1 elems) B.Wram
+  let name = match wname with Some w -> w | None -> wram_name t in
+  B.create name ctx.op.Op.dtype ~elems:(max 1 elems) B.Wram
 
 let init_write_cache ctx (buf : B.t) =
   if Op.has_reduction ctx.op then begin
@@ -430,6 +552,13 @@ let wrap_caches ctx (l : S.loop) inner =
   in
   let reads = List.filter (fun (c : S.cache) -> c.S.rw = S.Read) here in
   let writes = List.filter (fun (c : S.cache) -> c.S.rw = S.Write) here in
+  (* Epilogue machinery attaches to the write-cache site: stage each
+     epilogue-referenced input into its own WRAM tile, apply the
+     epilogue in place, then let the regular flush DMA run. *)
+  let epi =
+    if epi_in_kernel ctx && writes <> [] then ctx.op.Op.epilogue else None
+  in
+  let epi_reads = match epi with Some _ -> Op.epilogue_refs ctx.op | None -> [] in
   let body =
     St.seq
       (List.map (fun (c : S.cache) -> cache_dma ctx St.Mram_to_wram c.S.tensor l) reads
@@ -437,10 +566,22 @@ let wrap_caches ctx (l : S.loop) inner =
           (fun (c : S.cache) ->
             [ init_write_cache ctx (wram_buffer ctx c.S.tensor l) ])
           writes
+      @ List.map
+          (fun t -> cache_dma ~wname:(epi_wram_name t) ctx St.Mram_to_wram t l)
+          epi_reads
       @ [ inner ]
+      @ (match epi with
+        | Some e -> [ epilogue_kernel_stmt ctx e l ]
+        | None -> [])
       @ List.map
           (fun (c : S.cache) -> cache_dma ctx St.Wram_to_mram c.S.tensor l)
           writes)
+  in
+  let body =
+    List.fold_right
+      (fun t acc ->
+        St.Alloc { buffer = wram_buffer ~wname:(epi_wram_name t) ctx t l; body = acc })
+      epi_reads body
   in
   List.fold_right
     (fun (c : S.cache) acc -> St.Alloc { buffer = wram_buffer ctx c.S.tensor l; body = acc })
@@ -514,16 +655,34 @@ let emit_thread_reduction ctx (thr : S.loop) rest =
       }
   in
   let t = V.fresh "t" in
+  (* Scalar epilogue (no spatial axes, so no input refs are possible):
+     applied by tasklet 0 once the partials are combined.  Hierarchical
+     schedules defer it to the host's final reduction instead. *)
+  let epi_store =
+    match ctx.op.Op.epilogue with
+    | Some e when not (hierarchical ctx) ->
+        [
+          St.store partials.B.name (ei 0)
+            (epi_expr
+               ~acc:(E.load partials.B.name (ei 0))
+               ~ref_of:(fun t -> err "epilogue input %s in a scalar reduction" t)
+               e);
+        ]
+    | Some _ | None -> []
+  in
   let combine =
     St.seq
-      [
-        St.Barrier;
-        St.for_ t
-          (ei (thr.S.extent - 1))
-          (St.store partials.B.name (ei 0)
-             (E.load partials.B.name (ei 0)
-             +: E.load partials.B.name (E.var t +: ei 1)));
-        St.Dma
+      ([
+         St.Barrier;
+         St.for_ t
+           (ei (thr.S.extent - 1))
+           (St.store partials.B.name (ei 0)
+              (E.load partials.B.name (ei 0)
+              +: E.load partials.B.name (E.var t +: ei 1)));
+       ]
+      @ epi_store
+      @ [
+          St.Dma
           {
             dir = St.Wram_to_mram;
             wram = partials.B.name;
@@ -532,7 +691,7 @@ let emit_thread_reduction ctx (thr : S.loop) rest =
             mram_off = ei 0;
             elems = ei 1;
           };
-      ]
+        ])
   in
   St.Alloc
     {
@@ -794,20 +953,53 @@ let final_reduction ctx =
           (ei 0) qvars mstrides
       in
       let p_idx = (dpu_expr ctx (hvar ctx) *: ei tile) +: local_idx in
+      (* Hierarchical epilogue: the host sees the full accumulated value
+         only here, so apply it after the rfactor sum, reading epilogue
+         inputs straight from their host buffers. *)
+      let epi_store =
+        match ctx.op.Op.epilogue with
+        | None -> []
+        | Some e ->
+            let rv_of_dim a =
+              let rec go ds qs =
+                match (ds, qs) with
+                | d :: _, q :: _ when String.equal d a -> q
+                | _ :: ds', _ :: qs' -> go ds' qs'
+                | _, _ -> err "epilogue input dim %s not an output dim" a
+              in
+              go out_dims qvars
+            in
+            let ref_of t =
+              let tdims = tensor_dims ctx t in
+              let thexts = List.map (axis_extent ctx) tdims in
+              let tstrides = strides_of thexts in
+              let off =
+                List.fold_left2
+                  (fun acc a hs -> acc +: (idx_of a (rv_of_dim a) *: ei hs))
+                  (ei 0) tdims tstrides
+              in
+              E.load t off
+            in
+            [
+              St.store out host_idx
+                (epi_expr ~acc:(E.load out host_idx) ~ref_of e);
+            ]
+      in
       let body =
         St.seq
-          [
-            St.store out host_idx (ei 0);
-            St.For
-              {
-                var = hvar ctx rf;
-                extent = ei rf.S.extent;
-                kind = St.Serial;
-                body =
-                  St.store out host_idx
-                    (E.load out host_idx +: E.load partial_buffer_name p_idx);
-              };
-          ]
+          ([
+             St.store out host_idx (ei 0);
+             St.For
+               {
+                 var = hvar ctx rf;
+                 extent = ei rf.S.extent;
+                 kind = St.Serial;
+                 body =
+                   St.store out host_idx
+                     (E.load out host_idx +: E.load partial_buffer_name p_idx);
+               };
+           ]
+          @ epi_store)
       in
       let guards =
         List.filter_map
@@ -910,15 +1102,28 @@ let lower ?(options = default_options) sched =
   let kernel = emit_kernel ctx in
   let hierarchical = S.rfactor_loop sched <> None in
   let grid = S.grid_dpus sched in
+  (* Inputs reach the DPUs when the schedule read-caches them (body
+     inputs) or the in-kernel epilogue stages them; anything else stays
+     a host-only buffer. *)
+  let cached t =
+    List.exists
+      (fun (c : S.cache) -> c.S.rw = S.Read && String.equal c.S.tensor t)
+      (S.caches sched)
+  in
+  let kernel_input t =
+    cached t || (epi_in_kernel ctx && List.mem t (Op.epilogue_refs ctx.op))
+  in
   let h2d =
     List.filter_map
       (fun (t, _) ->
-        if List.mem t options.skip_input_transfer then None
+        if (not (kernel_input t)) || List.mem t options.skip_input_transfer then
+          None
         else Some (tensor_xfer ctx St.To_dpu t ~into_partial:false))
       ctx.op.Op.inputs
   in
   let d2h =
     if hierarchical then tensor_xfer ctx St.From_dpu out ~into_partial:true
+    else if options.skip_output_transfer then St.Nop
     else tensor_xfer ctx St.From_dpu out ~into_partial:false
   in
   let host =
@@ -939,9 +1144,13 @@ let lower ?(options = default_options) sched =
     else []
   in
   let mram_buffers =
-    List.map
+    List.filter_map
       (fun (t, _) ->
-        B.create (mram_name t) ctx.op.Op.dtype ~elems:(mram_tile_elems ctx t) B.Mram)
+        if not (kernel_input t) then None
+        else
+          Some
+            (B.create (mram_name t) ctx.op.Op.dtype
+               ~elems:(mram_tile_elems ctx t) B.Mram))
       ctx.op.Op.inputs
     @ [
         B.create (mram_name out) ctx.op.Op.dtype ~elems:(mram_tile_elems ctx out)

@@ -35,6 +35,12 @@ type options = {
   skip_input_transfer : string list;
       (** inputs resident in MRAM across launches (§5.4 weight reuse):
           their H2D transfer is omitted. *)
+  skip_output_transfer : bool;
+      (** omit the device-to-host gather of the output: the graph
+          compiler's MRAM-residency path, where the consumer kernel of
+          the same combined program reads the producer's tile in place.
+          Ignored for rfactor schedules (partials must reach the
+          host). *)
   affine_guards : bool;
       (** boundary-check elimination at the source: partial-tile copy
           and host-transfer loops are clamped to the remaining axis

@@ -1,0 +1,115 @@
+module T = Imtp_tensor
+
+type node = { id : string; op : Op.t; args : (string * string) list }
+
+type t = {
+  sname : string;
+  inputs : (string * int list) list;
+  nodes : node list;
+}
+
+let sp name extent = { Op.aname = name; extent; kind = Op.Spatial }
+
+(* 2-D scaling C(i,j) = c·A(i,j): the attention score scaling that
+   rides on the batched QK^T output (Ops.scale is the 1-D variant). *)
+let scale2d ?(dtype = T.Dtype.I32) ~c b n =
+  Op.create ~name:"scale2d" ~dtype
+    ~axes:[ sp "i" b; sp "j" n ]
+    ~inputs:[ ("A", [ "i"; "j" ]) ]
+    ~output:("C", [ "i"; "j" ])
+    ~body:(Op.Bin (Op.Mul, Op.Const (T.Value.Int c), Op.Ref "A"))
+
+let mlp ?(d_in = 256) ?(d_hidden = 256) ?(d_out = 128) () =
+  {
+    sname = Printf.sprintf "mlp_%dx%dx%d" d_in d_hidden d_out;
+    inputs =
+      [
+        ("x", [ d_in ]);
+        ("W1", [ d_hidden; d_in ]);
+        ("b1", [ d_hidden ]);
+        ("W2", [ d_out; d_hidden ]);
+        ("b2", [ d_out ]);
+      ];
+    nodes =
+      [
+        { id = "h1"; op = Ops.mtv d_hidden d_in; args = [ ("A", "W1"); ("B", "x") ] };
+        { id = "h1b"; op = Ops.va d_hidden; args = [ ("A", "h1"); ("B", "b1") ] };
+        { id = "a1"; op = Ops.relu d_hidden; args = [ ("A", "h1b") ] };
+        { id = "h2"; op = Ops.mtv d_out d_hidden; args = [ ("A", "W2"); ("B", "a1") ] };
+        { id = "out"; op = Ops.va d_out; args = [ ("A", "h2"); ("B", "b2") ] };
+      ];
+  }
+
+(* Decode-style attention block over [heads] heads of [dim] channels
+   against [tokens] cached keys/values (GPT-J layout, §6): per head
+   s = K·q scaled, normalized with an integer softmax surrogate
+   (rowsum + rowdiv), then out = V^T·p.  Every op keeps the head axis
+   outermost, so the whole chain admits a head-partitioned resident
+   configuration. *)
+let attention ?(heads = 16) ?(tokens = 64) ?(dim = 32) () =
+  {
+    sname = Printf.sprintf "attention_h%d_t%d_d%d" heads tokens dim;
+    inputs =
+      [
+        ("K", [ heads; tokens; dim ]);
+        ("q", [ heads; dim ]);
+        ("Vt", [ heads; dim; tokens ]);
+      ];
+    nodes =
+      [
+        { id = "s"; op = Ops.mmtv heads tokens dim; args = [ ("A", "K"); ("B", "q") ] };
+        { id = "ss"; op = scale2d ~c:2 heads tokens; args = [ ("A", "s") ] };
+        { id = "r"; op = Ops.rowsum heads tokens; args = [ ("A", "ss") ] };
+        { id = "p"; op = Ops.rowdiv heads tokens; args = [ ("A", "ss"); ("R", "r") ] };
+        { id = "out"; op = Ops.mmtv heads dim tokens; args = [ ("A", "Vt"); ("B", "p") ] };
+      ];
+  }
+
+let by_name ?sizes name =
+  match (name, sizes) with
+  | "mlp", None -> mlp ()
+  | "mlp", Some [ i; h; o ] -> mlp ~d_in:i ~d_hidden:h ~d_out:o ()
+  | "attention", None -> attention ()
+  | "attention", Some [ h; t; d ] -> attention ~heads:h ~tokens:t ~dim:d ()
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Nets.by_name: unknown net %s or wrong arity" name)
+
+let all_names = [ "mlp"; "attention" ]
+
+let random_inputs ?(seed = 7) t =
+  List.mapi
+    (fun i (name, shape) ->
+      (* Non-negative values keep rowdiv's denominator positive and
+         integer reductions overflow-free at these sizes. *)
+      let tensor =
+        T.Tensor.init T.Dtype.I32 (T.Shape.create shape) (fun idx ->
+            let h = ref (seed + (31 * i)) in
+            Array.iter (fun d -> h := (!h * 131) + d) idx;
+            T.Value.Int (abs !h mod 9))
+      in
+      (name, tensor))
+    t.inputs
+
+(* Golden chain evaluation: run every node's {!Op.reference} in order,
+   feeding node outputs forward by id. *)
+let reference t ~inputs =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (n, x) -> Hashtbl.replace env n x) inputs;
+  List.map
+    (fun nd ->
+      let args =
+        List.map
+          (fun (formal, actual) ->
+            match Hashtbl.find_opt env actual with
+            | Some x -> (formal, x)
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Nets.reference: %s: unbound ref %s" nd.id
+                     actual))
+          nd.args
+      in
+      let out = Op.reference nd.op args in
+      Hashtbl.replace env nd.id out;
+      (nd.id, out))
+    t.nodes

@@ -1,0 +1,50 @@
+(** Whole-model workload specs: named DAGs of {!Op.t} nodes used by the
+    graph compiler's end-to-end scenarios (MLP forward pass, transformer
+    attention block).  A spec is pure data — node ids, op definitions
+    and argument wiring — so it can be turned into an
+    [Imtp_graph.Graph.t] or evaluated directly against the golden
+    references. *)
+
+type node = {
+  id : string;  (** unique node id; also the name of its output. *)
+  op : Op.t;
+  args : (string * string) list;
+      (** op-input name → graph-input name or earlier node id. *)
+}
+
+type t = {
+  sname : string;
+  inputs : (string * int list) list;  (** graph inputs and shapes. *)
+  nodes : node list;  (** topological order. *)
+}
+
+val scale2d : ?dtype:Imtp_tensor.Dtype.t -> c:int -> int -> int -> Op.t
+(** [scale2d ~c b n]: C(i,j) = c·A(i,j). *)
+
+val mlp : ?d_in:int -> ?d_hidden:int -> ?d_out:int -> unit -> t
+(** Two-layer MLP forward pass: x → W1·x + b1 → relu → W2·(..) + b2.
+    The bias adds and the ReLU are elementwise consumers of reduction
+    producers — the graph compiler's epilogue-fusion targets. *)
+
+val attention : ?heads:int -> ?tokens:int -> ?dim:int -> unit -> t
+(** Decode-style attention block: s = K·q (scaled), integer softmax
+    surrogate p = s // (rowsum(s)+1), out = V^T·p.  Every op keeps the
+    head axis outermost, so the chain admits a fully MRAM-resident
+    head-partitioned configuration. *)
+
+val by_name : ?sizes:int list -> string -> t
+(** ["mlp"] (sizes [d_in; d_hidden; d_out]) or ["attention"] (sizes
+    [heads; tokens; dim]).  @raise Invalid_argument otherwise. *)
+
+val all_names : string list
+
+val random_inputs :
+  ?seed:int -> t -> (string * Imtp_tensor.Tensor.t) list
+(** Deterministic small non-negative inputs (rowdiv-safe). *)
+
+val reference :
+  t ->
+  inputs:(string * Imtp_tensor.Tensor.t) list ->
+  (string * Imtp_tensor.Tensor.t) list
+(** Golden chain evaluation: every node's {!Op.reference} run in spec
+    order, returning each node's output by id. *)

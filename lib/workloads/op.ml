@@ -2,8 +2,9 @@ module T = Imtp_tensor
 
 type axis_kind = Spatial | Reduction
 type axis = { aname : string; extent : int; kind : axis_kind }
-type elem = Ref of string | Const of T.Value.t | Bin of bin * elem * elem
-and bin = Add | Sub | Mul
+
+type elem = Ref of string | Const of T.Value.t | Acc | Bin of bin * elem * elem
+and bin = Add | Sub | Mul | Div | Min | Max
 
 type t = {
   opname : string;
@@ -12,6 +13,7 @@ type t = {
   inputs : (string * string list) list;
   output : string * string list;
   body : elem;
+  epilogue : elem option;
 }
 
 let axis t name =
@@ -21,11 +23,25 @@ let axis t name =
 
 let rec elem_refs = function
   | Ref n -> [ n ]
-  | Const _ -> []
+  | Const _ | Acc -> []
   | Bin (_, a, b) -> elem_refs a @ elem_refs b
 
+let rec elem_has_acc = function
+  | Acc -> true
+  | Ref _ | Const _ -> false
+  | Bin (_, a, b) -> elem_has_acc a || elem_has_acc b
+
+let dedup names =
+  List.rev
+    (List.fold_left (fun acc n -> if List.mem n acc then acc else n :: acc) [] names)
+
+let body_refs t = dedup (elem_refs t.body)
+
+let epilogue_refs t =
+  match t.epilogue with None -> [] | Some e -> dedup (elem_refs e)
+
 let create ~name ~dtype ~axes ~inputs ~output ~body =
-  let t = { opname = name; dtype; axes; inputs; output; body } in
+  let t = { opname = name; dtype; axes; inputs; output; body; epilogue = None } in
   let seen = Hashtbl.create 8 in
   List.iter
     (fun a ->
@@ -46,12 +62,34 @@ let create ~name ~dtype ~axes ~inputs ~output ~body =
       if a.kind = Reduction then
         invalid_arg "Op.create: output indexed by a reduction axis")
     out_dims;
+  if elem_has_acc t.body then
+    invalid_arg "Op.create: Acc is only meaningful inside an epilogue";
   List.iter
     (fun r ->
       if not (List.mem_assoc r inputs) then
         invalid_arg (Printf.sprintf "Op.create: body references unknown input %s" r))
     (elem_refs body);
   t
+
+let with_epilogue t e =
+  let out_dims = snd t.output in
+  List.iter
+    (fun r ->
+      match List.assoc_opt r t.inputs with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Op.with_epilogue: epilogue references unknown input %s" r)
+      | Some dims ->
+          List.iter
+            (fun d ->
+              if not (List.mem d out_dims) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Op.with_epilogue: epilogue input %s indexed by non-output axis %s"
+                     r d))
+            dims)
+    (elem_refs e);
+  { t with epilogue = Some e }
 
 let spatial_axes t = List.filter (fun a -> a.kind = Spatial) t.axes
 let reduction_axes t = List.filter (fun a -> a.kind = Reduction) t.axes
@@ -68,6 +106,24 @@ let output_elems t = List.fold_left ( * ) 1 (output_shape t)
 let total_flops t =
   List.fold_left (fun acc a -> acc *. float_of_int a.extent) 1. t.axes
 
+(* Match the TIR evaluator's [Binop Div]/[Min]/[Max] semantics so the
+   golden reference and lowered kernels agree bit-for-bit: integer
+   division is floor division (Simplify.fold_binop), floats divide
+   exactly. *)
+let value_bin op x y =
+  match op with
+  | Add -> T.Value.add x y
+  | Sub -> T.Value.sub x y
+  | Mul -> T.Value.mul x y
+  | Min -> T.Value.min_v x y
+  | Max -> T.Value.max_v x y
+  | Div -> (
+      match (x, y) with
+      | T.Value.Int a, T.Value.Int b when b <> 0 ->
+          let q = a / b and r = a mod b in
+          T.Value.Int (if r <> 0 && r < 0 <> (b < 0) then q - 1 else q)
+      | _ -> T.Value.div x y)
+
 let reference t inputs =
   let find name =
     match List.assoc_opt name inputs with
@@ -79,18 +135,18 @@ let reference t inputs =
   in
   let out = T.Tensor.create t.dtype out_shape in
   let point = Hashtbl.create 8 in
-  let rec eval_elem = function
+  let rec eval_elem acc = function
     | Const v -> v
+    | Acc -> (
+        match acc with
+        | Some v -> v
+        | None -> invalid_arg "Op.reference: Acc outside an epilogue")
     | Ref name ->
         let dims = List.assoc name t.inputs in
         let idx = Array.of_list (List.map (Hashtbl.find point) dims) in
         T.Tensor.get (find name) idx
-    | Bin (op, a, b) -> (
-        let x = eval_elem a and y = eval_elem b in
-        match op with
-        | Add -> T.Value.add x y
-        | Sub -> T.Value.sub x y
-        | Mul -> T.Value.mul x y)
+    | Bin (op, a, b) ->
+        value_bin op (eval_elem acc a) (eval_elem acc b)
   in
   let out_index () =
     match snd t.output with
@@ -100,7 +156,7 @@ let reference t inputs =
   let rec loop = function
     | [] ->
         let idx = out_index () in
-        let v = eval_elem t.body in
+        let v = eval_elem None t.body in
         if has_reduction t then T.Tensor.set out idx (T.Value.add (T.Tensor.get out idx) v)
         else T.Tensor.set out idx v
     | a :: rest ->
@@ -110,13 +166,41 @@ let reference t inputs =
         done
   in
   loop t.axes;
+  (match t.epilogue with
+  | None -> ()
+  | Some e ->
+      let rec eloop = function
+        | [] ->
+            let idx = out_index () in
+            let v = eval_elem (Some (T.Tensor.get out idx)) e in
+            T.Tensor.set out idx v
+        | d :: rest ->
+            let a = axis t d in
+            for i = 0 to a.extent - 1 do
+              Hashtbl.replace point a.aname i;
+              eloop rest
+            done
+      in
+      eloop (snd t.output));
   out
 
 let rec pp_elem ppf = function
   | Ref n -> Format.pp_print_string ppf n
   | Const v -> T.Value.pp ppf v
+  | Acc -> Format.pp_print_string ppf "@acc"
+  | Bin (((Min | Max) as op), a, b) ->
+      Format.fprintf ppf "%s(%a, %a)"
+        (match op with Min -> "min" | _ -> "max")
+        pp_elem a pp_elem b
   | Bin (op, a, b) ->
-      let s = match op with Add -> "+" | Sub -> "-" | Mul -> "*" in
+      let s =
+        match op with
+        | Add -> "+"
+        | Sub -> "-"
+        | Mul -> "*"
+        | Div -> "//"
+        | Min | Max -> assert false
+      in
       Format.fprintf ppf "(%a %s %a)" pp_elem a s pp_elem b
 
 let pp ppf t =
@@ -125,10 +209,14 @@ let pp ppf t =
       (match a.kind with Spatial -> "" | Reduction -> "(red)")
       a.extent
   in
-  Format.fprintf ppf "%s[%s] %s%s = %a" t.opname
+  Format.fprintf ppf "%s[%s] %s%s = %a%a" t.opname
     (String.concat ", " (List.map axis_str t.axes))
     (fst t.output)
     (match snd t.output with
     | [] -> ""
     | dims -> "(" ^ String.concat "," dims ^ ")")
     pp_elem t.body
+    (fun ppf -> function
+      | None -> ()
+      | Some e -> Format.fprintf ppf "; epilogue %a" pp_elem e)
+    t.epilogue

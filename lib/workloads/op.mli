@@ -11,13 +11,18 @@ type axis = { aname : string; extent : int; kind : axis_kind }
 (** Element expression over the current iteration point.  [Ref t] reads
     input tensor [t] at the point's coordinates (projected onto [t]'s
     axes).  For reduction ops the output accumulates the expression
-    with [+] over the reduction axes. *)
+    with [+] over the reduction axes.  [Acc] is only valid inside an
+    {!t.epilogue} and denotes the fully accumulated output value at the
+    current output point. *)
 type elem =
   | Ref of string
   | Const of Imtp_tensor.Value.t
+  | Acc
   | Bin of bin * elem * elem
 
-and bin = Add | Sub | Mul
+and bin = Add | Sub | Mul | Div | Min | Max
+(** [Div] is floor division on integers (the TIR evaluator's
+    [Binop Div] semantics), exact division on floats. *)
 
 type t = {
   opname : string;
@@ -27,6 +32,11 @@ type t = {
       (** tensor name and its axes, outermost first. *)
   output : string * string list;  (** name and spatial axes. *)
   body : elem;
+  epilogue : elem option;
+      (** optional elementwise post-processing applied once per output
+          point after the body (and any reduction) completes: the graph
+          fusion target for bias add / ReLU / scaling.  May reference
+          [Acc] and inputs indexed only by output axes. *)
 }
 
 val create :
@@ -37,9 +47,15 @@ val create :
   output:string * string list ->
   body:elem ->
   t
-(** @raise Invalid_argument if an input/output references an unknown
+(** Creates an op with no epilogue.
+    @raise Invalid_argument if an input/output references an unknown
     axis, the output references a reduction axis, a [Ref] names an
-    unknown input, or axis names collide. *)
+    unknown input, axis names collide, or [Acc] appears in the body. *)
+
+val with_epilogue : t -> elem -> t
+(** Attach (or replace) an elementwise epilogue.
+    @raise Invalid_argument if the epilogue references an unknown input
+    or an input indexed by a non-output axis. *)
 
 val axis : t -> string -> axis
 val spatial_axes : t -> axis list
@@ -53,8 +69,22 @@ val output_elems : t -> int
 val total_flops : t -> float
 (** Multiply-add count of the whole operation (for reporting). *)
 
+val elem_refs : elem -> string list
+(** Input names referenced, in reference order, with duplicates. *)
+
+val elem_has_acc : elem -> bool
+
+val body_refs : t -> string list
+(** Distinct input names referenced by the body, in first-use order. *)
+
+val epilogue_refs : t -> string list
+(** Distinct input names referenced by the epilogue ([[]] if none). *)
+
+val value_bin : bin -> Imtp_tensor.Value.t -> Imtp_tensor.Value.t -> Imtp_tensor.Value.t
+
 val reference : t -> (string * Imtp_tensor.Tensor.t) list -> Imtp_tensor.Tensor.t
 (** Direct-loop evaluation of the definition; the golden semantics every
     schedule must preserve. *)
 
 val pp : Format.formatter -> t -> unit
+val pp_elem : Format.formatter -> elem -> unit

@@ -64,7 +64,41 @@ let gemm ?(dtype = T.Dtype.I32) n m k =
     ~output:("C", [ "i"; "j" ])
     ~body:(Op.Bin (Op.Mul, Op.Ref "A", Op.Ref "B"))
 
-let all_names = [ "va"; "geva"; "red"; "mtv"; "gemv"; "ttv"; "mmtv"; "gemm" ]
+let relu ?(dtype = T.Dtype.I32) n =
+  Op.create ~name:"relu" ~dtype
+    ~axes:[ sp "i" n ]
+    ~inputs:[ ("A", [ "i" ]) ]
+    ~output:("C", [ "i" ])
+    ~body:(Op.Bin (Op.Max, Op.Ref "A", cst 0))
+
+let scale ?(dtype = T.Dtype.I32) ~c n =
+  Op.create ~name:"scale" ~dtype
+    ~axes:[ sp "i" n ]
+    ~inputs:[ ("A", [ "i" ]) ]
+    ~output:("C", [ "i" ])
+    ~body:(Op.Bin (Op.Mul, cst c, Op.Ref "A"))
+
+let rowsum ?(dtype = T.Dtype.I32) b n =
+  Op.create ~name:"rowsum" ~dtype
+    ~axes:[ sp "i" b; rd "j" n ]
+    ~inputs:[ ("A", [ "i"; "j" ]) ]
+    ~output:("C", [ "i" ])
+    ~body:(Op.Ref "A")
+
+let rowdiv ?(dtype = T.Dtype.I32) b n =
+  (* C(i,j) = A(i,j) // (R(i) + 1): the +1 keeps the denominator
+     positive for non-negative row sums (integer softmax surrogate). *)
+  Op.create ~name:"rowdiv" ~dtype
+    ~axes:[ sp "i" b; sp "j" n ]
+    ~inputs:[ ("A", [ "i"; "j" ]); ("R", [ "i" ]) ]
+    ~output:("C", [ "i"; "j" ])
+    ~body:(Op.Bin (Op.Div, Op.Ref "A", Op.Bin (Op.Add, Op.Ref "R", cst 1)))
+
+let all_names =
+  [
+    "va"; "geva"; "red"; "mtv"; "gemv"; "ttv"; "mmtv"; "gemm"; "relu"; "scale";
+    "rowsum"; "rowdiv";
+  ]
 
 let by_name name ~sizes =
   match (name, sizes) with
@@ -76,6 +110,10 @@ let by_name name ~sizes =
   | "ttv", [ n; m; k ] -> ttv n m k
   | "mmtv", [ b; n; k ] -> mmtv b n k
   | "gemm", [ n; m; k ] -> gemm n m k
+  | "relu", [ n ] -> relu n
+  | "scale", [ n ] -> scale ~c:3 n
+  | "rowsum", [ b; n ] -> rowsum b n
+  | "rowdiv", [ b; n ] -> rowdiv b n
   | _, _ ->
       invalid_arg
         (Printf.sprintf "Ops.by_name: unknown op %s or wrong arity (%d sizes)"

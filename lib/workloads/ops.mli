@@ -28,6 +28,21 @@ val gemm : ?dtype:Imtp_tensor.Dtype.t -> int -> int -> int -> Op.t
     paper's seven operations (general matrix multiplication, as
     supported by CINM in Table 1). *)
 
+val relu : ?dtype:Imtp_tensor.Dtype.t -> int -> Op.t
+(** [relu n]: C(i) = max(A(i), 0). *)
+
+val scale : ?dtype:Imtp_tensor.Dtype.t -> c:int -> int -> Op.t
+(** [scale ~c n]: C(i) = c·A(i). *)
+
+val rowsum : ?dtype:Imtp_tensor.Dtype.t -> int -> int -> Op.t
+(** [rowsum b n]: C(i) = Σ_j A(i,j) — per-row reduction (softmax
+    normalizer). *)
+
+val rowdiv : ?dtype:Imtp_tensor.Dtype.t -> int -> int -> Op.t
+(** [rowdiv b n]: C(i,j) = A(i,j) // (R(i) + 1) — per-row floor-divide
+    normalization against row sums R (integer softmax surrogate; the +1
+    keeps the denominator positive for non-negative sums). *)
+
 val all_names : string list
 val by_name : string -> sizes:int list -> Op.t
 (** Build an op by name with the given dimension sizes (for the CLI).

@@ -57,8 +57,8 @@ let test_by_name () =
     (fun name ->
       let sizes =
         match name with
-        | "va" | "geva" | "red" -> [ 32 ]
-        | "mtv" | "gemv" -> [ 8; 16 ]
+        | "va" | "geva" | "red" | "relu" | "scale" -> [ 32 ]
+        | "mtv" | "gemv" | "rowsum" | "rowdiv" -> [ 8; 16 ]
         | _ -> [ 2; 4; 8 ]
       in
       let op = Ops.by_name name ~sizes in
